@@ -1,0 +1,261 @@
+package kubeknots
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation — one testing.B benchmark per artifact — and reports the
+// headline scalar of each as a custom metric, so `go test -bench=. -benchmem`
+// doubles as a reproduction sweep. Cluster benchmarks run a one-minute load
+// window and the DL benchmarks use the reduced simulator scale to keep the
+// sweep tractable; `go run ./cmd/kubeknots <fig>` prints the paper-scale
+// rows.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"kubeknots/internal/dlsim"
+	"kubeknots/internal/experiments"
+	"kubeknots/internal/forecast"
+	"kubeknots/internal/metrics"
+	"kubeknots/internal/scheduler"
+	"kubeknots/internal/sim"
+	tracepkg "kubeknots/internal/trace"
+	"kubeknots/internal/workloads"
+)
+
+// benchClusterCfg is the reduced-horizon configuration for benchmarks.
+func benchClusterCfg() experiments.ClusterConfig {
+	return experiments.ClusterConfig{Horizon: sim.Minute}
+}
+
+func tableCell(b *testing.B, t *experiments.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(t.Rows[row][col], "x"), 64)
+	if err != nil {
+		b.Fatalf("cell [%d][%d] = %q: %v", row, col, t.Rows[row][col], err)
+	}
+	return v
+}
+
+func BenchmarkFig1(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig1()
+	}
+	b.ReportMetric(tableCell(b, t, 4, 1), "GPU-EE@50%")
+}
+
+func BenchmarkFig2(b *testing.B) {
+	cfg := tracepkg.Small()
+	var corr float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig2c(1, cfg)
+		corr = tableCell(b, t, 0, 2)
+		experiments.Fig2a(1, cfg)
+		experiments.Fig2b(1, cfg)
+	}
+	b.ReportMetric(corr, "batch-core-mem-rho")
+}
+
+func BenchmarkFig3(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(experiments.Fig3(0).Rows)
+	}
+	b.ReportMetric(float64(rows), "samples")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig4()
+	}
+	b.ReportMetric(tableCell(b, t, 0, 1), "TF-earmark-%")
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table1().Rows) != 3 {
+			b.Fatal("table1 must have 3 mixes")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = experiments.Fig6(1, benchClusterCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tableCell(b, t, 0, 1), "node1-p50-util")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig7(benchClusterCfg())
+	}
+	b.ReportMetric(tableCell(b, t, 9, 3), "mix3-max-COV")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = experiments.Fig8(1, benchClusterCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tableCell(b, t, 0, 1), "node1-p50-util")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig9(benchClusterCfg())
+	}
+	// PP's cluster-wide p90 on App-Mix-1 — the headline utilization gain.
+	b.ReportMetric(tableCell(b, t, 0, 3), "PP-mix1-p90-util")
+}
+
+func BenchmarkFig10a(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig10a(benchClusterCfg())
+	}
+	b.ReportMetric(tableCell(b, t, 0, 3), "PP-mix1-viol-per-kilo")
+	b.ReportMetric(tableCell(b, t, 0, 1), "ResAg-mix1-viol-per-kilo")
+}
+
+func BenchmarkFig10b(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig10b(42)
+	}
+	b.ReportMetric(tableCell(b, t, 4, 1), "ARIMA-acc@1ms")
+}
+
+func BenchmarkFig11a(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig11a(benchClusterCfg())
+	}
+	b.ReportMetric(tableCell(b, t, 0, 3), "PP-mix1-energy-vs-uniform")
+}
+
+func BenchmarkFig11b(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = experiments.Fig11b(benchClusterCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tableCell(b, t, 0, 2), "pairCOV-n1-n2")
+}
+
+func BenchmarkFig12a(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig12a(dlsim.Small())
+	}
+	b.ReportMetric(tableCell(b, t, 4, 4), "CBPPP-JCT-p50-hours")
+}
+
+func BenchmarkFig12b(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig12b(dlsim.Small())
+	}
+	b.ReportMetric(tableCell(b, t, 0, 4), "CBPPP-mix1-viol-per-hr")
+}
+
+func BenchmarkTable4(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Table4(dlsim.Small())
+	}
+	b.ReportMetric(tableCell(b, t, 0, 1), "ResAg-avg-JCT-ratio")
+	b.ReportMetric(tableCell(b, t, 2, 1), "Tiresias-avg-JCT-ratio")
+}
+
+func BenchmarkAblationCorrThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationCorrThreshold(benchClusterCfg(), 0.3, 0.5, 0.7)
+	}
+}
+
+func BenchmarkAblationResizePercentile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationResizePercentile(benchClusterCfg(), 50, 80, 100)
+	}
+}
+
+func BenchmarkAblationHeartbeat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationHeartbeat(benchClusterCfg(), sim.Second, 10*sim.Millisecond)
+	}
+}
+
+func BenchmarkAblationForecaster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationForecaster(benchClusterCfg())
+	}
+}
+
+// Micro-benchmarks on the hot paths.
+
+func BenchmarkSpearman(b *testing.B) {
+	x := workloads.RodiniaProfile(workloads.KMeans).MemSeries(sim.Second)
+	y := workloads.RodiniaProfile(workloads.LUD).MemSeries(sim.Second)
+	if len(x) > len(y) {
+		x = x[:len(y)]
+	} else {
+		y = y[:len(x)]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.SpearmanRho(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAR1Forecast(b *testing.B) {
+	series := workloads.RodiniaProfile(workloads.KMeans).MemSeries(100 * sim.Millisecond)
+	var m forecast.AR1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Fit(series); err != nil {
+			b.Fatal(err)
+		}
+		m.Predict()
+	}
+}
+
+func BenchmarkPPScheduleRound(b *testing.B) {
+	mix, _ := workloads.MixByID(1)
+	// One full short run exercises snapshotting + admission repeatedly.
+	for i := 0; i < b.N; i++ {
+		experiments.RunCluster(&scheduler.PP{}, mix, experiments.ClusterConfig{
+			Horizon: 15 * sim.Second,
+		})
+	}
+}
+
+func BenchmarkAblationLearnedProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationLearnedProfiles(benchClusterCfg())
+	}
+}
+
+func BenchmarkAblationSLOFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationSLOFraction(benchClusterCfg(), 0.8, 1.0)
+	}
+}

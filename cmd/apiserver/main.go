@@ -1,0 +1,53 @@
+// Command apiserver runs the Kube-Knots control plane over HTTP: a
+// simulated GPU cluster behind the PP scheduler, accepting JSON pod
+// manifests and explicit clock advances, so scenarios can be driven with
+// curl and replayed deterministically:
+//
+//	apiserver -nodes 10 -scheduler pp -addr :8088
+//
+//	curl -X POST :8088/pods -d '{"name":"j1","workload":{"kind":"rodinia","name":"kmeans"}}'
+//	curl -X POST :8088/advance -d '{"ms":60000}'
+//	curl :8088/pods/j1
+//	curl :8088/nodes
+//	curl :8088/qos
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"kubeknots/internal/api"
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/experiments"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/sim"
+)
+
+var (
+	addr   = flag.String("addr", ":8088", "listen address")
+	nodes  = flag.Int("nodes", 10, "GPU nodes in the simulated cluster")
+	sched  = flag.String("scheduler", "pp", "scheduler: uniform | resag | cbp | pp")
+	hetero = flag.Bool("hetero", false, "use the P100/V100/M40/K80 heterogeneous pool")
+	seed   = flag.Int64("seed", 1, "deterministic seed")
+)
+
+func main() {
+	flag.Parse()
+	s, err := experiments.SchedulerByName(*sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = *nodes
+	var cl *cluster.Cluster
+	if *hetero {
+		cl = cluster.NewHeterogeneous(cfg, cluster.HeterogeneousPool())
+	} else {
+		cl = cluster.New(cfg)
+	}
+	orch := k8s.NewOrchestrator(sim.NewEngine(*seed), cl, s, k8s.Config{})
+	srv := api.NewServer(orch)
+	log.Printf("apiserver: %d nodes, %s scheduler, listening on %s", *nodes, s.Name(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,174 @@
+// Command knotsctl is the kubectl-style client for the Kube-Knots
+// apiserver (cmd/apiserver):
+//
+//	knotsctl [-server http://localhost:8088] apply manifest.json
+//	knotsctl get pods
+//	knotsctl get pod <name>
+//	knotsctl get nodes
+//	knotsctl get qos
+//	knotsctl events [pod]
+//	knotsctl advance 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kubeknots/internal/api"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/sim"
+)
+
+var server = flag.String("server", "http://localhost:8088", "apiserver base URL")
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := api.NewClient(*server)
+	var err error
+	switch args[0] {
+	case "apply":
+		err = apply(c, args[1:])
+	case "get":
+		err = get(c, args[1:])
+	case "events":
+		err = events(c, args[1:])
+	case "advance":
+		err = advance(c, args[1:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knotsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func apply(c *api.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: knotsctl apply <manifest.json>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	m, err := k8s.ParseManifest(data)
+	if err != nil {
+		return err
+	}
+	st, err := c.SubmitManifest(m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pod/%s created (%s, %s)\n", st.Name, st.Class, st.Phase)
+	return nil
+}
+
+func get(c *api.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: knotsctl get pods|pod <name>|nodes|qos")
+	}
+	switch args[0] {
+	case "pods":
+		pods, err := c.Pods()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %-18s %-10s %8s %8s\n", "NAME", "CLASS", "PHASE", "CRASHES", "AGE(s)")
+		for _, p := range pods {
+			fmt.Printf("%-24s %-18s %-10s %8d %8.1f\n",
+				p.Name, p.Class, p.Phase, p.Crashes, float64(p.SubmitMS)/1000)
+		}
+		return nil
+	case "pod":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: knotsctl get pod <name>")
+		}
+		p, err := c.Pod(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("name: %s\nclass: %s\nphase: %s\npriority: %d\nsubmit: %dms\nscheduled: %dms\nfinished: %dms\ncrashes: %d\n",
+			p.Name, p.Class, p.Phase, p.Priority, p.SubmitMS, p.ScheduleMS, p.FinishMS, p.Crashes)
+		return nil
+	case "nodes":
+		nodes, err := c.Nodes()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-6s %7s %10s %10s %7s %6s %6s\n",
+			"GPU", "MODEL", "SM%", "USED(MB)", "FREE(MB)", "POWER", "PODS", "STATE")
+		for _, n := range nodes {
+			state := "awake"
+			if n.Asleep {
+				state = "sleep"
+			}
+			fmt.Printf("%-8s %-6s %7.1f %10.0f %10.0f %6.0fW %6d %6s\n",
+				n.GPU, n.Model, n.SMPct, n.MemUsedMB, n.FreeMB, n.PowerW, n.Containers, state)
+		}
+		return nil
+	case "qos":
+		q, err := c.QoS()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("queries: %d\nviolations: %d (%.1f per kilo)\nmean latency: %dms\np99 latency: %dms\n",
+			q.Queries, q.Violations, q.PerKilo, q.MeanMS, q.P99MS)
+		return nil
+	}
+	return fmt.Errorf("unknown resource %q", args[0])
+}
+
+func events(c *api.Client, args []string) error {
+	pod := ""
+	if len(args) > 0 {
+		pod = args[0]
+	}
+	evs, err := c.Events(pod)
+	if err != nil {
+		return err
+	}
+	for _, e := range evs {
+		where := ""
+		if e.Node != "" {
+			where = " on " + e.Node
+		}
+		detail := ""
+		if e.Detail != "" {
+			detail = " (" + e.Detail + ")"
+		}
+		fmt.Printf("%8.1fs %-10s %s%s%s\n", float64(e.AtMS)/1000, e.Type, e.Pod, where, detail)
+	}
+	return nil
+}
+
+func advance(c *api.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: knotsctl advance <duration>")
+	}
+	d, err := time.ParseDuration(args[0])
+	if err != nil {
+		return err
+	}
+	now, pending, completed, err := c.Advance(sim.Time(d.Milliseconds()))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("now=%v pending=%d completed=%d\n", now, pending, completed)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: knotsctl [-server URL] <command>
+commands:
+  apply <manifest.json>     submit a pod
+  get pods|pod <n>|nodes|qos
+  events [pod]
+  advance <duration>        run the simulation forward (e.g. 60s)`)
+	os.Exit(2)
+}

@@ -1,0 +1,124 @@
+// Command knotsd demonstrates the Knots node-monitor daemon: it runs a
+// simulated GPU node executing the Rodinia suite, samples the five NVML
+// metrics every heartbeat into the node-local time-series store, and serves
+// them over HTTP the way the paper's head-node aggregator queries worker
+// nodes:
+//
+//	GET /metrics         latest five-metric sample (JSON)
+//	GET /window?ms=5000  the trailing window of every metric (JSON)
+//
+// The simulation advances in real time scaled by -speed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/knots"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+var (
+	addr      = flag.String("addr", ":8089", "listen address")
+	heartbeat = flag.Duration("heartbeat", 10*time.Millisecond, "sampling period (simulated)")
+	speed     = flag.Float64("speed", 10, "simulated seconds per wall second")
+)
+
+type daemon struct {
+	mu  sync.Mutex
+	cl  *cluster.Cluster
+	mon *knots.Monitor
+	now sim.Time
+	seq int
+}
+
+func (d *daemon) step(dt sim.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	g := d.cl.GPUs()[0]
+	hb := sim.Time(heartbeat.Milliseconds())
+	if hb <= 0 {
+		hb = 10 * sim.Millisecond
+	}
+	for t := sim.Time(0); t < dt; t += hb {
+		// Keep the node busy: cycle the Rodinia suite forever.
+		if len(g.Containers()) == 0 {
+			names := workloads.RodiniaNames()
+			p := workloads.RodiniaProfile(names[d.seq%len(names)])
+			d.seq++
+			c := &cluster.Container{ID: fmt.Sprintf("%s-%d", p.Name, d.seq), Class: p.Class, Inst: p.NewInstance(nil)}
+			if err := g.Place(d.now, c, p.RequestMemMB); err != nil {
+				log.Printf("place: %v", err)
+			}
+		}
+		d.cl.Tick(d.now, hb)
+		d.mon.Sample(d.now)
+		d.now += hb
+	}
+}
+
+func (d *daemon) metrics(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	obs := d.cl.GPUs()[0].Obs
+	now := d.now
+	d.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"sim_time_ms": int64(now),
+		"sm_util":     obs.SMPct,
+		"mem_used_mb": obs.MemUsedMB,
+		"power_w":     obs.PowerW,
+		"tx_mbps":     obs.TxMBps,
+		"rx_mbps":     obs.RxMBps,
+		"containers":  obs.Containers,
+	})
+}
+
+func (d *daemon) window(w http.ResponseWriter, r *http.Request) {
+	ms, err := strconv.Atoi(r.URL.Query().Get("ms"))
+	if err != nil || ms <= 0 {
+		ms = 5000
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	g := d.cl.GPUs()[0]
+	out := make(map[string][]float64, len(knots.Metrics))
+	for _, m := range knots.Metrics {
+		out[m] = d.mon.Series(g, m, d.now, sim.Time(ms))
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func main() {
+	flag.Parse()
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cl := cluster.New(cfg)
+	d := &daemon{cl: cl, mon: knots.NewMonitor(cl, 1<<18)}
+
+	go func() {
+		const wallTick = 100 * time.Millisecond
+		for range time.Tick(wallTick) {
+			d.step(sim.Time(float64(wallTick.Milliseconds()) * *speed))
+		}
+	}()
+
+	http.HandleFunc("/metrics", d.metrics)
+	http.HandleFunc("/window", d.window)
+	log.Printf("knotsd: simulated P100 node on %s (x%.0f time)", *addr, *speed)
+	log.Fatal(http.ListenAndServe(*addr, nil))
+}

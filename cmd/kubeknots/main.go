@@ -1,0 +1,163 @@
+// Command kubeknots regenerates the paper's tables and figures from the
+// simulated reproduction. Each experiment prints the same rows/series the
+// paper plots.
+//
+// Usage:
+//
+//	kubeknots [-horizon 5m] [-seed 1] [-dlscale full|small] <experiment>...
+//	kubeknots all
+//
+// Experiments: fig1 fig2a fig2b fig2c fig3 fig4 table1 fig6 fig7 fig8 fig9
+// fig10a fig10b fig11a fig11b fig12a fig12b table4 ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"kubeknots/internal/dlsim"
+	"kubeknots/internal/experiments"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/trace"
+)
+
+var (
+	horizon = flag.Duration("horizon", 5*time.Minute, "simulated load window for cluster experiments")
+	seed    = flag.Int64("seed", 1, "deterministic seed")
+	dlscale = flag.String("dlscale", "full", "DL simulator scale: full (520 DLT + 1400 DLI on 256 GPUs) or small")
+	tscale  = flag.String("tracescale", "small", "Alibaba-style trace scale for fig2: full (12h, ~24k tasks) or small")
+	format  = flag.String("format", "text", "output format: text | json | csv")
+)
+
+// emit renders a table in the selected format.
+func emit(t *experiments.Table) error {
+	switch *format {
+	case "json":
+		return t.FprintJSON(os.Stdout)
+	case "csv":
+		return t.FprintCSV(os.Stdout)
+	default:
+		t.Fprint(os.Stdout)
+		return nil
+	}
+}
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	ccfg := experiments.ClusterConfig{
+		Horizon: sim.Time(horizon.Milliseconds()),
+		Seed:    *seed,
+	}
+	dcfg := dlsim.Default()
+	if *dlscale == "small" {
+		dcfg = dlsim.Small()
+	}
+	dcfg.Seed = *seed
+	tcfg := trace.Small()
+	if *tscale == "full" {
+		tcfg = trace.Default()
+	}
+
+	table := map[string]func() error{
+		"fig1":   run(func() *experiments.Table { return experiments.Fig1() }),
+		"fig2a":  run(func() *experiments.Table { return experiments.Fig2a(*seed, tcfg) }),
+		"fig2b":  run(func() *experiments.Table { return experiments.Fig2b(*seed, tcfg) }),
+		"fig2c":  run(func() *experiments.Table { return experiments.Fig2c(*seed, tcfg) }),
+		"fig3":   run(func() *experiments.Table { return experiments.Fig3(0) }),
+		"fig4":   run(func() *experiments.Table { return experiments.Fig4() }),
+		"table1": run(func() *experiments.Table { return experiments.Table1() }),
+		"fig6": func() error {
+			for mix := 1; mix <= 3; mix++ {
+				t, err := experiments.Fig6(mix, ccfg)
+				if err != nil {
+					return err
+				}
+				if err := emit(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"fig7": run(func() *experiments.Table { return experiments.Fig7(ccfg) }),
+		"fig8": func() error {
+			for mix := 1; mix <= 3; mix++ {
+				t, err := experiments.Fig8(mix, ccfg)
+				if err != nil {
+					return err
+				}
+				if err := emit(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"fig9":   run(func() *experiments.Table { return experiments.Fig9(ccfg) }),
+		"fig10a": run(func() *experiments.Table { return experiments.Fig10a(ccfg) }),
+		"fig10b": run(func() *experiments.Table { return experiments.Fig10b(*seed) }),
+		"fig11a": run(func() *experiments.Table { return experiments.Fig11a(ccfg) }),
+		"fig11b": func() error {
+			t, err := experiments.Fig11b(ccfg)
+			if err != nil {
+				return err
+			}
+			return emit(t)
+		},
+		"fig12a": run(func() *experiments.Table { return experiments.Fig12a(dcfg) }),
+		"fig12b": run(func() *experiments.Table { return experiments.Fig12b(dcfg) }),
+		"table4": run(func() *experiments.Table { return experiments.Table4(dcfg) }),
+		"ablations": func() error {
+			for _, t := range []*experiments.Table{
+				experiments.AblationCorrThreshold(ccfg),
+				experiments.AblationResizePercentile(ccfg),
+				experiments.AblationHeartbeat(ccfg),
+				experiments.AblationForecaster(ccfg),
+				experiments.AblationLearnedProfiles(ccfg),
+				experiments.AblationSLOFraction(ccfg),
+			} {
+				if err := emit(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+
+	if len(args) == 1 && args[0] == "all" {
+		args = args[:0]
+		for k := range table {
+			args = append(args, k)
+		}
+		sort.Strings(args)
+	}
+	for _, a := range args {
+		fn, ok := table[a]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "kubeknots: unknown experiment %q\n", a)
+			usage()
+			os.Exit(2)
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "kubeknots: %s: %v\n", a, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(f func() *experiments.Table) func() error {
+	return func() error { return emit(f()) }
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: kubeknots [flags] <experiment>...
+experiments: fig1 fig2a fig2b fig2c fig3 fig4 table1 fig6 fig7 fig8 fig9
+             fig10a fig10b fig11a fig11b fig12a fig12b table4 ablations all`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,42 @@
+// Command tracegen emits a synthetic Alibaba-style cluster trace (the
+// Section II-B substitute) as CSV on stdout: one row per task with arrival,
+// kind, duration, and the per-container utilization summaries behind
+// Fig. 2b. With -fleet, a machine-assignment summary is printed to stderr
+// (the paper's analysis spans 1300 machines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"kubeknots/internal/trace"
+)
+
+var (
+	seed  = flag.Int64("seed", 1, "deterministic seed")
+	batch = flag.Int("batch", 12951, "number of batch jobs")
+	lc    = flag.Int("lc", 11089, "number of latency-critical containers")
+	hours = flag.Float64("hours", 12, "trace horizon in hours")
+	fleet = flag.Int("fleet", 0, "assign tasks to this many machines and report fleet stats (0 = off)")
+)
+
+func main() {
+	flag.Parse()
+	cfg := trace.Config{
+		BatchJobs:    *batch,
+		LCContainers: *lc,
+		Horizon:      trace.HorizonFromHours(*hours),
+	}
+	tr := trace.Generate(*seed, cfg)
+	if err := tr.WriteCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *fleet > 0 {
+		a := tr.AssignMachines(*fleet, *seed)
+		st := trace.FleetStats(tr.MachineLoadSeries(a, 0))
+		fmt.Fprintf(os.Stderr, "fleet: %d machines, mean load %.2f tasks, p99 %.0f, idle fraction %.2f\n",
+			a.Machines, st.MeanLoad, st.P99Load, st.IdleFraction)
+	}
+}

@@ -1,0 +1,46 @@
+// Co-location: the heart of Kube-Knots. The same workload — batch HPC jobs
+// plus latency-critical inference — is replayed under the GPU-agnostic
+// Res-Ag scheduler and under CBP+PP, side by side. Res-Ag packs by requests
+// and ships queries onto saturated devices; Kube-Knots harvests memory
+// (p80 resize), gates co-location on correlation + SLO-aware stretch
+// prediction, and parks idle GPUs.
+//
+//	go run ./examples/colocation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kubeknots"
+)
+
+func main() {
+	mix, err := kubeknots.MixByID(3) // imc+face inference over spiky batch
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := kubeknots.RunConfig{Horizon: 3 * kubeknots.Minute}
+
+	fmt.Printf("workload: %s (batch: spiky low-load HPC; queries: imc/face inference)\n\n", mix.Name())
+	fmt.Printf("%-10s %9s %9s %11s %9s %9s\n",
+		"scheduler", "util-p50", "util-p90", "viol/kilo", "lat-p99", "energy-kJ")
+
+	for _, s := range []kubeknots.Scheduler{kubeknots.NewResAg(), kubeknots.NewCBP(), kubeknots.NewPP()} {
+		run := kubeknots.Run(s, mix, cfg)
+		ps := run.ClusterUtilPercentiles()
+		fmt.Printf("%-10s %8.1f%% %8.1f%% %11.1f %9v %9.1f\n",
+			s.Name(), ps[0], ps[1], run.QoS.PerKilo(),
+			run.QoS.Percentile(99), run.EnergyHorizonJ/1e3)
+	}
+
+	fmt.Println(`
+reading the table:
+  - Res-Ag shares GPUs but is blind to live utilization: queries land on
+    busy devices and their kernels are stretched past the 150 ms SLO.
+  - CBP resizes batch pods to their 80th-percentile footprint and refuses
+    co-location when memory behaviours are positively correlated.
+  - PP adds the autocorrelation-gated ARIMA forecast (Algorithm 1), packing
+    harder while staggering peaks — highest utilization, least energy,
+    near-zero violations.`)
+}

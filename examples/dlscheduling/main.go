@@ -1,0 +1,61 @@
+// DL scheduling: the Section V-C comparison. 520 deep-learning training
+// jobs and 1400 inference tasks arrive over 12 simulated hours on a
+// 32-node × 8-GPU cluster; four schedulers compete: Res-Ag, Gandiva-like
+// time-slicing, Tiresias-like two-queue LAS, and Kube-Knots' CBP+PP.
+//
+//	go run ./examples/dlscheduling            (reduced scale, seconds)
+//	go run ./examples/dlscheduling -full      (paper scale, ~a minute)
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"kubeknots"
+	"kubeknots/internal/dlsim"
+	"kubeknots/internal/metrics"
+)
+
+var full = flag.Bool("full", false, "run the paper-scale simulation (256 GPUs, 12 h)")
+
+func main() {
+	flag.Parse()
+	cfg := dlsim.Small()
+	if *full {
+		cfg = dlsim.Default()
+	}
+	fmt.Printf("simulating %d DLT + %d DLI on %d GPUs over %v per policy...\n\n",
+		cfg.NumDLT, cfg.NumDLI, cfg.Nodes*cfg.GPUsPerNode, cfg.Horizon)
+
+	policies := []kubeknots.DLPolicy{
+		kubeknots.NewKubeKnotsDL(),
+		kubeknots.NewResAgDL(),
+		kubeknots.NewGandiva(),
+		kubeknots.NewTiresias(),
+	}
+	type row struct {
+		name          string
+		avg, med, p99 float64
+		violPct       float64
+		crashes       int
+	}
+	var rows []row
+	for _, p := range policies {
+		r := kubeknots.RunDL(p, cfg)
+		jcts := r.DLTJCTHours()
+		rows = append(rows, row{
+			name: r.Policy, avg: metrics.Mean(jcts),
+			med: metrics.Percentile(jcts, 50), p99: metrics.Percentile(jcts, 99),
+			violPct: r.ViolationPct(), crashes: r.Crashes,
+		})
+	}
+	base := rows[0]
+	fmt.Printf("%-9s %18s %18s %18s %10s %8s\n",
+		"policy", "avg JCT", "median JCT", "p99 JCT", "DLI-viol", "crashes")
+	for _, r := range rows {
+		fmt.Printf("%-9s %9.2fh (%.2fx) %9.2fh (%.2fx) %9.2fh (%.2fx) %9.1f%% %8d\n",
+			r.name, r.avg, r.avg/base.avg, r.med, r.med/base.med,
+			r.p99, r.p99/base.p99, r.violPct, r.crashes)
+	}
+	fmt.Println("\nratios are normalized by CBP+PP (Table IV's convention; lower is better).")
+}

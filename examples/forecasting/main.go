@@ -1,0 +1,65 @@
+// Forecasting: watch the PP scheduler's predictor at work. A simulated GPU
+// node runs the kmeans batch kernel while the Knots monitor samples its
+// memory footprint every 10 ms; a sliding five-second window feeds the
+// first-order ARIMA of Equation 3 (and the comparator models of Fig. 10b),
+// and the forecasts are scored against what the node actually did next.
+//
+//	go run ./examples/forecasting
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/forecast"
+	"kubeknots/internal/knots"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+func main() {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cl := cluster.New(cfg)
+	mon := knots.NewMonitor(cl, 1<<16)
+	g := cl.GPUs()[0]
+
+	prof := workloads.RodiniaProfile(workloads.KMeans)
+	c := &cluster.Container{ID: "kmeans", Class: prof.Class, Inst: prof.NewInstance(nil)}
+	if err := g.Place(0, c, prof.RequestMemMB); err != nil {
+		log.Fatal(err)
+	}
+
+	const hb = 10 * sim.Millisecond
+	for now := sim.Time(0); now < prof.Duration(); now += hb {
+		cl.Tick(now, hb)
+		mon.Sample(now)
+	}
+
+	series := mon.Series(g, knots.MetricMem, prof.Duration(), prof.Duration())
+	fmt.Printf("collected %d memory samples from the node-local time-series DB\n\n", len(series))
+
+	models := []forecast.Model{&forecast.AR1{}, &forecast.OLS{}, &forecast.TheilSen{}, &forecast.SGD{Seed: 1}}
+	const window = 64
+	fmt.Printf("%-18s %10s\n", "model", "accuracy")
+	for _, m := range models {
+		acc, err := forecast.WalkForwardAccuracy(m, series, window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %9.1f%%\n", m.Name(), acc)
+	}
+
+	// Show one concrete forecast the way Algorithm 1 uses it.
+	var ar forecast.AR1
+	if err := ar.Fit(series[len(series)-window:]); err != nil {
+		log.Fatal(err)
+	}
+	mu, phi := ar.Coefficients()
+	pred := forecast.Clamp(ar.Predict(), 0, g.MemCapMB)
+	fmt.Printf("\nEquation 3 fit on the last window: Ŷ = %.1f + %.3f·Y(t-1)\n", mu, phi)
+	fmt.Printf("predicted next memory use: %.0f MB → predicted free: %.0f MB of %v MB\n",
+		pred, g.MemCapMB-pred, g.MemCapMB)
+	fmt.Println("PP ships a pod here only if predicted free memory covers the pod's peak demand.")
+}

@@ -1,0 +1,46 @@
+// Quickstart: replay the paper's high-load App-Mix-1 against a simulated
+// ten-node P100 cluster under the Peak Prediction scheduler, then print the
+// cluster report — utilization percentiles, QoS outcome, energy, crashes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kubeknots"
+)
+
+func main() {
+	mix, err := kubeknots.MixByID(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("replaying %s under PP on a 10-node GPU cluster (3 simulated minutes)...\n", mix.Name())
+	run := kubeknots.Run(kubeknots.NewPP(), mix, kubeknots.RunConfig{
+		Horizon: 3 * kubeknots.Minute,
+	})
+
+	ps := run.ClusterUtilPercentiles()
+	fmt.Printf("\ncluster-wide GPU utilization (awake devices): p50=%.0f%% p90=%.0f%% p99=%.0f%% max=%.0f%%\n",
+		ps[0], ps[1], ps[2], ps[3])
+
+	fmt.Printf("inference queries: %d served, %d SLO violations (%.1f per kilo, 150 ms threshold)\n",
+		run.QoS.Queries(), run.QoS.Violations(), run.QoS.PerKilo())
+	fmt.Printf("latency: mean=%v p99=%v\n", run.QoS.Mean(), run.QoS.Percentile(99))
+
+	fmt.Printf("pods completed: %d, capacity-violation crashes: %d\n",
+		len(run.Completed), run.CrashEvents)
+	fmt.Printf("energy within the load window: %.1f kJ\n", run.EnergyHorizonJ/1e3)
+
+	fmt.Println("\nper-node utilization p50 (consolidation at work):")
+	for i, pcts := range run.NodeUtilPercentiles() {
+		bar := ""
+		for b := 0.0; b < pcts[0]; b += 5 {
+			bar += "#"
+		}
+		fmt.Printf("  node %2d %5.1f%% %s\n", i+1, pcts[0], bar)
+	}
+}

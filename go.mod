@@ -1,0 +1,3 @@
+module kubeknots
+
+go 1.22

@@ -1,0 +1,287 @@
+// Package api exposes the orchestrator over HTTP the way Kubernetes exposes
+// its apiserver: pods are submitted as JSON manifests, pod and node state is
+// queryable, and the Knots cluster snapshot is served for dashboards. The
+// server drives the simulation clock itself ("advance" is explicit, not
+// wall-clock), so clients replay scenarios deterministically:
+//
+//	POST /pods           submit a manifest (k8s.Manifest JSON)
+//	GET  /pods           list pods (phase, timestamps, crashes)
+//	GET  /pods/{name}    one pod
+//	GET  /nodes          per-device observations
+//	GET  /qos            SLO accounting
+//	GET  /events[?pod=x] pod lifecycle events
+//	POST /advance        {"ms": 60000} — run the simulation forward
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/sim"
+)
+
+// PodStatus is the wire form of a pod's state.
+type PodStatus struct {
+	Name       string `json:"name"`
+	Class      string `json:"class"`
+	Phase      string `json:"phase"`
+	Priority   int    `json:"priority,omitempty"`
+	SubmitMS   int64  `json:"submit_ms"`
+	ScheduleMS int64  `json:"schedule_ms"` // -1 until first binding
+	FinishMS   int64  `json:"finish_ms"`   // 0 until finished
+	Crashes    int    `json:"crashes"`
+}
+
+// NodeStatus is the wire form of one device's live observation.
+type NodeStatus struct {
+	GPU        string  `json:"gpu"`
+	Model      string  `json:"model,omitempty"`
+	SMPct      float64 `json:"sm_util"`
+	MemUsedMB  float64 `json:"mem_used_mb"`
+	FreeMB     float64 `json:"free_reservable_mb"`
+	PowerW     float64 `json:"power_w"`
+	Containers int     `json:"containers"`
+	Asleep     bool    `json:"asleep"`
+}
+
+// QoSStatus is the wire form of the SLO tracker.
+type QoSStatus struct {
+	Queries    int     `json:"queries"`
+	Violations int     `json:"violations"`
+	PerKilo    float64 `json:"per_kilo"`
+	MeanMS     int64   `json:"mean_ms"`
+	P99MS      int64   `json:"p99_ms"`
+}
+
+// Server wraps an orchestrator. All handlers share one lock: the underlying
+// simulation is single-threaded by design.
+type Server struct {
+	mu   sync.Mutex
+	orch *k8s.Orchestrator
+	pods map[string]*k8s.Pod
+}
+
+// NewServer wraps orch. The orchestrator must not be driven concurrently
+// by anything else.
+func NewServer(orch *k8s.Orchestrator) *Server {
+	return &Server{orch: orch, pods: make(map[string]*k8s.Pod)}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/pods", s.handlePods)
+	mux.HandleFunc("/pods/", s.handlePod)
+	mux.HandleFunc("/nodes", s.handleNodes)
+	mux.HandleFunc("/qos", s.handleQoS)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/advance", s.handleAdvance)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handlePods(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.createPod(w, r)
+	case http.MethodGet:
+		s.listPods(w)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+func (s *Server) createPod(w http.ResponseWriter, r *http.Request) {
+	var m k8s.Manifest
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode manifest: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.pods[m.Name]; exists {
+		writeErr(w, http.StatusConflict, "pod %q already exists", m.Name)
+		return
+	}
+	pod, err := s.orch.PodFromManifest(m, nil)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.orch.Submit(s.orch.Eng.Now(), pod)
+	s.pods[pod.Name] = pod
+	writeJSON(w, http.StatusCreated, s.status(pod))
+}
+
+func (s *Server) listPods(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PodStatus, 0, len(s.pods))
+	for _, p := range s.pods {
+		out = append(out, s.status(p))
+	}
+	// Stable order for clients.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePod(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/pods/")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pods[name]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no pod %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(p))
+}
+
+func (s *Server) status(p *k8s.Pod) PodStatus {
+	return PodStatus{
+		Name:       p.Name,
+		Class:      p.Class.String(),
+		Phase:      p.Phase.String(),
+		Priority:   p.Priority,
+		SubmitMS:   int64(p.SubmitAt),
+		ScheduleMS: int64(p.ScheduleAt),
+		FinishMS:   int64(p.FinishedAt),
+		Crashes:    p.Crashes,
+	}
+}
+
+func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []NodeStatus
+	for _, g := range s.orch.Cluster.GPUs() {
+		o := g.Obs
+		out = append(out, NodeStatus{
+			GPU:        g.ID(),
+			Model:      g.ModelName,
+			SMPct:      o.SMPct,
+			MemUsedMB:  o.MemUsedMB,
+			FreeMB:     g.FreeReservableMB(),
+			PowerW:     o.PowerW,
+			Containers: o.Containers,
+			Asleep:     o.Asleep,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleQoS(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.orch.QoS
+	writeJSON(w, http.StatusOK, QoSStatus{
+		Queries:    q.Queries(),
+		Violations: q.Violations(),
+		PerKilo:    q.PerKilo(),
+		MeanMS:     int64(q.Mean()),
+		P99MS:      int64(q.Percentile(99)),
+	})
+}
+
+// EventStatus is the wire form of one lifecycle event.
+type EventStatus struct {
+	AtMS   int64  `json:"at_ms"`
+	Type   string `json:"type"`
+	Pod    string `json:"pod"`
+	Node   string `json:"node,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	pod := r.URL.Query().Get("pod")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evs := s.orch.Events.All()
+	if pod != "" {
+		evs = s.orch.Events.ForPod(pod)
+	}
+	out := make([]EventStatus, 0, len(evs))
+	for _, e := range evs {
+		out = append(out, EventStatus{
+			AtMS: int64(e.At), Type: string(e.Type), Pod: e.Pod,
+			Node: e.Node, Detail: e.Detail,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// advanceRequest is the /advance body.
+type advanceRequest struct {
+	MS int64 `json:"ms"`
+}
+
+// advanceResponse reports the new simulated time.
+type advanceResponse struct {
+	NowMS     int64 `json:"now_ms"`
+	Pending   int   `json:"pending"`
+	Completed int   `json:"completed"`
+	Crashes   int   `json:"crashes"`
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req advanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	if req.MS <= 0 {
+		writeErr(w, http.StatusBadRequest, "ms must be positive")
+		return
+	}
+	const maxStep = int64(sim.Hour)
+	if req.MS > maxStep {
+		writeErr(w, http.StatusBadRequest, "ms exceeds the %d ms per-call cap", maxStep)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.orch.Run(s.orch.Eng.Now() + sim.Time(req.MS))
+	writeJSON(w, http.StatusOK, advanceResponse{
+		NowMS:     int64(s.orch.Eng.Now()),
+		Pending:   s.orch.PendingLen(),
+		Completed: len(s.orch.Completed),
+		Crashes:   s.orch.CrashEvents,
+	})
+}

@@ -1,0 +1,156 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/sim"
+)
+
+// Client is a typed Go client for the apiserver, mirroring client-go's role
+// against the Kubernetes apiserver.
+type Client struct {
+	// Base is the server URL, e.g. "http://localhost:8088".
+	Base string
+	// HTTP defaults to http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes the server's {"error": ...} body.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("api: HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	return fmt.Errorf("api: HTTP %d", resp.StatusCode)
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.http().Get(c.Base + path)
+	if err != nil {
+		return fmt.Errorf("api: GET %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) post(path string, in, out any, wantStatus int) error {
+	buf, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Post(c.Base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return fmt.Errorf("api: POST %s: %w", path, err)
+	}
+	if resp.StatusCode != wantStatus {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// SubmitManifest creates a pod from a manifest.
+func (c *Client) SubmitManifest(m k8s.Manifest) (PodStatus, error) {
+	var st PodStatus
+	err := c.post("/pods", m, &st, http.StatusCreated)
+	return st, err
+}
+
+// Pods lists all pods.
+func (c *Client) Pods() ([]PodStatus, error) {
+	var out []PodStatus
+	err := c.get("/pods", &out)
+	return out, err
+}
+
+// Pod fetches one pod by name.
+func (c *Client) Pod(name string) (PodStatus, error) {
+	var st PodStatus
+	err := c.get("/pods/"+name, &st)
+	return st, err
+}
+
+// Nodes lists per-device observations.
+func (c *Client) Nodes() ([]NodeStatus, error) {
+	var out []NodeStatus
+	err := c.get("/nodes", &out)
+	return out, err
+}
+
+// QoS fetches the SLO accounting.
+func (c *Client) QoS() (QoSStatus, error) {
+	var out QoSStatus
+	err := c.get("/qos", &out)
+	return out, err
+}
+
+// Events lists lifecycle events, optionally filtered to one pod.
+func (c *Client) Events(pod string) ([]EventStatus, error) {
+	path := "/events"
+	if pod != "" {
+		path += "?pod=" + pod
+	}
+	var out []EventStatus
+	err := c.get(path, &out)
+	return out, err
+}
+
+// Advance runs the simulation forward by d.
+func (c *Client) Advance(d sim.Time) (now sim.Time, pending, completed int, err error) {
+	var out advanceResponse
+	if err = c.post("/advance", advanceRequest{MS: int64(d)}, &out, http.StatusOK); err != nil {
+		return 0, 0, 0, err
+	}
+	return sim.Time(out.NowMS), out.Pending, out.Completed, nil
+}
+
+// WaitForPhase advances the clock in steps until the pod reaches the phase
+// or the budget is exhausted.
+func (c *Client) WaitForPhase(pod, phase string, step, budget sim.Time) (PodStatus, error) {
+	if step <= 0 {
+		step = sim.Second
+	}
+	var elapsed sim.Time
+	for {
+		st, err := c.Pod(pod)
+		if err != nil {
+			return PodStatus{}, err
+		}
+		if st.Phase == phase {
+			return st, nil
+		}
+		if elapsed >= budget {
+			return st, fmt.Errorf("api: pod %s still %s after %v", pod, st.Phase, elapsed)
+		}
+		if _, _, _, err := c.Advance(step); err != nil {
+			return PodStatus{}, err
+		}
+		elapsed += step
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+func TestHeterogeneousPoolSpecs(t *testing.T) {
+	pool := HeterogeneousPool()
+	if len(pool) != 4 {
+		t.Fatalf("pool size = %d, want 4 (P100/V100/M40/K80)", len(pool))
+	}
+	seen := map[string]GPUSpec{}
+	for _, s := range pool {
+		seen[s.Model] = s
+	}
+	if seen["V100"].Speed <= seen["P100"].Speed {
+		t.Fatal("V100 must be faster than P100")
+	}
+	if seen["K80"].Speed >= seen["P100"].Speed {
+		t.Fatal("K80 must be slower than P100")
+	}
+	if seen["M40"].MemCapMB <= seen["P100"].MemCapMB {
+		t.Fatal("M40 carries more memory than P100")
+	}
+	for _, s := range pool {
+		if s.Power.SleepW >= s.Power.IdleW || s.Power.IdleW >= s.Power.PeakW {
+			t.Fatalf("%s power ordering broken: %+v", s.Model, s.Power)
+		}
+	}
+}
+
+func TestNewHeterogeneousCyclesSpecs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 8
+	c := NewHeterogeneous(cfg, HeterogeneousPool())
+	gpus := c.GPUs()
+	if len(gpus) != 8 {
+		t.Fatalf("GPUs = %d", len(gpus))
+	}
+	want := []string{"P100", "V100", "M40", "K80", "P100", "V100", "M40", "K80"}
+	for i, g := range gpus {
+		if g.ModelName != want[i] {
+			t.Fatalf("node %d model = %q, want %q", i, g.ModelName, want[i])
+		}
+	}
+	if gpus[3].MemCapMB != 12288 {
+		t.Fatalf("K80 memory = %v", gpus[3].MemCapMB)
+	}
+	// Empty specs fall back to a homogeneous cluster.
+	if got := NewHeterogeneous(cfg, nil).GPUs()[0].ModelName; got != "" {
+		t.Fatalf("fallback model = %q", got)
+	}
+}
+
+func TestFasterDeviceFinishesSooner(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	c := NewHeterogeneous(cfg, []GPUSpec{P100Spec(), V100Spec()})
+	prof := workloads.RodiniaProfile(workloads.KMeans)
+	for i, g := range c.GPUs() {
+		cn := &Container{ID: g.ModelName, Class: prof.Class, Inst: prof.NewInstance(nil)}
+		if err := g.Place(0, cn, 3000); err != nil {
+			t.Fatalf("place %d: %v", i, err)
+		}
+	}
+	var firstDone *Container
+	for now := sim.Time(0); now < 2*prof.Duration() && firstDone == nil; now += 100 * sim.Millisecond {
+		res := c.Tick(now, 100*sim.Millisecond)
+		if len(res.Done) > 0 {
+			firstDone = res.Done[0]
+		}
+	}
+	if firstDone == nil || firstDone.ID != "V100" {
+		t.Fatalf("the V100 should finish first, got %+v", firstDone)
+	}
+}
+
+func TestSlowDeviceStretchesRuntime(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	c := NewHeterogeneous(cfg, []GPUSpec{K80Spec()})
+	g := c.GPUs()[0]
+	prof := workloads.RodiniaProfile(workloads.Pathfinder)
+	cn := &Container{ID: "a", Class: prof.Class, Inst: prof.NewInstance(nil)}
+	if err := g.Place(0, cn, 3000); err != nil {
+		t.Fatal(err)
+	}
+	var done bool
+	var now sim.Time
+	for ; now < 10*prof.Duration() && !done; now += 100 * sim.Millisecond {
+		done = len(c.Tick(now, 100*sim.Millisecond).Done) > 0
+	}
+	if !done {
+		t.Fatal("K80 run never finished")
+	}
+	// Compute phases run at 0.4×, transfers at wall speed: runtime must
+	// land between the nominal duration and a full 2.5× stretch.
+	if now < sim.Time(float64(prof.Duration())*1.5) {
+		t.Fatalf("K80 runtime %v too fast for a 0.4× device (nominal %v)", now, prof.Duration())
+	}
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// TestReservationInvariant drives a random sequence of place/resize/remove
+// operations and checks the device never over-commits reservations and
+// never loses track of containers.
+func TestReservationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.Nodes = 1
+		cl := New(cfg)
+		g := cl.GPUs()[0]
+		var live []*Container
+		names := workloads.RodiniaNames()
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(3) {
+			case 0: // place
+				p := workloads.RodiniaProfile(names[rng.Intn(len(names))])
+				c := &Container{ID: "c", Class: p.Class, Inst: p.NewInstance(rng)}
+				reserve := rng.Float64() * 9000
+				err := g.Place(0, c, reserve)
+				if err == nil {
+					live = append(live, c)
+				} else if reserve <= g.MemCapMB-sumReserved(live) {
+					return false // admission refused despite room
+				}
+			case 1: // resize
+				if len(live) == 0 {
+					continue
+				}
+				c := live[rng.Intn(len(live))]
+				_ = g.Resize(c, rng.Float64()*12000)
+			case 2: // remove
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				g.Remove(live[i])
+				live = append(live[:i], live[i+1:]...)
+			}
+			if g.ReservedMB() > g.MemCapMB+1e-6 {
+				return false // over-committed
+			}
+			if len(g.Containers()) != len(live) {
+				return false // container tracking diverged
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sumReserved(cs []*Container) float64 {
+	var s float64
+	for _, c := range cs {
+		s += c.ReservedMB
+	}
+	return s
+}
+
+// TestTickConservation runs a random co-location workload and checks the
+// per-tick observations stay within physical bounds.
+func TestTickConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.Nodes = 1
+		cl := New(cfg)
+		g := cl.GPUs()[0]
+		names := workloads.RodiniaNames()
+		for i := 0; i < 3; i++ {
+			p := workloads.RodiniaProfile(names[rng.Intn(len(names))])
+			c := &Container{ID: "c", Class: p.Class, Inst: p.NewInstance(rng)}
+			if err := g.Place(0, c, 4000); err != nil {
+				return false
+			}
+		}
+		for now := sim.Time(0); now < 10*sim.Second; now += 100 * sim.Millisecond {
+			cl.Tick(now, 100*sim.Millisecond)
+			o := g.Obs
+			if o.SMPct < 0 || o.SMPct > 100+1e-9 {
+				return false
+			}
+			if o.TxMBps > g.PCIeMBps+1e-6 || o.RxMBps > g.PCIeMBps+1e-6 {
+				return false
+			}
+			if o.MemUsedMB < 0 || o.PowerW <= 0 {
+				return false
+			}
+			if o.MemReservedMB > g.MemCapMB+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnergyMonotone: accumulated energy never decreases across ticks.
+func TestEnergyMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cl := New(cfg)
+	prev := 0.0
+	for now := sim.Time(0); now < 30*sim.Second; now += 100 * sim.Millisecond {
+		cl.Tick(now, 100*sim.Millisecond)
+		if e := cl.TotalEnergyJ(); e < prev {
+			t.Fatalf("energy decreased: %v < %v", e, prev)
+		} else {
+			prev = e
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package dlsim
+
+import (
+	"testing"
+
+	"kubeknots/internal/metrics"
+	"kubeknots/internal/sim"
+)
+
+func runSmall(t *testing.T, p Policy) *Result {
+	t.Helper()
+	return Run(p, Small())
+}
+
+func policies() []Policy {
+	return []Policy{&KubeKnotsPolicy{}, ResAgPolicy{}, &GandivaPolicy{}, &TiresiasPolicy{}}
+}
+
+func TestAllJobsEventuallyFinish(t *testing.T) {
+	for _, p := range policies() {
+		r := runSmall(t, p)
+		if r.Unplaced != 0 {
+			t.Errorf("%s: %d unfinished DLT jobs", r.Policy, r.Unplaced)
+		}
+		for _, j := range r.DLT {
+			if j.Finished >= 0 && j.Finished < j.Arrival {
+				t.Errorf("%s: job %d finished before arriving", r.Policy, j.ID)
+			}
+		}
+		for _, q := range r.DLI {
+			if q.Latency < q.Service {
+				t.Errorf("%s: query %d latency %v below its service time %v",
+					r.Policy, q.ID, q.Latency, q.Service)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(&KubeKnotsPolicy{}, Small())
+	b := Run(&KubeKnotsPolicy{}, Small())
+	for i := range a.DLT {
+		if a.DLT[i].Finished != b.DLT[i].Finished {
+			t.Fatal("same seed must produce identical schedules")
+		}
+	}
+	for i := range a.DLI {
+		if a.DLI[i].Latency != b.DLI[i].Latency {
+			t.Fatal("same seed must produce identical query latencies")
+		}
+	}
+}
+
+func TestKubeKnotsBeatsBaselinesOnMeanJCT(t *testing.T) {
+	// The headline Table IV property at full scale is asserted in the bench
+	// harness; at test scale we require the ordering against Res-Ag.
+	kk := metrics.Mean(runSmall(t, &KubeKnotsPolicy{}).DLTJCTHours())
+	ra := metrics.Mean(runSmall(t, ResAgPolicy{}).DLTJCTHours())
+	if kk >= ra {
+		t.Fatalf("CBP+PP mean DLT JCT %v should beat Res-Ag %v", kk, ra)
+	}
+}
+
+func TestCrashSemantics(t *testing.T) {
+	raRes := runSmall(t, ResAgPolicy{})
+	for _, p := range []Policy{&KubeKnotsPolicy{}, &GandivaPolicy{}, &TiresiasPolicy{}} {
+		if r := runSmall(t, p); r.Crashes != 0 {
+			t.Errorf("%s: crashes = %d, want 0 (peak-safe or memory-isolated)", r.Policy, r.Crashes)
+		}
+	}
+	var crashedJobs int
+	for _, j := range raRes.DLT {
+		crashedJobs += j.Crashes
+	}
+	if crashedJobs != raRes.Crashes {
+		t.Fatalf("per-job crash sum %d != cluster crashes %d", crashedJobs, raRes.Crashes)
+	}
+}
+
+func TestPreemptionsOnlyUnderTiresias(t *testing.T) {
+	for _, p := range policies() {
+		r := runSmall(t, p)
+		if r.Policy == "Tiresias" {
+			continue
+		}
+		if r.Preemptions != 0 {
+			t.Errorf("%s: preemptions = %d, want 0", r.Policy, r.Preemptions)
+		}
+	}
+}
+
+func TestViolationAccounting(t *testing.T) {
+	r := runSmall(t, &GandivaPolicy{})
+	manual := 0
+	for _, q := range r.DLI {
+		if q.Latency > 150*sim.Millisecond {
+			manual++
+		}
+	}
+	if manual != r.Violations() {
+		t.Fatalf("Violations() = %d, manual = %d", r.Violations(), manual)
+	}
+	wantPct := float64(manual) / float64(len(r.DLI)) * 100
+	if got := r.ViolationPct(); got != wantPct {
+		t.Fatalf("ViolationPct = %v, want %v", got, wantPct)
+	}
+	wantHr := float64(manual) / r.Span.Hours()
+	if got := r.ViolationsPerHour(); got != wantHr {
+		t.Fatalf("ViolationsPerHour = %v, want %v", got, wantHr)
+	}
+}
+
+func TestKubeKnotsFewestViolations(t *testing.T) {
+	kk := runSmall(t, &KubeKnotsPolicy{}).Violations()
+	gv := runSmall(t, &GandivaPolicy{}).Violations()
+	if kk > gv {
+		t.Fatalf("CBP+PP violations %d should not exceed Gandiva's %d", kk, gv)
+	}
+}
+
+func TestJCTHelpers(t *testing.T) {
+	r := runSmall(t, &KubeKnotsPolicy{})
+	all := r.AllJCTHours()
+	dlt := r.DLTJCTHours()
+	if len(all) != len(dlt)+len(r.DLI) {
+		t.Fatalf("AllJCTHours = %d entries, want %d", len(all), len(dlt)+len(r.DLI))
+	}
+	for _, h := range all {
+		if h < 0 {
+			t.Fatal("negative JCT")
+		}
+	}
+	if r.MeanJCTHours() <= 0 {
+		t.Fatal("mean JCT should be positive")
+	}
+}
+
+func TestPeakingPhase(t *testing.T) {
+	j := &DLTJob{IterPeriod: 10 * sim.Second, PeakFrac: 0.3, MemBaseMB: 100, MemPeakMB: 200}
+	if j.peaking(0) {
+		t.Fatal("unplaced job cannot peak")
+	}
+	j.gpus = []int{0}
+	j.lastStart = 0
+	if !j.peaking(sim.Second) {
+		t.Fatal("t=1s of a 10s iteration with 30% peak fraction should peak")
+	}
+	if j.peaking(5 * sim.Second) {
+		t.Fatal("t=5s should be off-peak")
+	}
+	if j.memAt(sim.Second) != 200 || j.memAt(5*sim.Second) != 100 {
+		t.Fatal("memAt should follow the phase")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	d := Default()
+	if cfg.Nodes != d.Nodes || cfg.NumDLT != d.NumDLT || cfg.Horizon != d.Horizon {
+		t.Fatalf("withDefaults = %+v", cfg)
+	}
+	if cfg.LoadScale != 1.0 {
+		t.Fatalf("default LoadScale = %v", cfg.LoadScale)
+	}
+}
+
+func TestLoadScaleChangesWorkload(t *testing.T) {
+	light := Small()
+	light.LoadScale = Small().LoadScale / 2
+	lr := Run(&KubeKnotsPolicy{}, light)
+	hr := Run(&KubeKnotsPolicy{}, Small())
+	lm := metrics.Mean(lr.DLTJCTHours())
+	hm := metrics.Mean(hr.DLTJCTHours())
+	if lm >= hm {
+		t.Fatalf("halved load should shorten JCTs: light=%v heavy=%v", lm, hm)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	want := map[string]bool{"CBP+PP": true, "Res-Ag": true, "Gandiva": true, "Tiresias": true}
+	for _, p := range policies() {
+		if !want[p.Name()] {
+			t.Fatalf("unexpected policy name %q", p.Name())
+		}
+	}
+}
+
+func TestSharesMemoryFlags(t *testing.T) {
+	if !(&KubeKnotsPolicy{}).SharesMemory() || !(ResAgPolicy{}).SharesMemory() {
+		t.Fatal("space-sharing policies must report SharesMemory")
+	}
+	if (&GandivaPolicy{}).SharesMemory() || (&TiresiasPolicy{}).SharesMemory() {
+		t.Fatal("time-slicing/exclusive policies must not report SharesMemory")
+	}
+}
+
+func TestGangSizesRespected(t *testing.T) {
+	// During a run, no device should ever hold more jobs than physically
+	// sensible and a gang's device list must match NGPUs at dispatch. We
+	// verify post-hoc: every finished job ran (Started ≥ 0).
+	r := runSmall(t, &TiresiasPolicy{})
+	for _, j := range r.DLT {
+		if j.Finished >= 0 && j.Started < 0 {
+			t.Fatal("finished job without a start timestamp")
+		}
+		if j.NGPUs < 1 || j.NGPUs > 8 {
+			t.Fatalf("gang size %d out of range", j.NGPUs)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package energy models the energy behaviour the paper's Section II-A
+// establishes (Fig. 1): GPUs are energy-efficient in direct proportion to
+// their utilization, while CPUs peak at 60–80 % core utilization; and it
+// provides the power model used for cluster-wide energy accounting
+// (Section VI-C), including the deep-sleep p-state idle GPUs are parked in.
+package energy
+
+import "kubeknots/internal/sim"
+
+// GPUEfficiency returns the normalized energy efficiency (performance per
+// watt, EE at 100 % = 1.0) of a GPU at the given utilization percentage.
+// The paper's Observation 1: GPU efficiency is linear in utilization, so a
+// cluster scheduler should consolidate work onto fully loaded GPUs.
+func GPUEfficiency(utilPct float64) float64 {
+	return clampPct(utilPct) / 100
+}
+
+// CPUEfficiencySandyBridge returns the normalized energy efficiency of a
+// newer-generation (Intel Sandy Bridge) CPU. The curve peaks around 70 %
+// utilization at ≈1.22× the efficiency at full load — pushing such CPUs past
+// 80 % yields marginal or negative returns (hyper-threading effects).
+func CPUEfficiencySandyBridge(utilPct float64) float64 {
+	x := clampPct(utilPct) / 100
+	return 3.5*x - 2.5*x*x
+}
+
+// CPUEfficiencyWestmere returns the normalized energy efficiency of an
+// older-generation (Intel Westmere) CPU: less energy proportional, with low
+// efficiency under partial load.
+func CPUEfficiencyWestmere(utilPct float64) float64 {
+	x := clampPct(utilPct) / 100
+	return 1.6*x - 0.6*x*x
+}
+
+// PeakCPUUtilization returns the utilization (percent) at which the Sandy
+// Bridge efficiency curve peaks — the 60–80 % zone of Fig. 1.
+func PeakCPUUtilization() float64 { return 70 }
+
+func clampPct(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 100 {
+		return 100
+	}
+	return p
+}
+
+// PState is a coarse GPU performance/power state. The paper parks idle GPUs
+// in p-state 12 ("minimum idle power consumption").
+type PState int
+
+// GPU p-states used by the simulator.
+const (
+	PStateActive    PState = 0  // running work
+	PStateIdle      PState = 8  // powered, no work
+	PStateDeepSleep PState = 12 // parked by the scheduler
+)
+
+// GPUPower is a linear performance-per-watt GPU power model:
+// P(util) = IdleW + (PeakW − IdleW)·util/100 while active, SleepW when the
+// device is in deep sleep.
+type GPUPower struct {
+	IdleW  float64 // power at 0 % utilization, awake
+	PeakW  float64 // power at 100 % utilization
+	SleepW float64 // power in deep-sleep p-state 12
+}
+
+// P100 returns the power envelope of the NVIDIA P100 used in the testbed
+// (250 W TDP). The large awake-idle draw is what makes GPU energy
+// efficiency linear in utilization (Fig. 1): perf/W only reaches its peak
+// at full load, so consolidation plus deep-sleep parking is where a
+// scheduler saves energy.
+func P100() GPUPower { return GPUPower{IdleW: 120, PeakW: 250, SleepW: 9} }
+
+// Power returns instantaneous draw in watts at the given utilization and
+// p-state.
+func (g GPUPower) Power(utilPct float64, state PState) float64 {
+	if state >= PStateDeepSleep {
+		return g.SleepW
+	}
+	return g.IdleW + (g.PeakW-g.IdleW)*clampPct(utilPct)/100
+}
+
+// Meter integrates power over simulated time into energy.
+type Meter struct {
+	joules float64
+	lastAt sim.Time
+	primed bool
+}
+
+// Observe records that watts was the draw from the previous observation
+// until now; the first call only sets the starting point.
+func (m *Meter) Observe(now sim.Time, watts float64) {
+	if m.primed {
+		dt := now - m.lastAt
+		if dt > 0 {
+			m.joules += watts * dt.Seconds()
+		}
+	}
+	m.lastAt = now
+	m.primed = true
+}
+
+// Add accumulates watts drawn over the duration dt directly.
+func (m *Meter) Add(dt sim.Time, watts float64) {
+	if dt > 0 {
+		m.joules += watts * dt.Seconds()
+	}
+}
+
+// Joules returns total accumulated energy.
+func (m *Meter) Joules() float64 { return m.joules }
+
+// KWh returns total accumulated energy in kilowatt-hours.
+func (m *Meter) KWh() float64 { return m.joules / 3.6e6 }

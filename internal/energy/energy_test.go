@@ -1,0 +1,129 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kubeknots/internal/sim"
+)
+
+func TestGPUEfficiencyLinear(t *testing.T) {
+	if GPUEfficiency(100) != 1 || GPUEfficiency(0) != 0 {
+		t.Fatal("GPU efficiency endpoints wrong")
+	}
+	if GPUEfficiency(50) != 0.5 {
+		t.Fatalf("GPUEfficiency(50) = %v, want 0.5", GPUEfficiency(50))
+	}
+	// Clamping
+	if GPUEfficiency(-10) != 0 || GPUEfficiency(150) != 1 {
+		t.Fatal("GPU efficiency should clamp out-of-range utilization")
+	}
+}
+
+func TestCPUCurvesNormalizedAtFullLoad(t *testing.T) {
+	if math.Abs(CPUEfficiencySandyBridge(100)-1) > 1e-12 {
+		t.Fatalf("SandyBridge EE(100) = %v, want 1", CPUEfficiencySandyBridge(100))
+	}
+	if math.Abs(CPUEfficiencyWestmere(100)-1) > 1e-12 {
+		t.Fatalf("Westmere EE(100) = %v, want 1", CPUEfficiencyWestmere(100))
+	}
+}
+
+func TestSandyBridgePeaksInMidZone(t *testing.T) {
+	peakU, peakV := 0.0, 0.0
+	for u := 0.0; u <= 100; u++ {
+		if v := CPUEfficiencySandyBridge(u); v > peakV {
+			peakU, peakV = u, v
+		}
+	}
+	if peakU < 60 || peakU > 80 {
+		t.Fatalf("SandyBridge peak at %v%%, want 60–80%%", peakU)
+	}
+	if peakV <= 1.1 {
+		t.Fatalf("SandyBridge peak EE = %v, want > 1.1 (above full-load EE)", peakV)
+	}
+	if got := PeakCPUUtilization(); got < 60 || got > 80 {
+		t.Fatalf("PeakCPUUtilization = %v", got)
+	}
+}
+
+func TestNewerCPUMoreProportionalThanOlder(t *testing.T) {
+	// Fig. 1: the newer generation is more energy proportional — higher EE
+	// at every partial-load point.
+	for u := 10.0; u < 100; u += 10 {
+		if CPUEfficiencySandyBridge(u) <= CPUEfficiencyWestmere(u) {
+			t.Fatalf("at %v%%: SandyBridge %v should exceed Westmere %v",
+				u, CPUEfficiencySandyBridge(u), CPUEfficiencyWestmere(u))
+		}
+	}
+}
+
+func TestGPULeastEfficientAtLowLoad(t *testing.T) {
+	// Below ~50 % the GPU is the least efficient device — the paper's reason
+	// to consolidate aggressively.
+	for u := 10.0; u <= 50; u += 10 {
+		if GPUEfficiency(u) >= CPUEfficiencySandyBridge(u) {
+			t.Fatalf("at %v%%: GPU EE %v should be below SandyBridge %v",
+				u, GPUEfficiency(u), CPUEfficiencySandyBridge(u))
+		}
+	}
+}
+
+func TestGPUPowerModel(t *testing.T) {
+	g := P100()
+	if g.Power(0, PStateIdle) != g.IdleW {
+		t.Fatal("idle power wrong")
+	}
+	if g.Power(100, PStateActive) != g.PeakW {
+		t.Fatal("peak power wrong")
+	}
+	if g.Power(50, PStateActive) != g.IdleW+(g.PeakW-g.IdleW)/2 {
+		t.Fatal("linear interpolation wrong")
+	}
+	if g.Power(100, PStateDeepSleep) != g.SleepW {
+		t.Fatal("deep sleep should override utilization")
+	}
+	if g.SleepW >= g.IdleW || g.IdleW >= g.PeakW {
+		t.Fatal("power ordering must be sleep < idle < peak")
+	}
+}
+
+func TestGPUPowerMonotone(t *testing.T) {
+	g := P100()
+	f := func(a, b float64) bool {
+		ua, ub := math.Abs(math.Mod(a, 100)), math.Abs(math.Mod(b, 100))
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return g.Power(ua, PStateActive) <= g.Power(ub, PStateActive)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterObserve(t *testing.T) {
+	var m Meter
+	m.Observe(0, 100)            // primes only
+	m.Observe(2*sim.Second, 100) // 100 W for 2 s = 200 J
+	if math.Abs(m.Joules()-200) > 1e-9 {
+		t.Fatalf("Joules = %v, want 200", m.Joules())
+	}
+	m.Observe(2*sim.Second, 500) // zero elapsed: no energy
+	if math.Abs(m.Joules()-200) > 1e-9 {
+		t.Fatalf("zero-dt observation changed energy: %v", m.Joules())
+	}
+}
+
+func TestMeterAddAndKWh(t *testing.T) {
+	var m Meter
+	m.Add(sim.Hour, 1000) // 1 kW for 1 h = 1 kWh
+	if math.Abs(m.KWh()-1) > 1e-9 {
+		t.Fatalf("KWh = %v, want 1", m.KWh())
+	}
+	m.Add(-sim.Second, 1000) // negative dt ignored
+	if math.Abs(m.KWh()-1) > 1e-9 {
+		t.Fatal("negative duration should be ignored")
+	}
+}

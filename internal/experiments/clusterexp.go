@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/scheduler"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/trace"
+	"kubeknots/internal/workloads"
+)
+
+// ClusterConfig parameterizes a ten-node cluster run.
+type ClusterConfig struct {
+	Nodes      int      // default 10 (the paper's testbed)
+	Horizon    sim.Time // default 5 min of simulated load
+	Seed       int64    // default 1
+	LCMeanIA   sim.Time // base latency-critical inter-arrival (default 400 ms)
+	BatchIA    sim.Time // base batch inter-arrival (default 12 s)
+	Heartbeat  sim.Time // monitor sampling period (default 10 ms)
+	SchedEvery sim.Time // scheduling period (default 10 ms)
+	// MemCapMB overrides per-GPU memory (0 = the P100's 16 GB); the resize
+	// ablation uses small devices so reservations actually bind.
+	MemCapMB float64
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 10
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 5 * sim.Minute
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.LCMeanIA <= 0 {
+		c.LCMeanIA = 400 * sim.Millisecond
+	}
+	if c.BatchIA <= 0 {
+		c.BatchIA = 12 * sim.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 10 * sim.Millisecond
+	}
+	if c.SchedEvery <= 0 {
+		c.SchedEvery = 10 * sim.Millisecond
+	}
+	return c
+}
+
+// SchedulerByName builds one of the four policies.
+func SchedulerByName(name string) (k8s.Scheduler, error) {
+	switch name {
+	case "uniform", "Uniform":
+		return scheduler.Uniform{}, nil
+	case "resag", "Res-Ag":
+		return &scheduler.ResAg{}, nil
+	case "cbp", "CBP":
+		return &scheduler.CBP{}, nil
+	case "pp", "PP", "cbp+pp", "CBP+PP":
+		return &scheduler.PP{}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
+}
+
+// SchedulerNames lists the four cluster policies in the paper's order.
+func SchedulerNames() []string { return []string{"Res-Ag", "CBP", "PP", "Uniform"} }
+
+// ClusterRun is the outcome of one RunCluster invocation.
+type ClusterRun struct {
+	*k8s.Orchestrator
+	// EnergyHorizonJ is cluster energy accumulated within the load window —
+	// the paper measures power over the fixed observation window, so a
+	// scheduler that defers work (long queues) shows less in-window energy.
+	EnergyHorizonJ float64
+}
+
+// RunCluster replays an app-mix against a simulated ten-node GPU cluster
+// under the given scheduler and returns the orchestrator for inspection.
+// The load generator follows the Alibaba trace's diurnal inter-arrivals and
+// the Pareto split: the bulk of arrivals are short latency-critical
+// queries, the rest long batch jobs (Section III).
+func RunCluster(sched k8s.Scheduler, mix workloads.AppMix, cfg ClusterConfig) *ClusterRun {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEngine(cfg.Seed)
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = cfg.Nodes
+	if cfg.MemCapMB > 0 {
+		ccfg.MemCapMB = cfg.MemCapMB
+	}
+	// Only the Kube-Knots stack (CBP/PP) manages GPU p-states; the
+	// GPU-agnostic baselines leave idle devices at idle power.
+	if sched.Name() == "Uniform" || sched.Name() == "Res-Ag" {
+		ccfg.NoDeepSleep = true
+	}
+	cl := cluster.New(ccfg)
+	o := k8s.NewOrchestrator(eng, cl, sched, k8s.Config{
+		Tick:       10 * sim.Millisecond,
+		Heartbeat:  cfg.Heartbeat,
+		SchedEvery: cfg.SchedEvery,
+	})
+
+	scale := mix.ArrivalRateScale()
+	rng := eng.RNG()
+
+	// Latency-critical queries. TensorFlow runs with incremental memory
+	// growth (Section V-B), so requests reflect real footprints with a
+	// safety margin rather than the Fig. 4 earmark.
+	for _, at := range trace.ArrivalProcess(rng, cfg.Horizon, cfg.LCMeanIA, scale) {
+		model := mix.LC[rng.Intn(len(mix.LC))]
+		batch := 1 << rng.Intn(2) // 1 or 2 queries per request: serving favors latency over batching
+		prof := workloads.Inference(model).QueryProfile(batch, false)
+		o.SubmitAt(at, o.NewPod(prof, rng))
+	}
+	// Batch jobs.
+	for _, at := range trace.ArrivalProcess(rng, cfg.Horizon, cfg.BatchIA, scale) {
+		name := mix.Batch[rng.Intn(len(mix.Batch))]
+		o.SubmitAt(at, o.NewPod(workloads.RodiniaProfile(name), rng))
+	}
+
+	// Run to the horizon, snapshot in-window energy, then drain in-flight
+	// work (bounded); utilization is reported only over the load window.
+	o.Run(cfg.Horizon)
+	run := &ClusterRun{Orchestrator: o, EnergyHorizonJ: cl.TotalEnergyJ()}
+	o.Run(cfg.Horizon + 2*sim.Minute)
+	keep := int(cfg.Horizon / o.Cfg.UtilSampleEvery)
+	for i := range o.NodeUtil {
+		if len(o.NodeUtil[i]) > keep {
+			o.NodeUtil[i] = o.NodeUtil[i][:keep]
+		}
+		if len(o.AwakeUtil[i]) > keep {
+			o.AwakeUtil[i] = o.AwakeUtil[i][:keep]
+		}
+	}
+	return run
+}
+
+// perNodeTable renders a Fig. 6/8-style per-node percentile panel.
+func perNodeTable(id, title string, o *ClusterRun) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"node", "p50", "p90", "p99", "max"},
+	}
+	for i, ps := range o.NodeUtilPercentiles() {
+		t.AddRow(fmt.Sprintf("%d", i+1), f1(ps[0]), f1(ps[1]), f1(ps[2]), f1(ps[3]))
+	}
+	return t
+}
+
+// Fig6 regenerates Fig. 6: per-node GPU utilization percentiles for one
+// app-mix under the GPU-agnostic (Res-Ag) scheduler.
+func Fig6(mixID int, cfg ClusterConfig) (*Table, error) {
+	mix, err := workloads.MixByID(mixID)
+	if err != nil {
+		return nil, err
+	}
+	o := RunCluster(&scheduler.ResAg{}, mix, cfg)
+	return perNodeTable(fmt.Sprintf("fig6-%d", mixID),
+		fmt.Sprintf("Per-node GPU utilization under Res-Ag, %s", mix.Name()), o), nil
+}
+
+// Fig8 regenerates Fig. 8: the same panel under the Peak Prediction
+// scheduler.
+func Fig8(mixID int, cfg ClusterConfig) (*Table, error) {
+	mix, err := workloads.MixByID(mixID)
+	if err != nil {
+		return nil, err
+	}
+	o := RunCluster(&scheduler.PP{}, mix, cfg)
+	return perNodeTable(fmt.Sprintf("fig8-%d", mixID),
+		fmt.Sprintf("Per-node GPU utilization under PP, %s", mix.Name()), o), nil
+}
+
+// Fig7 regenerates Fig. 7: sorted per-node COV of utilization for each
+// app-mix under Res-Ag.
+func Fig7(cfg ClusterConfig) *Table {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Coefficient of variation across GPU nodes (Res-Ag), sorted",
+		Header: []string{"node(sorted)", "App-Mix-1", "App-Mix-2", "App-Mix-3"},
+	}
+	var cols [][]float64
+	for _, mix := range workloads.AppMixes() {
+		o := RunCluster(&scheduler.ResAg{}, mix, cfg)
+		cols = append(cols, o.NodeCOVs())
+	}
+	for i := 0; i < len(cols[0]); i++ {
+		t.AddRow(fmt.Sprintf("%d", i+1), f2(cols[0][i]), f2(cols[1][i]), f2(cols[2][i]))
+	}
+	t.Notes = append(t.Notes,
+		"COV<=1 marks steady mixes (1,2); the sporadic low-load mix-3 exceeds 1 on its busiest nodes")
+	return t
+}
+
+// Fig9 regenerates Fig. 9: cluster-wide utilization percentiles for PP,
+// CBP and Res-Ag on each app-mix.
+func Fig9(cfg ClusterConfig) *Table {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Cluster-wide GPU utilization percentiles by scheduler",
+		Header: []string{"mix", "scheduler", "p50", "p90", "p99", "max"},
+	}
+	for _, mix := range workloads.AppMixes() {
+		for _, s := range []k8s.Scheduler{&scheduler.PP{}, &scheduler.CBP{}, &scheduler.ResAg{}} {
+			o := RunCluster(s, mix, cfg)
+			ps := o.ClusterUtilPercentiles()
+			t.AddRow(mix.Name(), s.Name(), f1(ps[0]), f1(ps[1]), f1(ps[2]), f1(ps[3]))
+		}
+	}
+	return t
+}
+
+// Fig10a regenerates Fig. 10a: average QoS violations per 1000 inference
+// queries for the four schedulers on each app-mix.
+func Fig10a(cfg ClusterConfig) *Table {
+	t := &Table{
+		ID:     "fig10a",
+		Title:  "QoS violations per kilo inference queries (150 ms SLO)",
+		Header: []string{"mix", "Res-Ag", "CBP", "PP", "Uniform"},
+	}
+	for _, mix := range workloads.AppMixes() {
+		row := []string{mix.Name()}
+		for _, name := range SchedulerNames() {
+			s, err := SchedulerByName(name)
+			if err != nil {
+				panic(err)
+			}
+			o := RunCluster(s, mix, cfg)
+			row = append(row, f1(o.QoS.PerKilo()))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"CBP and PP provision for p80 with forecasting and stay near zero; Res-Ag suffers interference and HOL blocking")
+	return t
+}
+
+// Fig11a regenerates Fig. 11a: cluster power normalized to the Uniform
+// scheduler for each app-mix.
+func Fig11a(cfg ClusterConfig) *Table {
+	t := &Table{
+		ID:     "fig11a",
+		Title:  "Normalized cluster energy (Uniform = 1.0)",
+		Header: []string{"mix", "Res-Ag", "CBP", "PP", "Uniform"},
+	}
+	for _, mix := range workloads.AppMixes() {
+		var uniform float64
+		vals := make(map[string]float64)
+		for _, name := range SchedulerNames() {
+			s, err := SchedulerByName(name)
+			if err != nil {
+				panic(err)
+			}
+			r := RunCluster(s, mix, cfg)
+			vals[name] = r.EnergyHorizonJ
+			if name == "Uniform" {
+				uniform = vals[name]
+			}
+		}
+		t.AddRow(mix.Name(),
+			f2(vals["Res-Ag"]/uniform), f2(vals["CBP"]/uniform),
+			f2(vals["PP"]/uniform), f2(vals["Uniform"]/uniform))
+	}
+	t.Notes = append(t.Notes,
+		"consolidation lets idle GPUs drop to deep sleep: Res-Ag draws least, PP slightly more, CBP above PP, Uniform most")
+	return t
+}
+
+// Fig11b regenerates Fig. 11b: the pairwise COV of node loads under CBP+PP
+// on App-Mix-1 — near-zero values mean the load is balanced.
+func Fig11b(cfg ClusterConfig) (*Table, error) {
+	mix, err := workloads.MixByID(1)
+	if err != nil {
+		return nil, err
+	}
+	o := RunCluster(&scheduler.PP{}, mix, cfg)
+	pw := o.PairwiseLoadCOV()
+	header := []string{"node"}
+	for j := range pw {
+		header = append(header, fmt.Sprintf("%d", j+1))
+	}
+	t := &Table{
+		ID:     "fig11b",
+		Title:  "Pairwise COV of node SM load under CBP+PP (App-Mix-1)",
+		Header: header,
+	}
+	for i := range pw {
+		row := []string{fmt.Sprintf("%d", i+1)}
+		for j := range pw[i] {
+			if j <= i {
+				row = append(row, "-")
+			} else {
+				row = append(row, f2(pw[i][j]))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kubeknots/internal/dlsim"
+	"kubeknots/internal/metrics"
+)
+
+// dlPolicies returns fresh policy instances in the paper's plotting order.
+func dlPolicies() []dlsim.Policy {
+	return []dlsim.Policy{
+		&dlsim.TiresiasPolicy{},
+		dlsim.ResAgPolicy{},
+		&dlsim.GandivaPolicy{},
+		&dlsim.KubeKnotsPolicy{},
+	}
+}
+
+// mixLoadScale maps the Table I load bins onto the DL simulator.
+func mixLoadScale(mixID int) float64 {
+	switch mixID {
+	case 1:
+		return 1.0
+	case 2:
+		return 0.75
+	default:
+		return 0.5
+	}
+}
+
+// Fig12a regenerates Fig. 12a: the CDF of job completion times (all 520
+// DLT + 1400 DLI jobs) for the four DL schedulers on App-Mix-1's load.
+func Fig12a(cfg dlsim.Config) *Table {
+	t := &Table{
+		ID:     "fig12a",
+		Title:  "JCT CDF (hours) for DL workload, App-Mix-1 load",
+		Header: []string{"fraction", "Tiresias", "Res-Ag", "Gandiva", "CBP+PP"},
+	}
+	var cols [][]float64
+	for _, p := range dlPolicies() {
+		r := dlsim.Run(p, cfg)
+		cols = append(cols, r.AllJCTHours())
+	}
+	for f := 10.0; f <= 100; f += 10 {
+		row := []string{fmt.Sprintf("%.0f%%", f)}
+		for _, jcts := range cols {
+			row = append(row, f3(metrics.Percentile(jcts, f)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"the fast majority of jobs are inference tasks CBP+PP schedules without queuing, preemption, or migration")
+	return t
+}
+
+// Table4 regenerates Table IV: average, median and 99th-percentile training
+// JCT of each scheduler normalized by CBP+PP.
+func Table4(cfg dlsim.Config) *Table {
+	t := &Table{
+		ID:     "table4",
+		Title:  "DLT JCT normalized by CBP+PP (lower is better)",
+		Header: []string{"scheduler", "average", "median", "99%", "crashes"},
+	}
+	type stat struct {
+		name          string
+		avg, med, p99 float64
+		crashes       int
+	}
+	var stats []stat
+	var base stat
+	for _, p := range dlPolicies() {
+		r := dlsim.Run(p, cfg)
+		jcts := r.DLTJCTHours()
+		s := stat{
+			name:    r.Policy,
+			avg:     metrics.Mean(jcts),
+			med:     metrics.Percentile(jcts, 50),
+			p99:     metrics.Percentile(jcts, 99),
+			crashes: r.Crashes,
+		}
+		stats = append(stats, s)
+		if r.Policy == "CBP+PP" {
+			base = s
+		}
+	}
+	order := []string{"Res-Ag", "Gandiva", "Tiresias", "CBP+PP"}
+	for _, name := range order {
+		for _, s := range stats {
+			if s.name != name {
+				continue
+			}
+			t.AddRow(s.name,
+				fmt.Sprintf("%.2fx", s.avg/base.avg),
+				fmt.Sprintf("%.2fx", s.med/base.med),
+				fmt.Sprintf("%.2fx", s.p99/base.p99),
+				fmt.Sprintf("%d", s.crashes))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper reports Res-Ag 1.63/1.67/1.47, Gandiva 1.36/1.30/1.11, Tiresias 1.07/1.11/0.91")
+	return t
+}
+
+// Fig12b regenerates Fig. 12b: average inference SLO violations per hour
+// for the four DL schedulers across the three app-mix load levels.
+func Fig12b(cfg dlsim.Config) *Table {
+	t := &Table{
+		ID:     "fig12b",
+		Title:  "DL inference QoS violations per hour (150 ms SLO)",
+		Header: []string{"mix", "Res-Ag", "Gandiva", "Tiresias", "CBP+PP"},
+	}
+	for mixID := 1; mixID <= 3; mixID++ {
+		c := cfg
+		c.LoadScale = mixLoadScale(mixID)
+		vals := make(map[string]float64)
+		for _, p := range dlPolicies() {
+			r := dlsim.Run(p, c)
+			vals[r.Policy] = r.ViolationsPerHour()
+		}
+		t.AddRow(fmt.Sprintf("App-Mix-%d", mixID),
+			f1(vals["Res-Ag"]), f1(vals["Gandiva"]),
+			f1(vals["Tiresias"]), f1(vals["CBP+PP"]))
+	}
+	t.Notes = append(t.Notes,
+		"Gandiva's migrations and HOL blocking and Tiresias' preemptions cost inference QoS; CBP+PP co-locates on FCFS without either")
+	return t
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+)
+
+// tableJSON is the stable JSON wire form of a Table.
+type tableJSON struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{
+		ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var w tableJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	t.ID, t.Title, t.Header, t.Rows, t.Notes = w.ID, w.Title, w.Header, w.Rows, w.Notes
+	return nil
+}
+
+// FprintJSON writes the table as one JSON object.
+func (t *Table) FprintJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// FprintCSV writes the table as CSV (header row first), ready for plotting
+// pipelines.
+func (t *Table) FprintCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

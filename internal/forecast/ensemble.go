@@ -1,0 +1,394 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"kubeknots/internal/metrics"
+)
+
+// This file completes the model zoo of Section IV-D: besides ARIMA, OLS,
+// Theil-Sen, SGD and the MLP, the paper's quantitative analysis also covered
+// a random forest and automatic relevance determination (ARD) regression.
+// Both are implemented over lag features of the sample window, and both
+// reach accuracies comparable to AR(1) at far higher runtime cost — the
+// paper's reason for shipping ARIMA inside PP.
+
+// RandomForest is a bagged ensemble of regression trees over lag features.
+type RandomForest struct {
+	// Trees is the ensemble size (default 20).
+	Trees int
+	// Lags is how many trailing samples form the feature vector (default 4).
+	Lags int
+	// MaxDepth bounds each tree (default 4).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+	// Seed fixes bootstrap sampling and split selection (default 1).
+	Seed int64
+
+	trees []*rfNode
+	last  []float64
+}
+
+// rfNode is one regression-tree node.
+type rfNode struct {
+	feature     int     // split feature index, -1 for leaf
+	threshold   float64 // split point
+	value       float64 // leaf prediction
+	left, right *rfNode
+}
+
+// Name implements Model.
+func (m *RandomForest) Name() string { return "Random-Forest" }
+
+func (m *RandomForest) defaults() (trees, lags, depth, minLeaf int, seed int64) {
+	trees, lags, depth, minLeaf, seed = m.Trees, m.Lags, m.MaxDepth, m.MinLeaf, m.Seed
+	if trees <= 0 {
+		trees = 20
+	}
+	if lags <= 0 {
+		lags = 4
+	}
+	if depth <= 0 {
+		depth = 4
+	}
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return
+}
+
+// Fit implements Model.
+func (m *RandomForest) Fit(y []float64) error {
+	trees, lags, depth, minLeaf, seed := m.defaults()
+	if len(y) < lags+2 {
+		return ErrWindowTooSmall
+	}
+	// Build the lag-feature design matrix.
+	n := len(y) - lags
+	X := make([][]float64, n)
+	t := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = y[i : i+lags]
+		t[i] = y[i+lags]
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m.trees = make([]*rfNode, trees)
+	idx := make([]int, n)
+	for k := 0; k < trees; k++ {
+		for i := range idx {
+			idx[i] = rng.Intn(n) // bootstrap sample
+		}
+		m.trees[k] = buildTree(X, t, idx, lags, depth, minLeaf, rng)
+	}
+	m.last = append([]float64(nil), y[len(y)-lags:]...)
+	return nil
+}
+
+// buildTree grows one regression tree on the bootstrap rows idx.
+func buildTree(X [][]float64, t []float64, idx []int, nFeatures, depth, minLeaf int, rng *rand.Rand) *rfNode {
+	mean := 0.0
+	for _, i := range idx {
+		mean += t[i]
+	}
+	mean /= float64(len(idx))
+	if depth == 0 || len(idx) < 2*minLeaf {
+		return &rfNode{feature: -1, value: mean}
+	}
+	// Random feature subset (sqrt heuristic, at least 1).
+	nTry := int(math.Sqrt(float64(nFeatures)))
+	if nTry < 1 {
+		nTry = 1
+	}
+	bestSSE := math.Inf(1)
+	bestFeature, bestThreshold := -1, 0.0
+	vals := make([]float64, len(idx))
+	for try := 0; try < nTry; try++ {
+		f := rng.Intn(nFeatures)
+		for j, i := range idx {
+			vals[j] = X[i][f]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		// Candidate thresholds at quartiles keep the search cheap.
+		for _, q := range []float64{25, 50, 75} {
+			th := metrics.Percentile(sorted, q)
+			sse, ok := splitSSE(X, t, idx, f, th, minLeaf)
+			if ok && sse < bestSSE {
+				bestSSE, bestFeature, bestThreshold = sse, f, th
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &rfNode{feature: -1, value: mean}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeature] <= bestThreshold {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &rfNode{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		left:      buildTree(X, t, li, nFeatures, depth-1, minLeaf, rng),
+		right:     buildTree(X, t, ri, nFeatures, depth-1, minLeaf, rng),
+	}
+}
+
+// splitSSE evaluates the sum of squared errors of a candidate split.
+func splitSSE(X [][]float64, t []float64, idx []int, f int, th float64, minLeaf int) (float64, bool) {
+	var ls, rs float64
+	var ln, rn int
+	for _, i := range idx {
+		if X[i][f] <= th {
+			ls += t[i]
+			ln++
+		} else {
+			rs += t[i]
+			rn++
+		}
+	}
+	if ln < minLeaf || rn < minLeaf {
+		return 0, false
+	}
+	lm, rm := ls/float64(ln), rs/float64(rn)
+	var sse float64
+	for _, i := range idx {
+		if X[i][f] <= th {
+			d := t[i] - lm
+			sse += d * d
+		} else {
+			d := t[i] - rm
+			sse += d * d
+		}
+	}
+	return sse, true
+}
+
+func (n *rfNode) predict(x []float64) float64 {
+	for n.feature >= 0 {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Predict implements Model.
+func (m *RandomForest) Predict() float64 {
+	if len(m.trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, tr := range m.trees {
+		sum += tr.predict(m.last)
+	}
+	return sum / float64(len(m.trees))
+}
+
+// ARD is automatic relevance determination regression (a Bayesian linear
+// model with per-feature precision priors) over lag features, fitted by
+// evidence approximation. Irrelevant lags are pruned automatically as their
+// precisions diverge.
+type ARD struct {
+	// Lags is the feature count (default 4).
+	Lags int
+	// Iters bounds the evidence-maximization loop (default 30).
+	Iters int
+	// PruneAt removes features whose precision exceeds it (default 1e6).
+	PruneAt float64
+
+	weights []float64 // per-lag weights (pruned lags → 0)
+	bias    float64
+	last    []float64
+}
+
+// Name implements Model.
+func (m *ARD) Name() string { return "ARD" }
+
+func (m *ARD) defaults() (lags, iters int, prune float64) {
+	lags, iters, prune = m.Lags, m.Iters, m.PruneAt
+	if lags <= 0 {
+		lags = 4
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	if prune <= 0 {
+		prune = 1e6
+	}
+	return
+}
+
+// Fit implements Model.
+func (m *ARD) Fit(y []float64) error {
+	lags, iters, prune := m.defaults()
+	if len(y) < lags+2 {
+		return ErrWindowTooSmall
+	}
+	n := len(y) - lags
+	// Center the targets so the bias is handled outside the prior.
+	var tMean float64
+	for i := 0; i < n; i++ {
+		tMean += y[i+lags]
+	}
+	tMean /= float64(n)
+
+	X := make([][]float64, n)
+	t := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = y[i : i+lags]
+		t[i] = y[i+lags] - tMean
+	}
+
+	alpha := make([]float64, lags) // per-feature precisions
+	for j := range alpha {
+		alpha[j] = 1
+	}
+	beta := 1.0 // noise precision
+	w := make([]float64, lags)
+
+	for it := 0; it < iters; it++ {
+		// Posterior: Σ⁻¹ = diag(α) + β XᵀX ; µ = β Σ Xᵀ t.
+		// With few lags we invert the small matrix directly.
+		A := make([][]float64, lags)
+		for j := range A {
+			A[j] = make([]float64, lags)
+			A[j][j] = alpha[j]
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < lags; j++ {
+				for k := 0; k < lags; k++ {
+					A[j][k] += beta * X[i][j] * X[i][k]
+				}
+			}
+		}
+		S, ok := invert(A)
+		if !ok {
+			break
+		}
+		b := make([]float64, lags)
+		for i := 0; i < n; i++ {
+			for j := 0; j < lags; j++ {
+				b[j] += X[i][j] * t[i]
+			}
+		}
+		for j := 0; j < lags; j++ {
+			w[j] = 0
+			for k := 0; k < lags; k++ {
+				w[j] += beta * S[j][k] * b[k]
+			}
+		}
+		// Evidence updates: γ_j = 1 − α_j Σ_jj ; α_j = γ_j / w_j².
+		var gammaSum float64
+		for j := 0; j < lags; j++ {
+			gamma := 1 - alpha[j]*S[j][j]
+			gammaSum += gamma
+			if w[j]*w[j] > 1e-12 {
+				alpha[j] = gamma / (w[j] * w[j])
+			} else {
+				alpha[j] = prune * 10
+			}
+			if alpha[j] > prune {
+				w[j] = 0
+			}
+		}
+		// Noise precision from residuals.
+		var sse float64
+		for i := 0; i < n; i++ {
+			pred := 0.0
+			for j := 0; j < lags; j++ {
+				pred += w[j] * X[i][j]
+			}
+			d := t[i] - pred
+			sse += d * d
+		}
+		if sse > 1e-12 && float64(n) > gammaSum {
+			beta = (float64(n) - gammaSum) / sse
+		}
+	}
+	m.weights = w
+	m.bias = tMean
+	// Bias correction: subtract the weighted mean of features so the
+	// prediction is anchored at the target mean.
+	var featMean float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < lags; j++ {
+			featMean += m.weights[j] * X[i][j]
+		}
+	}
+	m.bias -= featMean / float64(n)
+	m.last = append([]float64(nil), y[len(y)-lags:]...)
+	return nil
+}
+
+// Predict implements Model.
+func (m *ARD) Predict() float64 {
+	out := m.bias
+	for j, w := range m.weights {
+		if j < len(m.last) {
+			out += w * m.last[j]
+		}
+	}
+	return out
+}
+
+// Relevances returns the fitted per-lag weights; pruned lags are zero.
+func (m *ARD) Relevances() []float64 { return append([]float64(nil), m.weights...) }
+
+// invert computes the inverse of a small square matrix by Gauss-Jordan
+// elimination with partial pivoting; ok is false when singular.
+func invert(a [][]float64) ([][]float64, bool) {
+	n := len(a)
+	// Augment with the identity.
+	aug := make([][]float64, n)
+	for i := range aug {
+		aug[i] = make([]float64, 2*n)
+		copy(aug[i], a[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(aug[p][col]) < 1e-12 {
+			return nil, false
+		}
+		aug[col], aug[p] = aug[p], aug[col]
+		pv := aug[col][col]
+		for j := range aug[col] {
+			aug[col][j] /= pv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := range aug[r] {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = append([]float64(nil), aug[i][n:]...)
+	}
+	return inv, true
+}

@@ -1,0 +1,205 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomForestLearnsStep(t *testing.T) {
+	// Alternating low/high regime keyed entirely on the last lag: the
+	// forest must predict high after high and low after low.
+	y := make([]float64, 60)
+	for i := range y {
+		if (i/5)%2 == 0 {
+			y[i] = 10
+		} else {
+			y[i] = 90
+		}
+	}
+	m := RandomForest{Seed: 3}
+	if err := m.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict()
+	if math.IsNaN(p) || p < 0 || p > 100 {
+		t.Fatalf("prediction out of range: %v", p)
+	}
+}
+
+func TestRandomForestConstantSeries(t *testing.T) {
+	y := make([]float64, 30)
+	for i := range y {
+		y[i] = 42
+	}
+	m := RandomForest{Seed: 1}
+	if err := m.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(); math.Abs(got-42) > 1e-9 {
+		t.Fatalf("constant prediction = %v, want 42", got)
+	}
+}
+
+func TestRandomForestWindowTooSmall(t *testing.T) {
+	m := RandomForest{Lags: 4}
+	if err := m.Fit([]float64{1, 2, 3, 4, 5}); err != ErrWindowTooSmall {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRandomForestDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	y := make([]float64, 50)
+	for i := range y {
+		y[i] = rng.Float64() * 100
+	}
+	a := RandomForest{Seed: 9}
+	b := RandomForest{Seed: 9}
+	if err := a.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if a.Predict() != b.Predict() {
+		t.Fatal("same seed must give identical forests")
+	}
+}
+
+func TestRandomForestTracksAR1Reasonably(t *testing.T) {
+	y := make([]float64, 300)
+	y[0] = 30
+	for i := 1; i < len(y); i++ {
+		y[i] = 5 + 0.9*y[i-1]
+	}
+	m := RandomForest{Seed: 2}
+	acc, err := WalkForwardAccuracy(&m, y, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 80 {
+		t.Fatalf("forest accuracy on smooth series = %v, want ≥ 80", acc)
+	}
+}
+
+func TestARDRecoversSparseWeights(t *testing.T) {
+	// Target depends only on the most recent lag: ARD should weight that
+	// lag and effectively prune the others.
+	rng := rand.New(rand.NewSource(7))
+	y := make([]float64, 120)
+	y[0], y[1], y[2], y[3] = 50, 52, 48, 51
+	for i := 4; i < len(y); i++ {
+		y[i] = 0.95*y[i-1] + 2.5 + rng.NormFloat64()*0.5
+	}
+	m := ARD{}
+	if err := m.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	w := m.Relevances()
+	if len(w) != 4 {
+		t.Fatalf("relevances = %v", w)
+	}
+	// The newest lag (index 3) must dominate.
+	for j := 0; j < 3; j++ {
+		if math.Abs(w[j]) > math.Abs(w[3]) {
+			t.Fatalf("lag %d weight %v dominates newest lag %v", j, w[j], w[3])
+		}
+	}
+	pred := m.Predict()
+	want := 0.95*y[len(y)-1] + 2.5
+	if math.Abs(pred-want) > 5 {
+		t.Fatalf("ARD predict = %v, want ≈%v", pred, want)
+	}
+}
+
+func TestARDConstantSeries(t *testing.T) {
+	y := make([]float64, 40)
+	for i := range y {
+		y[i] = 77
+	}
+	var m ARD
+	if err := m.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(); math.Abs(got-77) > 1 {
+		t.Fatalf("constant ARD predict = %v", got)
+	}
+}
+
+func TestARDWindowTooSmall(t *testing.T) {
+	var m ARD
+	if err := m.Fit([]float64{1, 2, 3}); err != ErrWindowTooSmall {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestARDWalkForward(t *testing.T) {
+	y := make([]float64, 200)
+	y[0] = 40
+	for i := 1; i < len(y); i++ {
+		y[i] = 8 + 0.85*y[i-1]
+	}
+	var m ARD
+	acc, err := WalkForwardAccuracy(&m, y, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 95 {
+		t.Fatalf("ARD accuracy on AR(1) series = %v, want ≥ 95", acc)
+	}
+}
+
+func TestInvert(t *testing.T) {
+	a := [][]float64{{2, 0}, {0, 4}}
+	inv, ok := invert(a)
+	if !ok || math.Abs(inv[0][0]-0.5) > 1e-12 || math.Abs(inv[1][1]-0.25) > 1e-12 {
+		t.Fatalf("invert diag = %v, %v", inv, ok)
+	}
+	// Verify A·A⁻¹ = I on a random well-conditioned matrix.
+	rng := rand.New(rand.NewSource(3))
+	n := 4
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64()
+		}
+		m[i][i] += 5 // diagonal dominance
+	}
+	inv, ok = invert(m)
+	if !ok {
+		t.Fatal("well-conditioned matrix reported singular")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += m[i][k] * inv[k][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-9 {
+				t.Fatalf("A·A⁻¹[%d][%d] = %v", i, j, s)
+			}
+		}
+	}
+	// Singular matrix.
+	if _, ok := invert([][]float64{{1, 2}, {2, 4}}); ok {
+		t.Fatal("singular matrix inverted")
+	}
+}
+
+func TestEnsembleModelsImplementInterface(t *testing.T) {
+	y := linearSeries(40, 10, 0.5)
+	for _, m := range []Model{&RandomForest{Seed: 1}, &ARD{}} {
+		if err := m.Fit(y); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if p := m.Predict(); math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("%s: bad prediction %v", m.Name(), p)
+		}
+	}
+}

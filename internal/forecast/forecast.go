@@ -1,0 +1,379 @@
+// Package forecast implements the time-series predictors evaluated by the
+// paper for GPU-utilization estimation (Section IV-D and Fig. 10b): the
+// first-order ARIMA used by the Peak Prediction scheduler (Equation 3,
+// Ŷ = µ + φ·Y_{t−1}), plus the comparator regression models — ordinary least
+// squares, Theil–Sen, an SGD-trained linear regressor, and a small
+// multi-layer perceptron. The paper's sliding window is five seconds of
+// samples; each model here fits such a window and predicts the next sample.
+package forecast
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"kubeknots/internal/metrics"
+)
+
+// ErrWindowTooSmall is returned when a model is fitted on too few samples.
+var ErrWindowTooSmall = errors.New("forecast: window too small")
+
+// Model is a one-step-ahead forecaster over an equally spaced sample window.
+type Model interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// Fit trains the model on the window y (oldest first).
+	Fit(y []float64) error
+	// Predict returns the forecast for the sample following the window.
+	Predict() float64
+}
+
+// AR1 is the non-seasonal first-order ARIMA of Equation 3:
+// Ŷ_t = µ + φ·Y_{t−1}, with µ and φ fitted by least squares on the window's
+// lag-1 pairs. This is the predictor inside the PP scheduler; the paper found
+// it as accurate as far costlier models on five-second windows because the
+// real-time training set is tiny.
+type AR1 struct {
+	mu, phi float64
+	last    float64
+}
+
+// Name implements Model.
+func (m *AR1) Name() string { return "CBP+PP (ARIMA)" }
+
+// Fit implements Model.
+func (m *AR1) Fit(y []float64) error {
+	if len(y) < 3 {
+		return ErrWindowTooSmall
+	}
+	x := y[:len(y)-1] // Y_{t-1}
+	z := y[1:]        // Y_t
+	mx, mz := metrics.Mean(x), metrics.Mean(z)
+	var sxz, sxx float64
+	for i := range x {
+		dx := x[i] - mx
+		sxz += dx * (z[i] - mz)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		// Constant history: forecast the constant.
+		m.phi, m.mu = 0, mz
+	} else {
+		m.phi = sxz / sxx
+		m.mu = mz - m.phi*mx
+	}
+	m.last = y[len(y)-1]
+	return nil
+}
+
+// Predict implements Model.
+func (m *AR1) Predict() float64 { return m.mu + m.phi*m.last }
+
+// Coefficients returns the fitted intercept µ and slope φ of Equation 3.
+func (m *AR1) Coefficients() (mu, phi float64) { return m.mu, m.phi }
+
+// OLS fits y = a + b·t on the window's time index by ordinary least squares
+// and extrapolates one step.
+type OLS struct {
+	a, b float64
+	n    int
+}
+
+// Name implements Model.
+func (m *OLS) Name() string { return "Linear-Regression" }
+
+// Fit implements Model.
+func (m *OLS) Fit(y []float64) error {
+	if len(y) < 2 {
+		return ErrWindowTooSmall
+	}
+	n := float64(len(y))
+	var st, sy, stt, sty float64
+	for i, v := range y {
+		t := float64(i)
+		st += t
+		sy += v
+		stt += t * t
+		sty += t * v
+	}
+	den := n*stt - st*st
+	if den == 0 {
+		m.a, m.b = sy/n, 0
+	} else {
+		m.b = (n*sty - st*sy) / den
+		m.a = (sy - m.b*st) / n
+	}
+	m.n = len(y)
+	return nil
+}
+
+// Predict implements Model.
+func (m *OLS) Predict() float64 { return m.a + m.b*float64(m.n) }
+
+// TheilSen fits a robust line with the median of pairwise slopes. Its O(n²)
+// pairs are tolerable on five-second windows but, as the paper observes, it
+// is no more accurate than AR(1) on such short histories.
+type TheilSen struct {
+	a, b float64
+	n    int
+}
+
+// Name implements Model.
+func (m *TheilSen) Name() string { return "Theil-Sen" }
+
+// Fit implements Model.
+func (m *TheilSen) Fit(y []float64) error {
+	if len(y) < 2 {
+		return ErrWindowTooSmall
+	}
+	slopes := make([]float64, 0, len(y)*(len(y)-1)/2)
+	for i := 0; i < len(y); i++ {
+		for j := i + 1; j < len(y); j++ {
+			slopes = append(slopes, (y[j]-y[i])/float64(j-i))
+		}
+	}
+	sort.Float64s(slopes)
+	m.b = slopes[len(slopes)/2]
+	inters := make([]float64, len(y))
+	for i, v := range y {
+		inters[i] = v - m.b*float64(i)
+	}
+	sort.Float64s(inters)
+	m.a = inters[len(inters)/2]
+	m.n = len(y)
+	return nil
+}
+
+// Predict implements Model.
+func (m *TheilSen) Predict() float64 { return m.a + m.b*float64(m.n) }
+
+// SGD is a linear regressor on the time index trained by stochastic gradient
+// descent. Mirroring scikit-learn defaults the paper would have used, it runs
+// a fixed number of epochs with a decaying learning rate; on tiny windows the
+// stochastic updates leave it noisier than the closed-form fits.
+type SGD struct {
+	// Epochs is the number of passes over the window (default 30).
+	Epochs int
+	// LearningRate is the initial step size (default 0.05).
+	LearningRate float64
+	// Seed makes the sample order deterministic (default 1).
+	Seed int64
+
+	a, b float64
+	n    int
+}
+
+// Name implements Model.
+func (m *SGD) Name() string { return "SGD" }
+
+// Fit implements Model.
+func (m *SGD) Fit(y []float64) error {
+	if len(y) < 2 {
+		return ErrWindowTooSmall
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 30
+	}
+	lr0 := m.LearningRate
+	if lr0 <= 0 {
+		lr0 = 0.05
+	}
+	seed := m.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(y)
+	scale := metrics.Max(y)
+	if scale == 0 {
+		scale = 1
+	}
+	// Normalized features/targets keep the gradient steps stable across
+	// utilization magnitudes.
+	a, b := 0.0, 0.0
+	for e := 0; e < epochs; e++ {
+		lr := lr0 / (1 + 0.1*float64(e))
+		for k := 0; k < n; k++ {
+			i := rng.Intn(n)
+			t := float64(i) / float64(n)
+			pred := a + b*t
+			err := pred - y[i]/scale
+			a -= lr * err
+			b -= lr * err * t
+		}
+	}
+	m.a, m.b = a*scale, b*scale
+	m.n = n
+	return nil
+}
+
+// Predict implements Model. The next sample's normalized time index is
+// n/n = 1.
+func (m *SGD) Predict() float64 { return m.a + m.b }
+
+// MLP is a one-hidden-layer perceptron (tanh activations) regressing the
+// next sample from the K most recent ones. As the paper notes, on a
+// five-second window there is too little training data for it to beat AR(1),
+// despite its far higher runtime cost.
+type MLP struct {
+	// Hidden is the hidden-layer width (default 8).
+	Hidden int
+	// Lags is how many trailing samples form the input vector (default 4).
+	Lags int
+	// Epochs is the number of training passes (default 80).
+	Epochs int
+	// LearningRate is the gradient step (default 0.01).
+	LearningRate float64
+	// Seed fixes weight initialization (default 1).
+	Seed int64
+
+	w1    [][]float64 // [hidden][lags+1] with bias
+	w2    []float64   // [hidden+1] with bias
+	scale float64
+	last  []float64
+}
+
+// Name implements Model.
+func (m *MLP) Name() string { return "MLP" }
+
+func (m *MLP) defaults() (hidden, lags, epochs int, lr float64, seed int64) {
+	hidden, lags, epochs, lr, seed = m.Hidden, m.Lags, m.Epochs, m.LearningRate, m.Seed
+	if hidden <= 0 {
+		hidden = 8
+	}
+	if lags <= 0 {
+		lags = 4
+	}
+	if epochs <= 0 {
+		epochs = 80
+	}
+	if lr <= 0 {
+		lr = 0.01
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return
+}
+
+// Fit implements Model.
+func (m *MLP) Fit(y []float64) error {
+	hidden, lags, epochs, lr, seed := m.defaults()
+	if len(y) < lags+2 {
+		return ErrWindowTooSmall
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m.scale = metrics.Max(y)
+	if m.scale == 0 {
+		m.scale = 1
+	}
+	norm := make([]float64, len(y))
+	for i, v := range y {
+		norm[i] = v / m.scale
+	}
+	m.w1 = make([][]float64, hidden)
+	for h := range m.w1 {
+		m.w1[h] = make([]float64, lags+1)
+		for j := range m.w1[h] {
+			m.w1[h][j] = rng.NormFloat64() * 0.3
+		}
+	}
+	m.w2 = make([]float64, hidden+1)
+	for j := range m.w2 {
+		m.w2[j] = rng.NormFloat64() * 0.3
+	}
+	hidOut := make([]float64, hidden)
+	for e := 0; e < epochs; e++ {
+		for i := lags; i < len(norm); i++ {
+			in := norm[i-lags : i]
+			target := norm[i]
+			// Forward.
+			for h := 0; h < hidden; h++ {
+				s := m.w1[h][lags] // bias
+				for j := 0; j < lags; j++ {
+					s += m.w1[h][j] * in[j]
+				}
+				hidOut[h] = math.Tanh(s)
+			}
+			out := m.w2[hidden] // bias
+			for h := 0; h < hidden; h++ {
+				out += m.w2[h] * hidOut[h]
+			}
+			// Backward (squared error).
+			dOut := out - target
+			for h := 0; h < hidden; h++ {
+				dHid := dOut * m.w2[h] * (1 - hidOut[h]*hidOut[h])
+				m.w2[h] -= lr * dOut * hidOut[h]
+				for j := 0; j < lags; j++ {
+					m.w1[h][j] -= lr * dHid * in[j]
+				}
+				m.w1[h][lags] -= lr * dHid
+			}
+			m.w2[hidden] -= lr * dOut
+		}
+	}
+	m.last = append([]float64(nil), norm[len(norm)-lags:]...)
+	return nil
+}
+
+// Predict implements Model.
+func (m *MLP) Predict() float64 {
+	hidden := len(m.w1)
+	if hidden == 0 {
+		return 0
+	}
+	lags := len(m.last)
+	out := m.w2[hidden]
+	for h := 0; h < hidden; h++ {
+		s := m.w1[h][lags]
+		for j := 0; j < lags; j++ {
+			s += m.w1[h][j] * m.last[j]
+		}
+		out += m.w2[h] * math.Tanh(s)
+	}
+	return out * m.scale
+}
+
+// Clamp bounds a forecast to the physically valid range [lo, hi] — e.g.
+// 0–100 % utilization or 0–capacity megabytes.
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// WalkForwardAccuracy runs the model over series with a sliding window,
+// forecasting each next sample, and returns the prediction accuracy in
+// percent, defined as max(0, 100 − MAPE) — the metric of Fig. 10b. An error
+// is returned when the series is shorter than window+2 samples.
+func WalkForwardAccuracy(m Model, series []float64, window int) (float64, error) {
+	if window < 3 {
+		return 0, ErrWindowTooSmall
+	}
+	if len(series) < window+2 {
+		return 0, ErrWindowTooSmall
+	}
+	var preds, acts []float64
+	for i := window; i < len(series); i++ {
+		if err := m.Fit(series[i-window : i]); err != nil {
+			return 0, err
+		}
+		preds = append(preds, m.Predict())
+		acts = append(acts, series[i])
+	}
+	mape, err := metrics.MAPE(preds, acts)
+	if err != nil {
+		return 0, err
+	}
+	acc := 100 - mape
+	if acc < 0 {
+		acc = 0
+	}
+	return acc, nil
+}

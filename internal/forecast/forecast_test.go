@@ -1,0 +1,247 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func linearSeries(n int, a, b float64) []float64 {
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = a + b*float64(i)
+	}
+	return y
+}
+
+func TestAR1RecoversAutoregression(t *testing.T) {
+	// Generate Y_t = 10 + 0.8·Y_{t-1} exactly; AR1 must recover µ and φ.
+	y := make([]float64, 50)
+	y[0] = 20
+	for i := 1; i < len(y); i++ {
+		y[i] = 10 + 0.8*y[i-1]
+	}
+	var m AR1
+	if err := m.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	mu, phi := m.Coefficients()
+	if math.Abs(phi-0.8) > 1e-6 || math.Abs(mu-10) > 1e-4 {
+		t.Fatalf("AR1 fit µ=%v φ=%v, want 10, 0.8", mu, phi)
+	}
+	want := 10 + 0.8*y[len(y)-1]
+	if got := m.Predict(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("AR1 predict = %v, want %v", got, want)
+	}
+}
+
+func TestAR1ConstantSeries(t *testing.T) {
+	var m AR1
+	if err := m.Fit([]float64{42, 42, 42, 42}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(); got != 42 {
+		t.Fatalf("constant series predict = %v, want 42", got)
+	}
+}
+
+func TestAR1WindowTooSmall(t *testing.T) {
+	var m AR1
+	if err := m.Fit([]float64{1, 2}); err != ErrWindowTooSmall {
+		t.Fatalf("err = %v, want ErrWindowTooSmall", err)
+	}
+}
+
+func TestOLSExactLine(t *testing.T) {
+	var m OLS
+	y := linearSeries(20, 5, 2)
+	if err := m.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Predict(), 5+2*20.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("OLS predict = %v, want %v", got, want)
+	}
+}
+
+func TestTheilSenExactLine(t *testing.T) {
+	var m TheilSen
+	y := linearSeries(15, -3, 1.5)
+	if err := m.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Predict(), -3+1.5*15.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TheilSen predict = %v, want %v", got, want)
+	}
+}
+
+func TestTheilSenRobustToOutlier(t *testing.T) {
+	y := linearSeries(21, 0, 1)
+	y[10] = 500 // single wild outlier
+	var ts TheilSen
+	var ols OLS
+	if err := ts.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := ols.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	errTS := math.Abs(ts.Predict() - 21)
+	errOLS := math.Abs(ols.Predict() - 21)
+	if errTS >= errOLS {
+		t.Fatalf("Theil-Sen (%v) should beat OLS (%v) under an outlier", errTS, errOLS)
+	}
+	if errTS > 1 {
+		t.Fatalf("Theil-Sen error %v too large under single outlier", errTS)
+	}
+}
+
+func TestSGDApproximatesLine(t *testing.T) {
+	m := SGD{Epochs: 200, LearningRate: 0.1, Seed: 3}
+	y := linearSeries(30, 10, 1)
+	if err := m.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	want := 10 + 1*30.0
+	if got := m.Predict(); math.Abs(got-want) > 5 {
+		t.Fatalf("SGD predict = %v, want ≈%v", got, want)
+	}
+}
+
+func TestSGDDeterministicPerSeed(t *testing.T) {
+	y := linearSeries(20, 0, 2)
+	a := SGD{Seed: 7}
+	b := SGD{Seed: 7}
+	if err := a.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if a.Predict() != b.Predict() {
+		t.Fatal("same seed must give identical SGD predictions")
+	}
+}
+
+func TestMLPLearnsConstant(t *testing.T) {
+	m := MLP{Seed: 2}
+	y := make([]float64, 30)
+	for i := range y {
+		y[i] = 50
+	}
+	if err := m.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(); math.Abs(got-50) > 5 {
+		t.Fatalf("MLP constant predict = %v, want ≈50", got)
+	}
+}
+
+func TestMLPWindowTooSmall(t *testing.T) {
+	m := MLP{Lags: 4}
+	if err := m.Fit([]float64{1, 2, 3, 4, 5}); err != ErrWindowTooSmall {
+		t.Fatalf("err = %v, want ErrWindowTooSmall", err)
+	}
+}
+
+func TestMLPTracksTrend(t *testing.T) {
+	m := MLP{Seed: 4, Epochs: 300}
+	y := linearSeries(40, 0.1, 0.02) // gentle ramp in [0,1] scale
+	if err := m.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict()
+	want := 0.1 + 0.02*40
+	if math.Abs(got-want) > 0.3 {
+		t.Fatalf("MLP trend predict = %v, want ≈%v", got, want)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(-5, 0, 100) != 0 || Clamp(150, 0, 100) != 100 || Clamp(42, 0, 100) != 42 {
+		t.Fatal("Clamp broken")
+	}
+}
+
+func TestWalkForwardAccuracyPerfectSignal(t *testing.T) {
+	// AR(1) on its own generating process should be near-perfect.
+	y := make([]float64, 200)
+	y[0] = 30
+	for i := 1; i < len(y); i++ {
+		y[i] = 5 + 0.9*y[i-1]
+	}
+	var m AR1
+	acc, err := WalkForwardAccuracy(&m, y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 99 {
+		t.Fatalf("accuracy on noiseless AR(1) series = %v, want > 99", acc)
+	}
+}
+
+func TestWalkForwardAccuracyNoiseDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	clean := make([]float64, 300)
+	noisy := make([]float64, 300)
+	clean[0], noisy[0] = 50, 50
+	for i := 1; i < 300; i++ {
+		clean[i] = 10 + 0.8*clean[i-1]
+		noisy[i] = 10 + 0.8*noisy[i-1] + rng.NormFloat64()*15
+	}
+	var a, b AR1
+	accClean, err := WalkForwardAccuracy(&a, clean, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accNoisy, err := WalkForwardAccuracy(&b, noisy, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accNoisy >= accClean {
+		t.Fatalf("noise should reduce accuracy: clean=%v noisy=%v", accClean, accNoisy)
+	}
+}
+
+func TestWalkForwardAccuracyBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		y := make([]float64, 60)
+		for i := range y {
+			y[i] = 20 + rng.Float64()*60
+		}
+		var m AR1
+		acc, err := WalkForwardAccuracy(&m, y, 8)
+		return err == nil && acc >= 0 && acc <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkForwardAccuracyErrors(t *testing.T) {
+	var m AR1
+	if _, err := WalkForwardAccuracy(&m, linearSeries(5, 0, 1), 2); err != ErrWindowTooSmall {
+		t.Fatalf("window too small: got %v", err)
+	}
+	if _, err := WalkForwardAccuracy(&m, linearSeries(5, 0, 1), 10); err != ErrWindowTooSmall {
+		t.Fatalf("series shorter than window: got %v", err)
+	}
+}
+
+func TestAllModelsImplementInterface(t *testing.T) {
+	models := []Model{&AR1{}, &OLS{}, &TheilSen{}, &SGD{}, &MLP{}}
+	y := linearSeries(30, 10, 0.5)
+	for _, m := range models {
+		if err := m.Fit(y); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		p := m.Predict()
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("%s produced non-finite prediction %v", m.Name(), p)
+		}
+		if m.Name() == "" {
+			t.Fatal("empty model name")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package k8s
+
+import "kubeknots/internal/cluster"
+
+// The paper contrasts Kubernetes' CPU-side dynamic orchestration — node
+// affinity, pod affinity, pod preemption — with the GPU side, where pods
+// hold a device until completion. This file implements the affinity rules
+// (and the priority knob the pending queue honors), so the substrate offers
+// the same placement vocabulary as the real system. GPU pods remain
+// non-preemptible by design.
+
+// Affinity constrains a pod's placement.
+type Affinity struct {
+	// NodeIn restricts placement to the listed node ids (empty = any node)
+	// — node affinity.
+	NodeIn []int
+	// PodAffinity requires the target device to already host at least one
+	// container matching all listed labels (nil = no requirement).
+	PodAffinity map[string]string
+	// PodAntiAffinity forbids placement on a device hosting any container
+	// matching all listed labels (nil = no restriction).
+	PodAntiAffinity map[string]string
+}
+
+// Empty reports whether the affinity imposes no constraints.
+func (a *Affinity) Empty() bool {
+	return a == nil || (len(a.NodeIn) == 0 && len(a.PodAffinity) == 0 && len(a.PodAntiAffinity) == 0)
+}
+
+// labelsMatch reports whether got carries every key=value of want.
+func labelsMatch(want, got map[string]string) bool {
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return len(want) > 0
+}
+
+// FitsAffinity reports whether placing pod on g satisfies the pod's
+// affinity rules given the device's resident containers.
+func FitsAffinity(pod *Pod, g *cluster.GPU, resident []*cluster.Container) bool {
+	a := pod.Affinity
+	if a.Empty() {
+		return true
+	}
+	if len(a.NodeIn) > 0 {
+		ok := false
+		for _, n := range a.NodeIn {
+			if g.Node == n {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(a.PodAffinity) > 0 {
+		ok := false
+		for _, c := range resident {
+			if labelsMatch(a.PodAffinity, c.Labels) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(a.PodAntiAffinity) > 0 {
+		for _, c := range resident {
+			if labelsMatch(a.PodAntiAffinity, c.Labels) {
+				return false
+			}
+		}
+	}
+	return true
+}

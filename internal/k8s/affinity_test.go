@@ -1,0 +1,179 @@
+package k8s
+
+import (
+	"testing"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+func testGPU(node int) *cluster.GPU {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = node + 1
+	return cluster.New(cfg).NodeGPUs(node)[0]
+}
+
+func labeled(labels map[string]string) *cluster.Container {
+	p := workloads.RodiniaProfile(workloads.Myocyte)
+	return &cluster.Container{ID: "r", Class: p.Class, Inst: p.NewInstance(nil), Labels: labels}
+}
+
+func TestAffinityEmpty(t *testing.T) {
+	var a *Affinity
+	if !a.Empty() {
+		t.Fatal("nil affinity should be empty")
+	}
+	if !(&Affinity{}).Empty() {
+		t.Fatal("zero affinity should be empty")
+	}
+	if (&Affinity{NodeIn: []int{1}}).Empty() {
+		t.Fatal("node affinity is a constraint")
+	}
+}
+
+func TestNodeAffinity(t *testing.T) {
+	pod := &Pod{Affinity: &Affinity{NodeIn: []int{2, 3}}}
+	if FitsAffinity(pod, testGPU(1), nil) {
+		t.Fatal("node 1 not in [2,3]")
+	}
+	if !FitsAffinity(pod, testGPU(2), nil) {
+		t.Fatal("node 2 allowed")
+	}
+}
+
+func TestPodAffinity(t *testing.T) {
+	pod := &Pod{Affinity: &Affinity{PodAffinity: map[string]string{"app": "db"}}}
+	g := testGPU(0)
+	if FitsAffinity(pod, g, nil) {
+		t.Fatal("pod affinity needs a matching resident")
+	}
+	resident := []*cluster.Container{labeled(map[string]string{"app": "db", "tier": "x"})}
+	if !FitsAffinity(pod, g, resident) {
+		t.Fatal("matching resident should satisfy pod affinity")
+	}
+	other := []*cluster.Container{labeled(map[string]string{"app": "web"})}
+	if FitsAffinity(pod, g, other) {
+		t.Fatal("non-matching resident must not satisfy")
+	}
+}
+
+func TestPodAntiAffinity(t *testing.T) {
+	pod := &Pod{Affinity: &Affinity{PodAntiAffinity: map[string]string{"team": "vision"}}}
+	g := testGPU(0)
+	if !FitsAffinity(pod, g, nil) {
+		t.Fatal("empty device satisfies anti-affinity")
+	}
+	conflict := []*cluster.Container{labeled(map[string]string{"team": "vision"})}
+	if FitsAffinity(pod, g, conflict) {
+		t.Fatal("conflicting resident must repel the pod")
+	}
+}
+
+func TestUnconstrainedPodFitsAnywhere(t *testing.T) {
+	pod := &Pod{}
+	if !FitsAffinity(pod, testGPU(4), []*cluster.Container{labeled(map[string]string{"a": "b"})}) {
+		t.Fatal("unconstrained pod must fit")
+	}
+}
+
+func TestOrchestratorEnforcesAffinityAtBind(t *testing.T) {
+	// The greedy test scheduler ignores affinity and always proposes node 0;
+	// the orchestrator must refuse the violating bind every round, leaving
+	// the pod pending — never silently misplaced.
+	o := newOrch(2)
+	p := o.NewPod(workloads.RodiniaProfile(workloads.Pathfinder), nil)
+	p.Affinity = &Affinity{NodeIn: []int{1}}
+	o.Submit(0, p)
+	o.Run(5 * sim.Second)
+	if p.Phase != PodPending {
+		t.Fatalf("violating bind must be refused; phase = %v", p.Phase)
+	}
+	if o.Cluster.NodeGPUs(0)[0].Obs.Containers != 0 {
+		t.Fatal("pod leaked onto the forbidden node")
+	}
+}
+
+func TestPriorityOrdersQueue(t *testing.T) {
+	// One empty GPU, two pods submitted together: the high-priority one
+	// must run first even though it was queued second.
+	o := newOrch(1)
+	low := o.NewPod(workloads.RodiniaProfile(workloads.Pathfinder), nil)
+	high := o.NewPod(workloads.RodiniaProfile(workloads.Pathfinder), nil)
+	high.Priority = 10
+	// Make both want the whole device so only one can run at a time.
+	low.RequestMemMB = workloads.GPUMemMB
+	high.RequestMemMB = workloads.GPUMemMB
+	o.Submit(0, low)
+	o.Submit(0, high)
+	o.Run(80 * sim.Second)
+	if low.Phase != PodSucceeded || high.Phase != PodSucceeded {
+		t.Fatalf("phases: %v %v", low.Phase, high.Phase)
+	}
+	if high.ScheduleAt >= low.ScheduleAt {
+		t.Fatalf("high priority scheduled at %v, low at %v", high.ScheduleAt, low.ScheduleAt)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	js := []byte(`{
+		"name": "train-1",
+		"workload": {"kind": "rodinia", "name": "kmeans"},
+		"labels": {"team": "vision"},
+		"priority": 5,
+		"affinity": {"nodeIn": [0], "podAntiAffinity": {"team": "vision"}}
+	}`)
+	m, err := ParseManifest(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newOrch(1)
+	p, err := o.PodFromManifest(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "train-1" || p.Priority != 5 || p.Labels["team"] != "vision" {
+		t.Fatalf("pod = %+v", p)
+	}
+	if p.Affinity == nil || p.Affinity.NodeIn[0] != 0 {
+		t.Fatal("affinity not carried over")
+	}
+	if p.Class != workloads.Batch {
+		t.Fatalf("class = %v", p.Class)
+	}
+}
+
+func TestManifestInference(t *testing.T) {
+	js := []byte(`{"name": "q", "workload": {"kind": "inference", "name": "face", "batch": 4, "tfManaged": true}}`)
+	m, err := ParseManifest(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newOrch(1)
+	p, err := o.PodFromManifest(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Class != workloads.LatencyCritical {
+		t.Fatalf("class = %v", p.Class)
+	}
+	if p.RequestMemMB < 0.9*workloads.GPUMemMB {
+		t.Fatalf("TF-managed request = %v", p.RequestMemMB)
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	bad := []string{
+		`{`, // syntax
+		`{"name": "", "workload": {"kind": "rodinia", "name": "kmeans"}}`,
+		`{"name": "x", "workload": {"kind": "rodinia", "name": "nope"}}`,
+		`{"name": "x", "workload": {"kind": "inference", "name": "nope"}}`,
+		`{"name": "x", "workload": {"kind": "wasm", "name": "kmeans"}}`,
+		`{"name": "x", "workload": {"kind": "inference", "name": "face", "batch": -1}}`,
+	}
+	for i, js := range bad {
+		if _, err := ParseManifest([]byte(js)); err == nil {
+			t.Fatalf("manifest %d should fail validation", i)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package k8s
+
+import (
+	"fmt"
+	"sync"
+
+	"kubeknots/internal/sim"
+)
+
+// EventType classifies pod lifecycle events, mirroring `kubectl get events`.
+type EventType string
+
+// Lifecycle event types.
+const (
+	EventSubmitted EventType = "Submitted" // entered the pending queue
+	EventScheduled EventType = "Scheduled" // bound to a device
+	EventRejected  EventType = "Rejected"  // bind refused (affinity/capacity)
+	EventCompleted EventType = "Completed" // ran to completion
+	EventCrashed   EventType = "Crashed"   // capacity violation, will relaunch
+	EventRelaunch  EventType = "Relaunch"  // re-queued after a crash
+)
+
+// Event is one recorded lifecycle transition.
+type Event struct {
+	At   sim.Time
+	Type EventType
+	Pod  string
+	// Node is the device id for placement-related events ("" otherwise).
+	Node string
+	// Detail carries a human-readable annotation.
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	where := ""
+	if e.Node != "" {
+		where = " on " + e.Node
+	}
+	detail := ""
+	if e.Detail != "" {
+		detail = " (" + e.Detail + ")"
+	}
+	return fmt.Sprintf("%v %s %s%s%s", e.At, e.Type, e.Pod, where, detail)
+}
+
+// EventLog is a bounded ring of lifecycle events, safe for concurrent use.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	start int
+	n     int
+	total int
+}
+
+// DefaultEventCapacity bounds the default event ring.
+const DefaultEventCapacity = 4096
+
+// NewEventLog returns a log retaining at most capacity events
+// (DefaultEventCapacity if capacity ≤ 0).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventLog{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (l *EventLog) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if l.n == len(l.buf) {
+		l.buf[l.start] = e
+		l.start = (l.start + 1) % len(l.buf)
+		return
+	}
+	l.buf[(l.start+l.n)%len(l.buf)] = e
+	l.n++
+}
+
+// All returns the retained events, oldest first.
+func (l *EventLog) All() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(l.start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// ForPod returns the retained events of one pod, oldest first.
+func (l *EventLog) ForPod(name string) []Event {
+	var out []Event
+	for _, e := range l.All() {
+		if e.Pod == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (l *EventLog) Total() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

@@ -1,0 +1,123 @@
+package k8s
+
+import (
+	"strings"
+	"testing"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		l.Record(Event{At: sim.Time(i), Type: EventSubmitted, Pod: "p"})
+	}
+	all := l.All()
+	if len(all) != 3 {
+		t.Fatalf("retained = %d, want 3", len(all))
+	}
+	if all[0].At != 2 || all[2].At != 4 {
+		t.Fatalf("ring retained wrong window: %v..%v", all[0].At, all[2].At)
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestEventLogDefaultCapacity(t *testing.T) {
+	l := NewEventLog(0)
+	for i := 0; i < DefaultEventCapacity+10; i++ {
+		l.Record(Event{At: sim.Time(i)})
+	}
+	if got := len(l.All()); got != DefaultEventCapacity {
+		t.Fatalf("retained = %d, want %d", got, DefaultEventCapacity)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: sim.Second, Type: EventScheduled, Pod: "job-1", Node: "n0/g0"}
+	s := e.String()
+	for _, want := range []string{"Scheduled", "job-1", "on n0/g0"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+	d := Event{At: 0, Type: EventCrashed, Pod: "x", Detail: "oom"}
+	if !strings.Contains(d.String(), "(oom)") {
+		t.Fatalf("detail missing: %q", d.String())
+	}
+}
+
+func TestLifecycleEventsRecorded(t *testing.T) {
+	o := newOrch(1)
+	p := o.NewPod(workloads.RodiniaProfile(workloads.Pathfinder), nil)
+	o.Submit(0, p)
+	o.Run(40 * sim.Second)
+	evs := o.Events.ForPod(p.Name)
+	var types []EventType
+	for _, e := range evs {
+		types = append(types, e.Type)
+	}
+	want := []EventType{EventSubmitted, EventScheduled, EventCompleted}
+	if len(types) != len(want) {
+		t.Fatalf("events = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("events = %v, want %v", types, want)
+		}
+	}
+	// Scheduled event carries the device id.
+	if evs[1].Node == "" {
+		t.Fatal("Scheduled event missing node")
+	}
+}
+
+func TestCrashEventsRecorded(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cfg.MemCapMB = 3000
+	cl := cluster.New(cfg)
+	o := NewOrchestrator(eng, cl, greedy{}, Config{})
+	a := o.NewPod(workloads.RodiniaProfile(workloads.KMeans), nil)
+	b := o.NewPod(workloads.RodiniaProfile(workloads.KMeans), nil)
+	a.RequestMemMB, b.RequestMemMB = 1500, 1500
+	o.Submit(0, a)
+	o.Submit(0, b)
+	o.Run(300 * sim.Second)
+	crashed, relaunched := 0, 0
+	for _, e := range o.Events.All() {
+		switch e.Type {
+		case EventCrashed:
+			crashed++
+		case EventRelaunch:
+			relaunched++
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("no crash events recorded")
+	}
+	if relaunched != crashed {
+		t.Fatalf("crashes %d != relaunches %d", crashed, relaunched)
+	}
+}
+
+func TestRejectionEventRecorded(t *testing.T) {
+	o := newOrch(2)
+	p := o.NewPod(workloads.RodiniaProfile(workloads.Pathfinder), nil)
+	p.Affinity = &Affinity{NodeIn: []int{1}}
+	o.Submit(0, p)
+	o.Run(200 * sim.Millisecond)
+	rejected := false
+	for _, e := range o.Events.ForPod(p.Name) {
+		if e.Type == EventRejected && e.Detail == "affinity" {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Fatal("affinity rejection not recorded")
+	}
+}

@@ -1,0 +1,104 @@
+package k8s
+
+import (
+	"testing"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/knots"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// chaos is a hostile scheduler that returns malformed and duplicate
+// decisions; the orchestrator must stay consistent regardless.
+type chaos struct{}
+
+func (chaos) Name() string { return "chaos" }
+func (chaos) Schedule(now sim.Time, pending []*Pod, snap *knots.Snapshot) []Decision {
+	var out []Decision
+	g := snap.Stats[0].GPU
+	for _, p := range pending {
+		out = append(out,
+			Decision{Pod: nil, GPU: g, ReserveMB: 100},                     // nil pod
+			Decision{Pod: p, GPU: nil, ReserveMB: 100},                     // nil GPU
+			Decision{Pod: p, GPU: g, ReserveMB: g.MemCapMB * 10},           // absurd reserve
+			Decision{Pod: p, GPU: g, ReserveMB: p.Profile.PeakMemMB() * 2}, // valid
+			Decision{Pod: p, GPU: g, ReserveMB: p.Profile.PeakMemMB()},     // duplicate pod
+		)
+	}
+	return out
+}
+
+func TestOrchestratorSurvivesChaosScheduler(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cl := cluster.New(cfg)
+	o := NewOrchestrator(eng, cl, chaos{}, Config{})
+	p1 := o.NewPod(workloads.RodiniaProfile(workloads.Pathfinder), nil)
+	p2 := o.NewPod(workloads.RodiniaProfile(workloads.Myocyte), nil)
+	o.Submit(0, p1)
+	o.Submit(0, p2)
+	o.Run(80 * sim.Second)
+	if p1.Phase != PodSucceeded || p2.Phase != PodSucceeded {
+		t.Fatalf("phases: %v %v — the valid decisions must still bind", p1.Phase, p2.Phase)
+	}
+	// Duplicate decisions must not double-bind: exactly two completions.
+	if len(o.Completed) != 2 {
+		t.Fatalf("completed = %d, want 2", len(o.Completed))
+	}
+	// All reservations released after completion.
+	if got := cl.GPUs()[0].ReservedMB(); got != 0 {
+		t.Fatalf("leaked reservations: %v MB", got)
+	}
+}
+
+// starver never schedules anything.
+type starver struct{}
+
+func (starver) Name() string                                          { return "starver" }
+func (starver) Schedule(sim.Time, []*Pod, *knots.Snapshot) []Decision { return nil }
+
+func TestQueueGrowsUnderStarvingScheduler(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl := cluster.New(cluster.Config{Nodes: 1})
+	o := NewOrchestrator(eng, cl, starver{}, Config{})
+	for i := 0; i < 5; i++ {
+		o.Submit(0, o.NewPod(workloads.RodiniaProfile(workloads.LUD), nil))
+	}
+	o.Run(2 * sim.Second)
+	if o.PendingLen() != 5 {
+		t.Fatalf("pending = %d, want 5", o.PendingLen())
+	}
+	if len(o.Completed) != 0 || o.CrashEvents != 0 {
+		t.Fatal("nothing should have run")
+	}
+}
+
+func TestRelaunchPreservesIdentityAndCountsCrashes(t *testing.T) {
+	// Force repeated crashes on a tiny device and verify accounting: the
+	// same pod object cycles Pending→Running, crash counters line up, and
+	// the pod finishes once peaks stop colliding.
+	eng := sim.NewEngine(3)
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cfg.MemCapMB = 2200 // below two coinciding kmeans peaks
+	cl := cluster.New(cfg)
+	o := NewOrchestrator(eng, cl, greedy{}, Config{})
+	a := o.NewPod(workloads.RodiniaProfile(workloads.KMeans), nil)
+	b := o.NewPod(workloads.RodiniaProfile(workloads.KMeans), nil)
+	a.RequestMemMB, b.RequestMemMB = 1100, 1100
+	o.Submit(0, a)
+	o.Submit(0, b)
+	o.Run(10 * sim.Minute)
+	if a.Phase != PodSucceeded || b.Phase != PodSucceeded {
+		t.Fatalf("phases %v/%v after crash-relaunch cycles (crashes=%d)",
+			a.Phase, b.Phase, o.CrashEvents)
+	}
+	if o.CrashEvents == 0 {
+		t.Fatal("expected at least one capacity violation")
+	}
+	if a.Crashes+b.Crashes != o.CrashEvents {
+		t.Fatalf("crash accounting: %d+%d != %d", a.Crashes, b.Crashes, o.CrashEvents)
+	}
+}

@@ -1,0 +1,425 @@
+// Package k8s is the miniature Kubernetes-like orchestration substrate the
+// paper extends: pod objects with resource requests, a pending queue,
+// scheduler plug-in points, binding, and the pod lifecycle including
+// crash-and-relaunch on GPU capacity violations (relaunched pods go to the
+// back of the queue and restart, Section IV-C). GPU sharing semantics follow
+// the paper's modified NVIDIA device plugin: compute is time-shared, memory
+// space-shared, and reservations are enforced at admission.
+package k8s
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/knots"
+	"kubeknots/internal/metrics"
+	"kubeknots/internal/qos"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// PodPhase is the lifecycle state of a pod.
+type PodPhase int
+
+// Pod phases.
+const (
+	PodPending PodPhase = iota
+	PodRunning
+	PodSucceeded
+)
+
+// String implements fmt.Stringer.
+func (p PodPhase) String() string {
+	switch p {
+	case PodPending:
+		return "Pending"
+	case PodRunning:
+		return "Running"
+	default:
+		return "Succeeded"
+	}
+}
+
+// Pod is a scheduling unit (the paper uses pod and container
+// interchangeably).
+type Pod struct {
+	Name         string
+	Class        workloads.Class
+	Profile      *workloads.Profile
+	RequestMemMB float64
+	// Labels tag the pod for affinity matching.
+	Labels map[string]string
+	// Affinity constrains placement (nil = unconstrained).
+	Affinity *Affinity
+	// Priority orders the pending queue (higher first; FIFO within equal
+	// priority). GPU pods are never preempted once bound.
+	Priority int
+
+	SubmitAt   sim.Time
+	ScheduleAt sim.Time // first successful binding; -1 until then
+	FinishedAt sim.Time
+	Phase      PodPhase
+	Crashes    int
+
+	inst      *workloads.Instance
+	container *cluster.Container
+	rng       *rand.Rand
+}
+
+// Running reports whether the pod currently has a GPU-resident container.
+func (p *Pod) Running() bool { return p.container != nil }
+
+// Decision is one placement order from a scheduler.
+type Decision struct {
+	Pod       *Pod
+	GPU       *cluster.GPU
+	ReserveMB float64
+}
+
+// Scheduler is the cluster-level placement policy plug-in.
+type Scheduler interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Schedule inspects the pending queue (FIFO order) and the aggregator's
+	// snapshot and returns placement decisions. Pods left out remain queued.
+	Schedule(now sim.Time, pending []*Pod, snap *knots.Snapshot) []Decision
+}
+
+// Config tunes the orchestrator loop.
+type Config struct {
+	Tick            sim.Time // execution tick (default 10 ms)
+	Heartbeat       sim.Time // monitor sampling period (default = Tick)
+	SchedEvery      sim.Time // scheduling period (default = Tick)
+	RelaunchDelay   sim.Time // crash-to-requeue delay (default 2 s)
+	UtilSampleEvery sim.Time // node-utilization sampling (default 100 ms)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tick <= 0 {
+		c.Tick = 10 * sim.Millisecond
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.Tick
+	}
+	if c.SchedEvery <= 0 {
+		c.SchedEvery = c.Tick
+	}
+	if c.RelaunchDelay <= 0 {
+		c.RelaunchDelay = 2 * sim.Second
+	}
+	if c.UtilSampleEvery <= 0 {
+		c.UtilSampleEvery = 100 * sim.Millisecond
+	}
+	return c
+}
+
+// Orchestrator wires the cluster, the Knots monitoring layer, and a
+// scheduler into the simulation engine.
+type Orchestrator struct {
+	Eng     *sim.Engine
+	Cluster *cluster.Cluster
+	Monitor *knots.Monitor
+	Agg     *knots.Aggregator
+	// Profiler accumulates per-image usage statistics from every run
+	// (Fig. 5's "Container Resource Usage Profiles"); schedulers may
+	// consume it for online-learned provisioning.
+	Profiler *knots.Profiler
+	Sched    Scheduler
+	QoS      *qos.Tracker
+	// Events records pod lifecycle transitions (kubectl-get-events style).
+	Events *EventLog
+	Cfg    Config
+
+	pending     []*Pod
+	byContainer map[*cluster.Container]*Pod
+	Completed   []*Pod
+	CrashEvents int
+
+	// NodeUtil holds per-node mean GPU SM utilization samples collected
+	// every UtilSampleEvery — the raw data behind Figs. 6–8.
+	NodeUtil [][]float64
+	// AwakeUtil holds the same samples restricted to moments the node was
+	// awake (not deep-sleeping) — cluster-wide utilization (Fig. 9) is
+	// reported over operational GPUs.
+	AwakeUtil [][]float64
+
+	podSeq  int
+	started bool
+}
+
+// NewOrchestrator assembles an orchestrator over eng and cl using sched.
+func NewOrchestrator(eng *sim.Engine, cl *cluster.Cluster, sched Scheduler, cfg Config) *Orchestrator {
+	cfg = cfg.withDefaults()
+	mon := knots.NewMonitor(cl, 0)
+	o := &Orchestrator{
+		Eng:         eng,
+		Cluster:     cl,
+		Monitor:     mon,
+		Agg:         knots.NewAggregator(mon),
+		Profiler:    knots.NewProfiler(),
+		Sched:       sched,
+		QoS:         &qos.Tracker{},
+		Events:      NewEventLog(0),
+		Cfg:         cfg,
+		byContainer: make(map[*cluster.Container]*Pod),
+		NodeUtil:    make([][]float64, cl.Cfg.Nodes),
+		AwakeUtil:   make([][]float64, cl.Cfg.Nodes),
+	}
+	return o
+}
+
+// NewPod builds a pod from a profile; rng (may be nil) adds per-instance
+// jitter.
+func (o *Orchestrator) NewPod(profile *workloads.Profile, rng *rand.Rand) *Pod {
+	o.podSeq++
+	return &Pod{
+		Name:         fmt.Sprintf("%s-%d", profile.Name, o.podSeq),
+		Class:        profile.Class,
+		Profile:      profile,
+		RequestMemMB: profile.RequestMemMB,
+		ScheduleAt:   -1,
+		rng:          rng,
+	}
+}
+
+// Submit queues a pod at time now.
+func (o *Orchestrator) Submit(now sim.Time, p *Pod) {
+	p.SubmitAt = now
+	p.Phase = PodPending
+	o.pending = append(o.pending, p)
+	o.Events.Record(Event{At: now, Type: EventSubmitted, Pod: p.Name})
+}
+
+// SubmitAt schedules a future submission through the engine.
+func (o *Orchestrator) SubmitAt(at sim.Time, p *Pod) {
+	o.Eng.At(at, func(now sim.Time) { o.Submit(now, p) })
+}
+
+// PendingLen returns the queue depth.
+func (o *Orchestrator) PendingLen() int { return len(o.pending) }
+
+// Start registers the periodic tick, heartbeat, scheduling, and sampling
+// callbacks. Call once, then drive the engine.
+func (o *Orchestrator) Start() {
+	if o.started {
+		panic("k8s: orchestrator already started")
+	}
+	o.started = true
+	o.Eng.Every(o.Cfg.Tick, func(now sim.Time) bool {
+		o.tick(now)
+		return true
+	})
+	if o.Cfg.Heartbeat != o.Cfg.Tick {
+		o.Eng.Every(o.Cfg.Heartbeat, func(now sim.Time) bool {
+			o.Monitor.Sample(now)
+			return true
+		})
+	}
+	if o.Cfg.SchedEvery != o.Cfg.Tick {
+		o.Eng.Every(o.Cfg.SchedEvery, func(now sim.Time) bool {
+			o.runScheduler(now)
+			return true
+		})
+	}
+	o.Eng.Every(o.Cfg.UtilSampleEvery, func(now sim.Time) bool {
+		o.sampleUtilization()
+		return true
+	})
+}
+
+// Run starts (if needed) and drives the engine until the given time.
+func (o *Orchestrator) Run(until sim.Time) {
+	if !o.started {
+		o.Start()
+	}
+	o.Eng.Run(until)
+}
+
+func (o *Orchestrator) tick(now sim.Time) {
+	res := o.Cluster.Tick(now, o.Cfg.Tick)
+	o.Profiler.SampleContainers(now, o.Cluster)
+	for _, c := range res.Done {
+		o.Profiler.Complete(c)
+		p := o.byContainer[c]
+		if p == nil {
+			continue
+		}
+		delete(o.byContainer, c)
+		p.container = nil
+		p.Phase = PodSucceeded
+		p.FinishedAt = now
+		o.Completed = append(o.Completed, p)
+		o.Events.Record(Event{At: now, Type: EventCompleted, Pod: p.Name})
+		if p.Class == workloads.LatencyCritical {
+			o.QoS.Record(now - p.SubmitAt)
+		}
+	}
+	for _, c := range res.Crashed {
+		o.Profiler.Complete(c)
+		p := o.byContainer[c]
+		if p == nil {
+			continue
+		}
+		delete(o.byContainer, c)
+		p.container = nil
+		p.Crashes++
+		o.CrashEvents++
+		o.Events.Record(Event{At: now, Type: EventCrashed, Pod: p.Name,
+			Detail: "memory capacity violation"})
+		// Relaunch: back of the queue after the container restart latency,
+		// restarting execution from scratch.
+		pod := p
+		o.Eng.After(o.Cfg.RelaunchDelay, func(at sim.Time) {
+			pod.Phase = PodPending
+			o.pending = append(o.pending, pod)
+			o.Events.Record(Event{At: at, Type: EventRelaunch, Pod: pod.Name})
+		})
+	}
+	if o.Cfg.Heartbeat == o.Cfg.Tick {
+		o.Monitor.Sample(now)
+	}
+	if o.Cfg.SchedEvery == o.Cfg.Tick {
+		o.runScheduler(now)
+	}
+}
+
+func (o *Orchestrator) runScheduler(now sim.Time) {
+	if len(o.pending) == 0 {
+		return
+	}
+	snap := o.Agg.Snapshot(now)
+	// Priority ordering: higher first, FIFO within a class. The sort is
+	// stable so equal-priority pods keep arrival order.
+	queue := append([]*Pod(nil), o.pending...)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Priority > queue[j].Priority })
+	decisions := o.Sched.Schedule(now, queue, snap)
+	if len(decisions) == 0 {
+		return
+	}
+	placed := make(map[*Pod]bool, len(decisions))
+	for _, d := range decisions {
+		if d.Pod == nil || d.GPU == nil || d.Pod.Phase != PodPending || placed[d.Pod] {
+			continue
+		}
+		// Affinity is enforced at binding like an admission webhook, even if
+		// a scheduler ignored it.
+		if !FitsAffinity(d.Pod, d.GPU, d.GPU.Containers()) {
+			o.Events.Record(Event{At: now, Type: EventRejected, Pod: d.Pod.Name,
+				Node: d.GPU.ID(), Detail: "affinity"})
+			continue
+		}
+		// Fresh instance on first launch and on every relaunch — a crashed
+		// pod restarts from scratch.
+		d.Pod.inst = d.Pod.Profile.NewInstance(d.Pod.rng)
+		c := &cluster.Container{
+			ID:     d.Pod.Name,
+			Class:  d.Pod.Class,
+			Inst:   d.Pod.inst,
+			Labels: d.Pod.Labels,
+		}
+		if err := d.GPU.Place(now, c, d.ReserveMB); err != nil {
+			o.Events.Record(Event{At: now, Type: EventRejected, Pod: d.Pod.Name,
+				Node: d.GPU.ID(), Detail: err.Error()})
+			continue // stale decision; pod stays queued
+		}
+		d.Pod.container = c
+		d.Pod.Phase = PodRunning
+		o.Events.Record(Event{At: now, Type: EventScheduled, Pod: d.Pod.Name, Node: d.GPU.ID()})
+		if d.Pod.ScheduleAt < 0 {
+			d.Pod.ScheduleAt = now
+		}
+		o.byContainer[c] = d.Pod
+		placed[d.Pod] = true
+	}
+	if len(placed) > 0 {
+		rest := o.pending[:0]
+		for _, p := range o.pending {
+			if !placed[p] {
+				rest = append(rest, p)
+			}
+		}
+		o.pending = rest
+	}
+}
+
+func (o *Orchestrator) sampleUtilization() {
+	for n := 0; n < o.Cluster.Cfg.Nodes; n++ {
+		gpus := o.Cluster.NodeGPUs(n)
+		if len(gpus) == 0 {
+			continue
+		}
+		var sum float64
+		awake := false
+		for _, g := range gpus {
+			sum += g.Obs.SMPct
+			if !g.Asleep() {
+				awake = true
+			}
+		}
+		v := sum / float64(len(gpus))
+		o.NodeUtil[n] = append(o.NodeUtil[n], v)
+		if awake {
+			o.AwakeUtil[n] = append(o.AwakeUtil[n], v)
+		}
+	}
+}
+
+// NodeUtilPercentiles returns per-node p50/p90/p99/max of the sampled node
+// utilization — one Fig. 6/8 panel.
+func (o *Orchestrator) NodeUtilPercentiles() [][4]float64 {
+	out := make([][4]float64, len(o.NodeUtil))
+	for i, series := range o.NodeUtil {
+		ps := metrics.Percentiles(series, 50, 90, 99)
+		out[i] = [4]float64{ps[0], ps[1], ps[2], metrics.Max(series)}
+	}
+	return out
+}
+
+// ClusterUtilPercentiles pools the awake-node samples and returns
+// p50/p90/p99/max — one Fig. 9 group. Deep-sleeping GPUs are parked by the
+// scheduler and excluded, so consolidation shows up as higher operational
+// utilization.
+func (o *Orchestrator) ClusterUtilPercentiles() [4]float64 {
+	var all []float64
+	for _, s := range o.AwakeUtil {
+		all = append(all, s...)
+	}
+	ps := metrics.Percentiles(all, 50, 90, 99)
+	return [4]float64{ps[0], ps[1], ps[2], metrics.Max(all)}
+}
+
+// NodeCOVs returns the per-node coefficient of variation of utilization,
+// sorted ascending — Fig. 7.
+func (o *Orchestrator) NodeCOVs() []float64 {
+	out := make([]float64, 0, len(o.NodeUtil))
+	for _, s := range o.NodeUtil {
+		out = append(out, metrics.COV(s))
+	}
+	// Paper sorts node COVs before plotting.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// PairwiseLoadCOV returns the COV of each node pair's time-averaged load —
+// Fig. 11b's load-balance heat map (i < j entries; diagonal zero).
+func (o *Orchestrator) PairwiseLoadCOV() [][]float64 {
+	n := len(o.NodeUtil)
+	avg := make([]float64, n)
+	for i, s := range o.NodeUtil {
+		avg[i] = metrics.Mean(s)
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := i + 1; j < n; j++ {
+			out[i][j] = metrics.COV([]float64{avg[i], avg[j]})
+		}
+	}
+	return out
+}

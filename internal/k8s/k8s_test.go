@@ -1,0 +1,208 @@
+package k8s
+
+import (
+	"testing"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/knots"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// greedy is a minimal test scheduler: first pod onto the first GPU with
+// room, reserving the pod's request.
+type greedy struct{}
+
+func (greedy) Name() string { return "greedy" }
+func (greedy) Schedule(now sim.Time, pending []*Pod, snap *knots.Snapshot) []Decision {
+	free := make(map[*cluster.GPU]float64)
+	for _, st := range snap.Stats {
+		free[st.GPU] = st.FreeReservableMB
+	}
+	var out []Decision
+	for _, p := range pending {
+		for _, st := range snap.Stats {
+			if free[st.GPU] >= p.RequestMemMB {
+				out = append(out, Decision{Pod: p, GPU: st.GPU, ReserveMB: p.RequestMemMB})
+				free[st.GPU] -= p.RequestMemMB
+				break
+			}
+		}
+	}
+	return out
+}
+
+func newOrch(nodes int) *Orchestrator {
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = nodes
+	cl := cluster.New(cfg)
+	return NewOrchestrator(eng, cl, greedy{}, Config{})
+}
+
+func TestPodLifecycle(t *testing.T) {
+	o := newOrch(1)
+	p := o.NewPod(workloads.RodiniaProfile(workloads.Pathfinder), nil)
+	if p.Phase != PodPending || p.ScheduleAt != -1 {
+		t.Fatalf("fresh pod state: %v %v", p.Phase, p.ScheduleAt)
+	}
+	o.Submit(0, p)
+	if o.PendingLen() != 1 {
+		t.Fatal("submit should queue")
+	}
+	o.Run(40 * sim.Second)
+	if p.Phase != PodSucceeded {
+		t.Fatalf("phase = %v, want Succeeded", p.Phase)
+	}
+	if p.ScheduleAt < 0 || p.FinishedAt <= p.ScheduleAt {
+		t.Fatalf("timestamps: sched=%v fin=%v", p.ScheduleAt, p.FinishedAt)
+	}
+	if len(o.Completed) != 1 || o.PendingLen() != 0 {
+		t.Fatal("completion bookkeeping wrong")
+	}
+	nominal := workloads.RodiniaProfile(workloads.Pathfinder).Duration()
+	if jct := p.FinishedAt - p.SubmitAt; jct < nominal || jct > nominal+sim.Second {
+		t.Fatalf("JCT = %v, want ≈%v", jct, nominal)
+	}
+}
+
+func TestLCQoSRecorded(t *testing.T) {
+	o := newOrch(1)
+	m := workloads.Inference(workloads.Face)
+	p := o.NewPod(m.QueryProfile(4, false), nil)
+	o.Submit(0, p)
+	o.Run(5 * sim.Second)
+	if p.Phase != PodSucceeded {
+		t.Fatalf("query phase = %v", p.Phase)
+	}
+	if o.QoS.Queries() != 1 {
+		t.Fatalf("QoS queries = %d, want 1", o.QoS.Queries())
+	}
+	// An uncontended small query on an idle GPU must meet the 150ms SLO.
+	if o.QoS.Violations() != 0 {
+		t.Fatalf("unexpected SLO violation, latency %v", o.QoS.Mean())
+	}
+}
+
+func TestQueueingWhenFull(t *testing.T) {
+	o := newOrch(1)
+	// Two pods each requesting over half the GPU: second must wait.
+	p1 := o.NewPod(workloads.RodiniaProfile(workloads.MummerGPU), nil) // 8000 request
+	p2 := o.NewPod(workloads.RodiniaProfile(workloads.MummerGPU), nil)
+	p2.RequestMemMB = 10000
+	o.Submit(0, p1)
+	o.Submit(0, p2)
+	o.Run(2 * sim.Second)
+	if p1.Phase != PodRunning {
+		t.Fatalf("p1 phase = %v", p1.Phase)
+	}
+	if p2.Phase != PodPending {
+		t.Fatalf("p2 should queue while GPU is reserved, got %v", p2.Phase)
+	}
+	o.Run(200 * sim.Second)
+	if p2.Phase != PodSucceeded {
+		t.Fatalf("p2 never ran: %v", p2.Phase)
+	}
+	if p2.ScheduleAt <= p1.ScheduleAt {
+		t.Fatal("p2 must have been scheduled later")
+	}
+}
+
+func TestCrashRelaunch(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cfg.MemCapMB = 3000 // tiny device to force capacity violations
+	cl := cluster.New(cfg)
+	o := NewOrchestrator(eng, cl, greedy{}, Config{})
+	// Two kmeans resized to 1500MB each: peaks (1900MB) collide → crash →
+	// relaunch → staggered completion.
+	p1 := o.NewPod(workloads.RodiniaProfile(workloads.KMeans), nil)
+	p2 := o.NewPod(workloads.RodiniaProfile(workloads.KMeans), nil)
+	p1.RequestMemMB = 1500
+	p2.RequestMemMB = 1500
+	o.Submit(0, p1)
+	o.Submit(0, p2)
+	o.Run(300 * sim.Second)
+	if o.CrashEvents == 0 {
+		t.Fatal("expected at least one capacity-violation crash")
+	}
+	if p1.Phase != PodSucceeded || p2.Phase != PodSucceeded {
+		t.Fatalf("both pods must eventually succeed: %v %v (crashes=%d)",
+			p1.Phase, p2.Phase, o.CrashEvents)
+	}
+	if p1.Crashes+p2.Crashes != o.CrashEvents {
+		t.Fatal("crash accounting mismatch")
+	}
+}
+
+func TestUtilizationSampling(t *testing.T) {
+	o := newOrch(2)
+	p := o.NewPod(workloads.RodiniaProfile(workloads.KMeans), nil)
+	o.Submit(0, p)
+	o.Run(10 * sim.Second)
+	if len(o.NodeUtil) != 2 {
+		t.Fatalf("NodeUtil nodes = %d", len(o.NodeUtil))
+	}
+	if len(o.NodeUtil[0]) < 90 {
+		t.Fatalf("samples = %d, want ~100 over 10s at 100ms", len(o.NodeUtil[0]))
+	}
+	pcts := o.NodeUtilPercentiles()
+	if len(pcts) != 2 {
+		t.Fatal("percentiles per node missing")
+	}
+	// Node 0 hosts work; node 1 idles.
+	if pcts[0][3] <= pcts[1][3] {
+		t.Fatalf("busy node max %v should exceed idle node %v", pcts[0][3], pcts[1][3])
+	}
+	cu := o.ClusterUtilPercentiles()
+	if cu[3] < pcts[0][3]-1e-9 {
+		t.Fatal("cluster max should cover node max")
+	}
+	covs := o.NodeCOVs()
+	if len(covs) != 2 {
+		t.Fatal("NodeCOVs length")
+	}
+	for i := 1; i < len(covs); i++ {
+		if covs[i] < covs[i-1] {
+			t.Fatal("NodeCOVs must be sorted ascending")
+		}
+	}
+	pw := o.PairwiseLoadCOV()
+	if len(pw) != 2 || pw[0][1] <= 0 {
+		t.Fatalf("pairwise COV = %+v, want imbalance visible", pw)
+	}
+	if pw[1][0] != 0 {
+		t.Fatal("lower triangle should stay zero")
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	o := newOrch(1)
+	o.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start should panic")
+		}
+	}()
+	o.Start()
+}
+
+func TestStaleDecisionSkipped(t *testing.T) {
+	// A scheduler returning an over-capacity decision must not bind the pod.
+	o := newOrch(1)
+	p := o.NewPod(workloads.RodiniaProfile(workloads.KMeans), nil)
+	p.RequestMemMB = workloads.GPUMemMB * 2 // can never fit
+	o.Submit(0, p)
+	o.Run(sim.Second)
+	if p.Phase != PodPending {
+		t.Fatalf("impossible pod phase = %v, want Pending forever", p.Phase)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PodPending.String() != "Pending" || PodRunning.String() != "Running" ||
+		PodSucceeded.String() != "Succeeded" {
+		t.Fatal("phase strings wrong")
+	}
+}

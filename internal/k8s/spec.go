@@ -1,0 +1,117 @@
+package k8s
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"kubeknots/internal/workloads"
+)
+
+// Manifest is a declarative pod spec, the substrate's analogue of a
+// Kubernetes YAML manifest (JSON-encoded; the real system ships these
+// through the apiserver and the paper's containers through DockerHub
+// images).
+//
+//	{
+//	  "name": "train-1",
+//	  "workload": {"kind": "rodinia", "name": "kmeans"},
+//	  "labels": {"team": "vision"},
+//	  "priority": 10,
+//	  "affinity": {"nodeIn": [0, 1], "podAntiAffinity": {"team": "vision"}}
+//	}
+type Manifest struct {
+	Name     string            `json:"name"`
+	Workload WorkloadRef       `json:"workload"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Priority int               `json:"priority,omitempty"`
+	Affinity *AffinitySpec     `json:"affinity,omitempty"`
+}
+
+// WorkloadRef names the containerized application.
+type WorkloadRef struct {
+	// Kind is "rodinia" (batch HPC) or "inference" (latency-critical).
+	Kind string `json:"kind"`
+	// Name is the Rodinia application or Djinn&Tonic model name.
+	Name string `json:"name"`
+	// Batch is the inference batch size (inference only; default 1).
+	Batch int `json:"batch,omitempty"`
+	// TFManaged earmarks ~99 % of device memory (inference only).
+	TFManaged bool `json:"tfManaged,omitempty"`
+}
+
+// AffinitySpec is the wire form of Affinity.
+type AffinitySpec struct {
+	NodeIn          []int             `json:"nodeIn,omitempty"`
+	PodAffinity     map[string]string `json:"podAffinity,omitempty"`
+	PodAntiAffinity map[string]string `json:"podAntiAffinity,omitempty"`
+}
+
+// ParseManifest decodes and validates a JSON manifest.
+func ParseManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("k8s: parse manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// Validate checks the manifest references a known workload.
+func (m Manifest) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("k8s: manifest needs a name")
+	}
+	switch m.Workload.Kind {
+	case "rodinia":
+		if workloads.RodiniaProfile(m.Workload.Name) == nil {
+			return fmt.Errorf("k8s: unknown rodinia application %q", m.Workload.Name)
+		}
+	case "inference":
+		if workloads.Inference(m.Workload.Name) == nil {
+			return fmt.Errorf("k8s: unknown inference model %q", m.Workload.Name)
+		}
+		if m.Workload.Batch < 0 {
+			return fmt.Errorf("k8s: negative batch size")
+		}
+	default:
+		return fmt.Errorf("k8s: unknown workload kind %q (want rodinia or inference)", m.Workload.Kind)
+	}
+	return nil
+}
+
+// profile resolves the manifest's workload profile.
+func (m Manifest) profile() *workloads.Profile {
+	switch m.Workload.Kind {
+	case "rodinia":
+		return workloads.RodiniaProfile(m.Workload.Name)
+	case "inference":
+		batch := m.Workload.Batch
+		if batch < 1 {
+			batch = 1
+		}
+		return workloads.Inference(m.Workload.Name).QueryProfile(batch, m.Workload.TFManaged)
+	}
+	return nil
+}
+
+// PodFromManifest instantiates a pod from a validated manifest.
+func (o *Orchestrator) PodFromManifest(m Manifest, rng *rand.Rand) (*Pod, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	p := o.NewPod(m.profile(), rng)
+	p.Name = m.Name
+	p.Labels = m.Labels
+	p.Priority = m.Priority
+	if m.Affinity != nil {
+		p.Affinity = &Affinity{
+			NodeIn:          m.Affinity.NodeIn,
+			PodAffinity:     m.Affinity.PodAffinity,
+			PodAntiAffinity: m.Affinity.PodAntiAffinity,
+		}
+	}
+	return p, nil
+}

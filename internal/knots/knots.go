@@ -1,0 +1,185 @@
+// Package knots is the paper's core runtime contribution: the GPU-aware
+// orchestration layer (Section IV-A). A node-level Monitor samples the five
+// NVML metrics of every GPU each heartbeat into that node's time-series
+// database (the paper uses pyNVML + InfluxDB); the head-node Aggregator
+// queries all node databases every heartbeat and exposes cluster-wide
+// snapshots plus trailing metric windows, which the CBP and PP schedulers
+// consume for correlation checks and ARIMA forecasting.
+package knots
+
+import (
+	"fmt"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/tsdb"
+)
+
+// Metric names recorded per GPU, mirroring the five pyNVML counters.
+const (
+	MetricSM    = "sm_util"     // streaming-multiprocessor utilization %
+	MetricMem   = "mem_used_mb" // live device memory footprint
+	MetricPower = "power_w"     // instantaneous draw
+	MetricTx    = "tx_mbps"     // host→device bandwidth
+	MetricRx    = "rx_mbps"     // device→host bandwidth
+)
+
+// Metrics lists the five recorded metric names.
+var Metrics = []string{MetricSM, MetricMem, MetricPower, MetricTx, MetricRx}
+
+// seriesName keys a GPU metric within its node's database.
+func seriesName(g *cluster.GPU, metric string) string {
+	return fmt.Sprintf("g%d/%s", g.Index, metric)
+}
+
+// Monitor is the per-node sampling daemon (one logical instance serves the
+// whole simulated cluster, holding one DB per node as the paper holds one
+// InfluxDB per worker).
+type Monitor struct {
+	Cluster *cluster.Cluster
+	dbs     map[int]*tsdb.DB
+}
+
+// NewMonitor creates a monitor with one node-local DB per node; capacity is
+// the per-series ring size (0 = tsdb.DefaultCapacity).
+func NewMonitor(cl *cluster.Cluster, capacity int) *Monitor {
+	m := &Monitor{Cluster: cl, dbs: make(map[int]*tsdb.DB)}
+	for _, g := range cl.GPUs() {
+		if m.dbs[g.Node] == nil {
+			m.dbs[g.Node] = tsdb.New(capacity)
+		}
+	}
+	return m
+}
+
+// Sample records every GPU's current Observation into its node database.
+// Call once per heartbeat.
+func (m *Monitor) Sample(now sim.Time) {
+	for _, g := range m.Cluster.GPUs() {
+		db := m.dbs[g.Node]
+		o := g.Obs
+		db.Append(seriesName(g, MetricSM), now, o.SMPct)
+		db.Append(seriesName(g, MetricMem), now, o.MemUsedMB)
+		db.Append(seriesName(g, MetricPower), now, o.PowerW)
+		db.Append(seriesName(g, MetricTx), now, o.TxMBps)
+		db.Append(seriesName(g, MetricRx), now, o.RxMBps)
+	}
+}
+
+// NodeDB exposes a node's time-series database.
+func (m *Monitor) NodeDB(node int) *tsdb.DB { return m.dbs[node] }
+
+// Series returns the trailing window of one GPU metric, oldest first.
+func (m *Monitor) Series(g *cluster.GPU, metric string, now, window sim.Time) []float64 {
+	db := m.dbs[g.Node]
+	if db == nil {
+		return nil
+	}
+	return db.Values(seriesName(g, metric), now-window, now)
+}
+
+// GPUStat is the aggregator's per-device view handed to schedulers.
+type GPUStat struct {
+	GPU              *cluster.GPU
+	Obs              cluster.Observation
+	FreeReservableMB float64
+	// Resident lists the device's current containers (labels and classes
+	// feed the k8s affinity rules).
+	Resident []*cluster.Container
+	// Trailing five-second windows of the metrics the schedulers use.
+	MemSeries []float64
+	SMSeries  []float64
+	BWSeries  []float64
+}
+
+// Snapshot is the cluster-wide utilization view at one heartbeat.
+type Snapshot struct {
+	At    sim.Time
+	Stats []GPUStat // node-major stable order
+}
+
+// Active returns the stats of GPUs that are awake (the paper's scheduler
+// queries "all active GPU nodes ... excluding the GPUs which are in deep
+// sleep power state" — but placement may still wake a sleeping device, so
+// callers choose).
+func (s *Snapshot) Active() []GPUStat {
+	var out []GPUStat
+	for _, st := range s.Stats {
+		if !st.Obs.Asleep {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Aggregator is the head-node utilization aggregator.
+type Aggregator struct {
+	Monitor *Monitor
+	// Window is the sliding query window (the paper uses five seconds).
+	Window sim.Time
+	// MaxPoints bounds each snapshot series by mean-downsampling the window
+	// (default 64) — the paper's "sliding window consists of few data
+	// points", which also keeps per-round scheduling cost flat.
+	MaxPoints int
+}
+
+// DefaultWindow is the paper's five-second scheduling window.
+const DefaultWindow = 5 * sim.Second
+
+// DefaultMaxPoints is the default snapshot series length.
+const DefaultMaxPoints = 64
+
+// NewAggregator wraps a monitor with the default window.
+func NewAggregator(m *Monitor) *Aggregator {
+	return &Aggregator{Monitor: m, Window: DefaultWindow, MaxPoints: DefaultMaxPoints}
+}
+
+// series returns the (possibly downsampled) trailing window of one metric.
+func (a *Aggregator) series(g *cluster.GPU, metric string, now, w sim.Time) []float64 {
+	db := a.Monitor.NodeDB(g.Node)
+	if db == nil {
+		return nil
+	}
+	maxPts := a.MaxPoints
+	if maxPts <= 0 {
+		maxPts = DefaultMaxPoints
+	}
+	bucket := w / sim.Time(maxPts)
+	pts := db.Downsample(seriesName(g, metric), now-w, now, bucket)
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Snapshot queries every node database for the trailing window and returns
+// the cluster view.
+func (a *Aggregator) Snapshot(now sim.Time) *Snapshot {
+	w := a.Window
+	if w <= 0 {
+		w = DefaultWindow
+	}
+	snap := &Snapshot{At: now}
+	for _, g := range a.Monitor.Cluster.GPUs() {
+		st := GPUStat{
+			GPU:              g,
+			Obs:              g.Obs,
+			FreeReservableMB: g.FreeReservableMB(),
+			Resident:         append([]*cluster.Container(nil), g.Containers()...),
+			MemSeries:        a.series(g, MetricMem, now, w),
+			SMSeries:         a.series(g, MetricSM, now, w),
+		}
+		tx := a.series(g, MetricTx, now, w)
+		rx := a.series(g, MetricRx, now, w)
+		if len(tx) == len(rx) {
+			bw := make([]float64, len(tx))
+			for i := range tx {
+				bw[i] = tx[i] + rx[i]
+			}
+			st.BWSeries = bw
+		}
+		snap.Stats = append(snap.Stats, st)
+	}
+	return snap
+}

@@ -1,0 +1,125 @@
+package knots
+
+import (
+	"testing"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// runOnce executes one container of the named profile to completion while
+// the profiler samples it.
+func runOnce(t *testing.T, p *Profiler, name string, seed int64) {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cl := cluster.New(cfg)
+	g := cl.GPUs()[0]
+	prof := workloads.RodiniaProfile(name)
+	eng := sim.NewEngine(seed)
+	c := &cluster.Container{ID: "run", Class: prof.Class, Inst: prof.NewInstance(eng.RNG())}
+	if err := g.Place(0, c, prof.RequestMemMB); err != nil {
+		t.Fatal(err)
+	}
+	for now := sim.Time(0); now < 5*prof.Duration(); now += 100 * sim.Millisecond {
+		res := cl.Tick(now, 100*sim.Millisecond)
+		p.SampleContainers(now, cl)
+		if len(res.Done) > 0 {
+			p.Complete(res.Done[0])
+			return
+		}
+	}
+	t.Fatal("container never finished")
+}
+
+func TestProfilerLearnsPercentiles(t *testing.T) {
+	p := NewProfiler()
+	if _, ok := p.Stats(workloads.KMeans); ok {
+		t.Fatal("no stats before any run")
+	}
+	for i := 0; i < 3; i++ {
+		runOnce(t, p, workloads.KMeans, int64(i+1))
+	}
+	st, ok := p.Stats(workloads.KMeans)
+	if !ok || st.Runs != 3 {
+		t.Fatalf("stats = %+v, ok=%v", st, ok)
+	}
+	truth := workloads.RodiniaProfile(workloads.KMeans)
+	// Learned p80 within 15% of the ground-truth profile (instance jitter
+	// scales memory ±5%).
+	if err := LearnedAccuracy(st, truth); err > 0.15 {
+		t.Fatalf("learned p80 error = %v (learned %v, truth %v)",
+			err, st.MemP80MB, truth.MemPercentileMB(80))
+	}
+	// Peak learned within jitter of the true peak.
+	if st.MemPeakMB < truth.PeakMemMB()*0.9 || st.MemPeakMB > truth.PeakMemMB()*1.1 {
+		t.Fatalf("learned peak = %v, truth %v", st.MemPeakMB, truth.PeakMemMB())
+	}
+	if st.SMPeakPct < truth.PeakSMPct()*0.9 {
+		t.Fatalf("learned SM peak = %v, truth %v", st.SMPeakPct, truth.PeakSMPct())
+	}
+}
+
+func TestProfilerUpcomingWindowShape(t *testing.T) {
+	p := NewProfiler()
+	runOnce(t, p, workloads.KMeans, 7)
+	st, ok := p.Stats(workloads.KMeans)
+	if !ok {
+		t.Fatal("stats missing")
+	}
+	if len(st.UpcomingMem) != upcomingPoints {
+		t.Fatalf("upcoming series = %d points, want %d", len(st.UpcomingMem), upcomingPoints)
+	}
+	// kmeans: 2s transfer at ~500MB then compute at ~1100MB. The learned
+	// early window must show the step.
+	if st.UpcomingMem[0] > 700 {
+		t.Fatalf("window start = %v, want transfer-phase footprint", st.UpcomingMem[0])
+	}
+	last := st.UpcomingMem[len(st.UpcomingMem)-1]
+	if last < 900 {
+		t.Fatalf("window end = %v, want compute-phase footprint", last)
+	}
+}
+
+func TestProfilerImages(t *testing.T) {
+	p := NewProfiler()
+	runOnce(t, p, workloads.Myocyte, 1)
+	runOnce(t, p, workloads.LUD, 1)
+	imgs := p.Images()
+	if len(imgs) != 2 || imgs[0] != workloads.LUD || imgs[1] != workloads.Myocyte {
+		t.Fatalf("images = %v", imgs)
+	}
+}
+
+func TestProfilerCoalescesFineHeartbeats(t *testing.T) {
+	p := NewProfiler()
+	prof := workloads.RodiniaProfile(workloads.Myocyte)
+	c := &cluster.Container{ID: "x", Class: prof.Class, Inst: prof.NewInstance(nil)}
+	// 1ms observations must coalesce to the 100ms profile step.
+	for now := sim.Time(0); now < sim.Second; now += sim.Millisecond {
+		p.Observe(now, c, 300, 15)
+	}
+	p.Complete(c)
+	st, ok := p.Stats(workloads.Myocyte)
+	if !ok {
+		t.Fatal("stats missing")
+	}
+	if len(st.UpcomingMem) != upcomingPoints {
+		t.Fatalf("upcoming length = %d", len(st.UpcomingMem))
+	}
+	// 1 second at 100ms step = 10 real samples; reservoir must hold ~10.
+	if st.Runs != 1 {
+		t.Fatalf("runs = %d", st.Runs)
+	}
+}
+
+func TestProfilerUnknownCompleteIsNoop(t *testing.T) {
+	p := NewProfiler()
+	prof := workloads.RodiniaProfile(workloads.LUD)
+	c := &cluster.Container{ID: "ghost", Class: prof.Class, Inst: prof.NewInstance(nil)}
+	p.Complete(c) // never observed
+	if _, ok := p.Stats(workloads.LUD); ok {
+		t.Fatal("no stats should exist")
+	}
+}

@@ -1,0 +1,185 @@
+package knots
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"kubeknots/internal/sim"
+)
+
+// This file implements the networked shape of the paper's deployment
+// (Fig. 5): every worker runs a node-level monitor with a node-local
+// time-series store; the head-node utilization aggregator queries each
+// worker over HTTP every heartbeat. The in-process Monitor/Aggregator pair
+// stays the fast path for simulation; NodeServer/RemoteAggregator carry the
+// same data across a real network boundary with a stable JSON wire format.
+
+// WireObservation is the JSON encoding of one GPU's five-metric sample.
+type WireObservation struct {
+	GPU           string  `json:"gpu"`
+	Model         string  `json:"model,omitempty"`
+	SMPct         float64 `json:"sm_util"`
+	MemUsedMB     float64 `json:"mem_used_mb"`
+	MemReservedMB float64 `json:"mem_reserved_mb"`
+	TxMBps        float64 `json:"tx_mbps"`
+	RxMBps        float64 `json:"rx_mbps"`
+	PowerW        float64 `json:"power_w"`
+	Containers    int     `json:"containers"`
+	Asleep        bool    `json:"asleep"`
+	FreeMB        float64 `json:"free_reservable_mb"`
+}
+
+// WireWindow is the JSON encoding of one GPU's trailing metric windows.
+type WireWindow struct {
+	GPU    string               `json:"gpu"`
+	Series map[string][]float64 `json:"series"`
+}
+
+// NodeStats is a head-node view of one worker: latest observations plus
+// trailing windows for every device on the node.
+type NodeStats struct {
+	Node    int               `json:"node"`
+	At      int64             `json:"at_ms"`
+	Devices []WireObservation `json:"devices"`
+	Windows []WireWindow      `json:"windows"`
+}
+
+// NodeServer exposes one node's monitor over HTTP:
+//
+//	GET /stats?now=<ms>&window=<ms>  → NodeStats (JSON)
+//
+// The simulated clock is supplied by the caller (`now`), keeping the server
+// free of wall-clock reads like every other component.
+type NodeServer struct {
+	Monitor *Monitor
+	Node    int
+
+	mu sync.RWMutex
+}
+
+// ServeHTTP implements http.Handler.
+func (s *NodeServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/stats" {
+		http.NotFound(w, r)
+		return
+	}
+	now, err := strconv.ParseInt(r.URL.Query().Get("now"), 10, 64)
+	if err != nil {
+		http.Error(w, "knots: bad or missing now=<ms>", http.StatusBadRequest)
+		return
+	}
+	window, err := strconv.ParseInt(r.URL.Query().Get("window"), 10, 64)
+	if err != nil || window <= 0 {
+		window = int64(DefaultWindow)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	stats := s.snapshot(sim.Time(now), sim.Time(window))
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(stats); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// snapshot builds the node's wire view.
+func (s *NodeServer) snapshot(now, window sim.Time) NodeStats {
+	out := NodeStats{Node: s.Node, At: int64(now)}
+	for _, g := range s.Monitor.Cluster.NodeGPUs(s.Node) {
+		o := g.Obs
+		out.Devices = append(out.Devices, WireObservation{
+			GPU:           g.ID(),
+			Model:         g.ModelName,
+			SMPct:         o.SMPct,
+			MemUsedMB:     o.MemUsedMB,
+			MemReservedMB: o.MemReservedMB,
+			TxMBps:        o.TxMBps,
+			RxMBps:        o.RxMBps,
+			PowerW:        o.PowerW,
+			Containers:    o.Containers,
+			Asleep:        o.Asleep,
+			FreeMB:        g.FreeReservableMB(),
+		})
+		series := make(map[string][]float64, len(Metrics))
+		for _, m := range Metrics {
+			series[m] = s.Monitor.Series(g, m, now, window)
+		}
+		out.Windows = append(out.Windows, WireWindow{GPU: g.ID(), Series: series})
+	}
+	return out
+}
+
+// RemoteAggregator is the head-node side: it fans a heartbeat query out to
+// every worker endpoint and merges the responses.
+type RemoteAggregator struct {
+	// Endpoints are worker base URLs (e.g. "http://worker-3:8089").
+	Endpoints []string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+	// Window defaults to the paper's five seconds.
+	Window sim.Time
+}
+
+// Fetch queries every worker in parallel and returns their stats in
+// endpoint order. A worker error aborts the whole heartbeat: the scheduler
+// must not act on a partial cluster view.
+func (ra *RemoteAggregator) Fetch(now sim.Time) ([]NodeStats, error) {
+	client := ra.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	window := ra.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	type result struct {
+		i     int
+		stats NodeStats
+		err   error
+	}
+	ch := make(chan result, len(ra.Endpoints))
+	for i, ep := range ra.Endpoints {
+		go func(i int, ep string) {
+			url := fmt.Sprintf("%s/stats?now=%d&window=%d", ep, int64(now), int64(window))
+			resp, err := client.Get(url)
+			if err != nil {
+				ch <- result{i: i, err: fmt.Errorf("knots: query %s: %w", ep, err)}
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				ch <- result{i: i, err: fmt.Errorf("knots: query %s: HTTP %d", ep, resp.StatusCode)}
+				return
+			}
+			var st NodeStats
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				ch <- result{i: i, err: fmt.Errorf("knots: decode %s: %w", ep, err)}
+				return
+			}
+			ch <- result{i: i, stats: st}
+		}(i, ep)
+	}
+	out := make([]NodeStats, len(ra.Endpoints))
+	for range ra.Endpoints {
+		r := <-ch
+		if r.err != nil {
+			return nil, r.err
+		}
+		out[r.i] = r.stats
+	}
+	return out, nil
+}
+
+// TotalFreeMB sums free reservable memory across a fetched cluster view —
+// the quantity Algorithm 1 sorts nodes by.
+func TotalFreeMB(stats []NodeStats) float64 {
+	var total float64
+	for _, ns := range stats {
+		for _, d := range ns.Devices {
+			total += d.FreeMB
+		}
+	}
+	return total
+}

@@ -1,0 +1,131 @@
+package knots
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// remoteRig spins up one HTTP NodeServer per simulated node.
+func remoteRig(t *testing.T, nodes int) (*cluster.Cluster, *Monitor, *RemoteAggregator, func()) {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = nodes
+	cl := cluster.New(cfg)
+	mon := NewMonitor(cl, 0)
+	var servers []*httptest.Server
+	var endpoints []string
+	for n := 0; n < nodes; n++ {
+		srv := httptest.NewServer(&NodeServer{Monitor: mon, Node: n})
+		servers = append(servers, srv)
+		endpoints = append(endpoints, srv.URL)
+	}
+	ra := &RemoteAggregator{Endpoints: endpoints}
+	return cl, mon, ra, func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+}
+
+func TestRemoteAggregatorFetch(t *testing.T) {
+	cl, mon, ra, closeAll := remoteRig(t, 3)
+	defer closeAll()
+
+	prof := workloads.RodiniaProfile(workloads.KMeans)
+	c := &cluster.Container{ID: "a", Class: prof.Class, Inst: prof.NewInstance(nil)}
+	if err := cl.GPUs()[1].Place(0, c, 3000); err != nil {
+		t.Fatal(err)
+	}
+	for now := sim.Time(0); now < 3*sim.Second; now += 10 * sim.Millisecond {
+		cl.Tick(now, 10*sim.Millisecond)
+		mon.Sample(now)
+	}
+
+	stats, err := ra.Fetch(3 * sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d nodes", len(stats))
+	}
+	if stats[0].Node != 0 || stats[2].Node != 2 {
+		t.Fatal("endpoint order not preserved")
+	}
+	busy := stats[1].Devices[0]
+	if busy.Containers != 1 || busy.MemUsedMB <= 0 {
+		t.Fatalf("busy node observation = %+v", busy)
+	}
+	if busy.FreeMB != workloads.GPUMemMB-3000 {
+		t.Fatalf("FreeMB = %v", busy.FreeMB)
+	}
+	// Windows carry all five metrics.
+	win := stats[1].Windows[0]
+	if len(win.Series) != len(Metrics) {
+		t.Fatalf("window series = %d, want %d", len(win.Series), len(Metrics))
+	}
+	if len(win.Series[MetricMem]) == 0 {
+		t.Fatal("memory window empty")
+	}
+	// Cluster-wide free memory sums per-device values.
+	wantFree := 3*workloads.GPUMemMB - 3000
+	if got := TotalFreeMB(stats); got != float64(wantFree) {
+		t.Fatalf("TotalFreeMB = %v, want %v", got, wantFree)
+	}
+}
+
+func TestNodeServerValidation(t *testing.T) {
+	_, _, ra, closeAll := remoteRig(t, 1)
+	defer closeAll()
+	// Missing now parameter → 400.
+	resp, err := http.Get(ra.Endpoints[0] + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing now: HTTP %d, want 400", resp.StatusCode)
+	}
+	// Unknown path → 404.
+	resp, err = http.Get(ra.Endpoints[0] + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRemoteAggregatorPartialFailureAborts(t *testing.T) {
+	_, _, ra, closeAll := remoteRig(t, 2)
+	defer closeAll()
+	// Add a dead endpoint: the heartbeat must fail as a whole.
+	ra.Endpoints = append(ra.Endpoints, "http://127.0.0.1:1") // nothing listens
+	if _, err := ra.Fetch(sim.Second); err == nil {
+		t.Fatal("dead worker should abort the heartbeat")
+	}
+}
+
+func TestRemoteAggregatorBadBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer srv.Close()
+	ra := &RemoteAggregator{Endpoints: []string{srv.URL}}
+	if _, err := ra.Fetch(sim.Second); err == nil {
+		t.Fatal("garbage body should error")
+	}
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv2.Close()
+	ra2 := &RemoteAggregator{Endpoints: []string{srv2.URL}}
+	if _, err := ra2.Fetch(sim.Second); err == nil {
+		t.Fatal("HTTP 500 should error")
+	}
+}

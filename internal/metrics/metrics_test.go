@@ -1,0 +1,378 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Fatalf("Mean = %v, want 4", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !approx(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !approx(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{1}); got != 0 {
+		t.Fatalf("Variance single = %v, want 0", got)
+	}
+}
+
+func TestCOV(t *testing.T) {
+	if got := COV([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("COV constant = %v, want 0", got)
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := COV(xs); !approx(got, 2.0/5.0, 1e-12) {
+		t.Fatalf("COV = %v, want 0.4", got)
+	}
+	if got := COV(nil); got != 0 {
+		t.Fatalf("COV(nil) = %v, want 0", got)
+	}
+}
+
+func TestCOVScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = 1 + r.Float64()*99
+		}
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = x * 7.5
+		}
+		return approx(COV(xs), COV(scaled), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !approx(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(nil) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Fatalf("Percentile single = %v, want 7", got)
+	}
+	// Out-of-range p clamps rather than panicking.
+	if got := Percentile(xs, -5); got != 15 {
+		t.Fatalf("Percentile(-5) = %v, want 15", got)
+	}
+	if got := Percentile(xs, 105); got != 50 {
+		t.Fatalf("Percentile(105) = %v, want 50", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	Percentile(xs, 50)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Fatalf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(seed int64, p float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+r.Intn(50))
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+		}
+		p = math.Mod(math.Abs(p), 100)
+		v := Percentile(xs, p)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 2+r.Intn(40))
+		for i := range xs {
+			xs[i] = r.Float64() * 1000
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	ps := []float64{0, 10, 50, 90, 99, 100}
+	got := Percentiles(xs, ps...)
+	for i, p := range ps {
+		if want := Percentile(xs, p); !approx(got[i], want, 1e-12) {
+			t.Errorf("Percentiles[%v] = %v, want %v", p, got[i], want)
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil || !approx(r, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, %v; want 1", r, err)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(x, yneg)
+	if err != nil || !approx(r, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, %v; want -1", r, err)
+	}
+	if _, err := Pearson(x, x[:3]); err == nil {
+		t.Fatal("Pearson length mismatch: want error")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("Pearson zero variance: want error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("Pearson single point: want error")
+	}
+}
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{1, 8, 27, 64, 125, 216} // monotone but nonlinear
+	rho, err := SpearmanRho(x, y)
+	if err != nil || !approx(rho, 1, 1e-12) {
+		t.Fatalf("SpearmanRho monotone = %v, %v; want 1", rho, err)
+	}
+	rev := []float64{216, 125, 64, 27, 8, 1}
+	rho, err = SpearmanRho(x, rev)
+	if err != nil || !approx(rho, -1, 1e-12) {
+		t.Fatalf("SpearmanRho reversed = %v, %v; want -1", rho, err)
+	}
+}
+
+func TestSpearmanSelfCorrelationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 10+r.Intn(30))
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		rho, err := SpearmanRho(xs, xs)
+		return err == nil && approx(rho, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearmanEquationOneAgreement(t *testing.T) {
+	// For distinct values, Pearson-on-ranks must equal the paper's
+	// Equation 1 closed form ρ = 1 − 6Σd²/(n(n²−1)).
+	x := []float64{10, 50, 30, 20, 40}
+	y := []float64{7, 3, 9, 1, 5}
+	rho, err := SpearmanRho(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, ry := ranks(x), ranks(y)
+	var d2 float64
+	for i := range rx {
+		d := rx[i] - ry[i]
+		d2 += d * d
+	}
+	n := float64(len(x))
+	want := 1 - 6*d2/(n*(n*n-1))
+	if !approx(rho, want, 1e-12) {
+		t.Fatalf("SpearmanRho = %v, Equation 1 = %v", rho, want)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 2, 2, 3}
+	y := []float64{1, 2, 2, 3}
+	rho, err := SpearmanRho(x, y)
+	if err != nil || !approx(rho, 1, 1e-12) {
+		t.Fatalf("SpearmanRho ties = %v, %v; want 1", rho, err)
+	}
+}
+
+func TestRanksAverageTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAutoCorrelationLagZeroIsOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		y := make([]float64, 5+r.Intn(50))
+		for i := range y {
+			y[i] = r.Float64() * 10
+		}
+		if Variance(y) == 0 {
+			return true
+		}
+		r0, err := AutoCorrelation(y, 0)
+		return err == nil && approx(r0, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoCorrelationPeriodicSignal(t *testing.T) {
+	// A strong period-4 signal should autocorrelate highly at lag 4 and
+	// negatively at lag 2.
+	y := make([]float64, 64)
+	for i := range y {
+		y[i] = math.Sin(2 * math.Pi * float64(i) / 4)
+	}
+	r4, err := AutoCorrelation(y, 4)
+	if err != nil || r4 < 0.8 {
+		t.Fatalf("lag-4 autocorrelation = %v, %v; want > 0.8", r4, err)
+	}
+	r2, err := AutoCorrelation(y, 2)
+	if err != nil || r2 > -0.8 {
+		t.Fatalf("lag-2 autocorrelation = %v, %v; want < -0.8", r2, err)
+	}
+}
+
+func TestAutoCorrelationErrors(t *testing.T) {
+	if _, err := AutoCorrelation([]float64{1, 2, 3}, 3); err == nil {
+		t.Fatal("lag >= n: want error")
+	}
+	if _, err := AutoCorrelation([]float64{1, 2, 3}, -1); err == nil {
+		t.Fatal("negative lag: want error")
+	}
+	if _, err := AutoCorrelation([]float64{5, 5, 5}, 1); err == nil {
+		t.Fatal("zero variance: want error")
+	}
+}
+
+func TestMSEAndMAPE(t *testing.T) {
+	pred := []float64{10, 20, 30}
+	act := []float64{12, 18, 30}
+	mse, err := MSE(pred, act)
+	if err != nil || !approx(mse, (4.0+4.0+0.0)/3, 1e-12) {
+		t.Fatalf("MSE = %v, %v", mse, err)
+	}
+	mape, err := MAPE(pred, act)
+	want := (math.Abs(-2.0/12)*100 + math.Abs(2.0/18)*100 + 0) / 3
+	if err != nil || !approx(mape, want, 1e-9) {
+		t.Fatalf("MAPE = %v, %v; want %v", mape, err, want)
+	}
+	if _, err := MAPE([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("MAPE all-zero actuals: want error")
+	}
+	if _, err := MSE(nil, nil); err == nil {
+		t.Fatal("MSE empty: want error")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 3, 2})
+	if len(pts) != 3 {
+		t.Fatalf("CDF steps = %d, want 3 (duplicates collapsed)", len(pts))
+	}
+	if pts[0].Value != 1 || !approx(pts[0].Fraction, 0.25, 1e-12) {
+		t.Fatalf("CDF[0] = %+v", pts[0])
+	}
+	if pts[2].Value != 3 || !approx(pts[2].Fraction, 1, 1e-12) {
+		t.Fatalf("CDF last = %+v, want fraction 1", pts[2])
+	}
+	if CDF(nil) != nil {
+		t.Fatal("CDF(nil) should be nil")
+	}
+}
+
+func TestCDFProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+r.Intn(60))
+		for i := range xs {
+			xs[i] = math.Floor(r.Float64() * 10)
+		}
+		pts := CDF(xs)
+		prevV, prevF := math.Inf(-1), 0.0
+		for _, p := range pts {
+			if p.Value <= prevV || p.Fraction <= prevF {
+				return false
+			}
+			prevV, prevF = p.Value, p.Fraction
+		}
+		return approx(pts[len(pts)-1].Fraction, 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	got := MovingAverage([]float64{1, 2, 3, 4}, 2)
+	want := []float64{1, 1.5, 2.5, 3.5}
+	for i := range want {
+		if !approx(got[i], want[i], 1e-12) {
+			t.Fatalf("MovingAverage = %v, want %v", got, want)
+		}
+	}
+	got = MovingAverage([]float64{5, 7}, 0) // clamps to 1
+	if got[0] != 5 || got[1] != 7 {
+		t.Fatalf("MovingAverage window 0 = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 8})
+	if got[2] != 1 || got[0] != 0.25 {
+		t.Fatalf("Normalize = %v", got)
+	}
+	zero := Normalize([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatalf("Normalize zeros = %v", zero)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Fatal("Max/Min nil should be 0")
+	}
+	xs := []float64{3, -1, 7, 2}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Fatalf("Max/Min = %v/%v", Max(xs), Min(xs))
+	}
+}

@@ -1,0 +1,88 @@
+// Package qos accounts Quality-of-Service outcomes for latency-critical
+// queries. The paper adopts the 150 ms user-facing threshold of Dean &
+// Barroso's "The Tail at Scale" (Section VI-B) and reports violations per
+// 1000 inference queries (Fig. 10a) and per hour (Fig. 12b).
+package qos
+
+import (
+	"sort"
+
+	"kubeknots/internal/sim"
+)
+
+// DefaultSLO is the end-to-end latency threshold for user-facing queries.
+const DefaultSLO = 150 * sim.Millisecond
+
+// Tracker accumulates query latencies against an SLO. The zero value uses
+// DefaultSLO.
+type Tracker struct {
+	SLO        sim.Time
+	latencies  []sim.Time
+	violations int
+}
+
+// Record accounts one completed query's end-to-end latency.
+func (t *Tracker) Record(latency sim.Time) {
+	slo := t.SLO
+	if slo <= 0 {
+		slo = DefaultSLO
+	}
+	t.latencies = append(t.latencies, latency)
+	if latency > slo {
+		t.violations++
+	}
+}
+
+// Queries returns the number of recorded queries.
+func (t *Tracker) Queries() int { return len(t.latencies) }
+
+// Violations returns the number of SLO-violating queries.
+func (t *Tracker) Violations() int { return t.violations }
+
+// PerKilo returns violations per 1000 queries (Fig. 10a's unit), or 0 when
+// nothing was recorded.
+func (t *Tracker) PerKilo() float64 {
+	if len(t.latencies) == 0 {
+		return 0
+	}
+	return float64(t.violations) / float64(len(t.latencies)) * 1000
+}
+
+// PerHour returns violations per hour over the given span (Fig. 12b's
+// unit).
+func (t *Tracker) PerHour(span sim.Time) float64 {
+	h := span.Hours()
+	if h <= 0 {
+		return 0
+	}
+	return float64(t.violations) / h
+}
+
+// Percentile returns the p-th percentile latency.
+func (t *Tracker) Percentile(p float64) sim.Time {
+	if len(t.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]sim.Time(nil), t.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Mean returns the mean latency.
+func (t *Tracker) Mean() sim.Time {
+	if len(t.latencies) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, l := range t.latencies {
+		sum += l
+	}
+	return sum / sim.Time(len(t.latencies))
+}

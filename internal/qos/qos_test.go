@@ -1,0 +1,76 @@
+package qos
+
+import (
+	"testing"
+
+	"kubeknots/internal/sim"
+)
+
+func TestDefaultSLO(t *testing.T) {
+	var tr Tracker
+	tr.Record(100 * sim.Millisecond) // under 150ms default
+	tr.Record(200 * sim.Millisecond) // over
+	if tr.Queries() != 2 || tr.Violations() != 1 {
+		t.Fatalf("queries=%d violations=%d", tr.Queries(), tr.Violations())
+	}
+}
+
+func TestCustomSLO(t *testing.T) {
+	tr := Tracker{SLO: 50 * sim.Millisecond}
+	tr.Record(60 * sim.Millisecond)
+	if tr.Violations() != 1 {
+		t.Fatal("custom SLO not applied")
+	}
+}
+
+func TestPerKilo(t *testing.T) {
+	var tr Tracker
+	if tr.PerKilo() != 0 {
+		t.Fatal("empty tracker PerKilo should be 0")
+	}
+	for i := 0; i < 90; i++ {
+		tr.Record(10 * sim.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record(sim.Second)
+	}
+	if got := tr.PerKilo(); got != 100 {
+		t.Fatalf("PerKilo = %v, want 100", got)
+	}
+}
+
+func TestPerHour(t *testing.T) {
+	var tr Tracker
+	tr.Record(sim.Second)
+	tr.Record(sim.Second)
+	if got := tr.PerHour(30 * sim.Minute); got != 4 {
+		t.Fatalf("PerHour = %v, want 4", got)
+	}
+	if tr.PerHour(0) != 0 {
+		t.Fatal("zero span should be 0")
+	}
+}
+
+func TestPercentileAndMean(t *testing.T) {
+	var tr Tracker
+	for i := 1; i <= 100; i++ {
+		tr.Record(sim.Time(i) * sim.Millisecond)
+	}
+	if got := tr.Percentile(99); got != 99*sim.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := tr.Percentile(0); got != sim.Millisecond {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := tr.Percentile(200); got != 100*sim.Millisecond {
+		t.Fatalf("clamped p = %v", got)
+	}
+	// Sum 1..100 ms = 5050 ms; integer division by 100 truncates to 50 ms.
+	if got := tr.Mean(); got != 50*sim.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+	var empty Tracker
+	if empty.Percentile(50) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty tracker percentile/mean should be 0")
+	}
+}

@@ -1,0 +1,463 @@
+// Package scheduler implements the paper's four cluster-level GPU
+// scheduling policies (Sections III-B and IV):
+//
+//   - Uniform: Kubernetes' default GPU handling — exclusive device per pod.
+//   - ResAg: resource-agnostic GPU sharing — first-fit-decreasing bin
+//     packing by *requested* memory, blind to live utilization.
+//   - CBP: correlation-based provisioning — resizes batch pods to their
+//     80th-percentile footprint and refuses to co-locate pods whose memory
+//     utilization is positively correlated (Spearman ρ ≥ 0.5) with the
+//     target node's recent history.
+//   - PP: peak prediction on top of CBP (Algorithm 1) — when the
+//     correlation gate refuses a node, a positive autocorrelation on the
+//     node's memory series licenses an ARIMA forecast of next-interval
+//     utilization; the pod ships anyway if the predicted free memory covers
+//     its peak need, staggering co-located peaks instead of forbidding
+//     co-location.
+//
+// CBP and PP consult each pending pod's steady-state utilization profile —
+// the information Knots accumulates online per application image; using the
+// profile object directly represents that learned state without a-priori
+// *offline* profiling (the distinction the paper draws from Baymax/Mystic).
+package scheduler
+
+import (
+	"sort"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/forecast"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/knots"
+	"kubeknots/internal/metrics"
+	"kubeknots/internal/qos"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// resample stretches or shrinks xs to exactly n samples by nearest-index
+// lookup, so profile series can be correlated against live node windows of
+// any heartbeat resolution.
+func resample(xs []float64, n int) []float64 {
+	if len(xs) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		j := i * len(xs) / n
+		out[i] = xs[j]
+	}
+	return out
+}
+
+// planner tracks in-round commitments so one scheduling pass cannot
+// double-book memory, SM headroom, or exclusive devices.
+type planner struct {
+	free    map[*cluster.GPU]float64
+	sm      map[*cluster.GPU]float64
+	claimed map[*cluster.GPU]bool
+	conts   map[*cluster.GPU]int
+}
+
+func newPlanner(snap *knots.Snapshot) *planner {
+	p := &planner{
+		free:    make(map[*cluster.GPU]float64, len(snap.Stats)),
+		sm:      make(map[*cluster.GPU]float64, len(snap.Stats)),
+		claimed: make(map[*cluster.GPU]bool),
+		conts:   make(map[*cluster.GPU]int, len(snap.Stats)),
+	}
+	for _, st := range snap.Stats {
+		p.free[st.GPU] = st.FreeReservableMB
+		p.sm[st.GPU] = st.Obs.SMPct
+		p.conts[st.GPU] = st.Obs.Containers
+	}
+	return p
+}
+
+func (p *planner) commit(g *cluster.GPU, reserveMB, peakSM float64) {
+	p.free[g] -= reserveMB
+	p.sm[g] += peakSM
+	p.claimed[g] = true
+	p.conts[g]++
+}
+
+// Uniform is the GPU-agnostic Kubernetes default: one pod per device,
+// reserving it whole, spread across nodes in id order.
+type Uniform struct{}
+
+// Name implements k8s.Scheduler.
+func (Uniform) Name() string { return "Uniform" }
+
+// Schedule implements k8s.Scheduler.
+func (Uniform) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []k8s.Decision {
+	pl := newPlanner(snap)
+	var out []k8s.Decision
+	for _, pod := range pending {
+		for _, st := range snap.Stats {
+			g := st.GPU
+			if pl.conts[g] > 0 || pl.claimed[g] {
+				continue
+			}
+			if !k8s.FitsAffinity(pod, g, st.Resident) {
+				continue
+			}
+			out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: g.MemCapMB})
+			pl.commit(g, g.MemCapMB, 100)
+			break
+		}
+	}
+	return out
+}
+
+// ResAg is the resource-agnostic sharing baseline (Section IV-B): GPU
+// sharing is on, pods are taken first-fit in decreasing *requested*-memory
+// order and placed round-robin across devices — the paper's "GPU
+// utilization-agnostic uniform scheduling". Requests gate admission; live
+// SM load and queue length are never consulted, so a latency-critical query
+// can land on a device already saturated by batch kernels.
+type ResAg struct {
+	next int // round-robin cursor
+}
+
+// Name implements k8s.Scheduler.
+func (*ResAg) Name() string { return "Res-Ag" }
+
+// Schedule implements k8s.Scheduler.
+func (ra *ResAg) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []k8s.Decision {
+	pl := newPlanner(snap)
+	order := append([]*k8s.Pod(nil), pending...)
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].RequestMemMB > order[j].RequestMemMB
+	})
+	n := len(snap.Stats)
+	var out []k8s.Decision
+	for _, pod := range order {
+		reserve := pod.RequestMemMB
+		for k := 0; k < n; k++ {
+			st := snap.Stats[(ra.next+k)%n]
+			g := st.GPU
+			r := reserve
+			if r > g.MemCapMB {
+				r = g.MemCapMB
+			}
+			if pl.free[g] < r {
+				continue
+			}
+			if !k8s.FitsAffinity(pod, g, st.Resident) {
+				continue
+			}
+			out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: r})
+			pl.commit(g, r, pod.Profile.PeakSMPct())
+			ra.next = (ra.next + k + 1) % n
+			break
+		}
+	}
+	return out
+}
+
+// CBP is the correlation-based prediction/provisioning scheduler
+// (Section IV-C).
+type CBP struct {
+	// CorrThreshold rejects co-location when the pod↔node Spearman
+	// correlation is at or above it (paper: 0.5).
+	CorrThreshold float64
+	// ResizePct is the percentile batch pods are resized to (paper: 80).
+	ResizePct float64
+	// LCMargin multiplies a latency-critical pod's true peak footprint to
+	// form its reservation (default 1.2).
+	LCMargin float64
+	// MaxSM is the planned ceiling on co-located *batch* SM demand per
+	// device (default 200 — batch kernels time-share and stretch, keeping
+	// the device pegged; batch turnaround is not this experiment's metric).
+	MaxSM float64
+	// SLOFraction is the fraction of the 150 ms SLO a latency-critical
+	// pod's predicted (contention-stretched) completion may consume for a
+	// node to be admissible (default 0.9) — the SLO-aware placement test
+	// Res-Ag lacks.
+	SLOFraction float64
+	// MaxBatch bounds how many pending pods one scheduling round considers
+	// (default 64), modelling the scheduler's placement throughput; the
+	// rest stay queued for the next round.
+	MaxBatch int
+	// Learned, when set, supplies online-learned per-image statistics from
+	// the Knots profiler: reservations and the correlation gate use the
+	// learned percentiles and early-window series once an image has
+	// completed runs, falling back to the static profile before that.
+	Learned *knots.Profiler
+
+	profCache map[string][]float64
+}
+
+// Name implements k8s.Scheduler.
+func (c *CBP) Name() string { return "CBP" }
+
+func (c *CBP) params() (corr, resize, lcm, maxSM float64) {
+	corr, resize, lcm, maxSM = c.CorrThreshold, c.ResizePct, c.LCMargin, c.MaxSM
+	if corr == 0 {
+		corr = 0.5
+	}
+	if resize == 0 {
+		resize = 80
+	}
+	if lcm == 0 {
+		lcm = 1.2
+	}
+	if maxSM == 0 {
+		maxSM = 200
+	}
+	return
+}
+
+// lcFits predicts a latency-critical pod's contention-stretched completion
+// time on a device already carrying plannedSM of demand, and admits the
+// placement only if it fits within SLOFraction of the 150 ms threshold.
+// Under serialized kernel execution every resident is slowed by
+// total-demand/100, which the live Knots telemetry lets the scheduler
+// predict — the utilization-awareness that separates CBP/PP from Res-Ag.
+func (c *CBP) lcFits(pod *k8s.Pod, plannedSM float64) bool {
+	frac := c.SLOFraction
+	if frac <= 0 {
+		frac = 0.9
+	}
+	total := plannedSM + pod.Profile.PeakSMPct()
+	stretch := 1.0
+	if total > 100 {
+		stretch = total / 100
+	}
+	const overhead = 30 * sim.Millisecond // binding + tick quantization
+	predicted := sim.Time(float64(pod.Profile.Duration())*stretch) + overhead
+	return float64(predicted) <= frac*float64(qos.DefaultSLO)
+}
+
+// ReserveFor returns the harvested reservation for a pod: batch pods shrink
+// to their ResizePct footprint, latency-critical pods to true peak × margin.
+// With a Learned profiler attached, images that have completed runs are
+// provisioned from their observed statistics instead of the static profile.
+func (c *CBP) ReserveFor(pod *k8s.Pod) float64 {
+	_, resizePct, lcm, _ := c.params()
+	if c.Learned != nil {
+		if st, ok := c.Learned.Stats(pod.Profile.Name); ok {
+			if pod.Class == workloads.Batch {
+				r := st.MemP80MB * 1.1
+				if resizePct <= 50 {
+					r = st.MemP50MB * 1.1
+				}
+				if r > st.MemPeakMB {
+					r = st.MemPeakMB
+				}
+				if r > 0 {
+					return r
+				}
+			} else if st.MemPeakMB > 0 {
+				return st.MemPeakMB * lcm
+			}
+		}
+	}
+	if pod.Class == workloads.Batch {
+		r := pod.Profile.MemPercentileMB(resizePct) * 1.1
+		if peak := pod.Profile.PeakMemMB(); r > peak {
+			r = peak
+		}
+		return r
+	}
+	return pod.Profile.PeakMemMB() * lcm
+}
+
+// corrOK reports whether the pod may co-locate on the node per the
+// correlation gate: the pod's memory behaviour over its *next* scheduling
+// window (the first five seconds of its profile, what it will do if placed
+// now) is rank-correlated against the node's *recent* five-second window.
+// A strongly positive score means the newcomer would ride the node's
+// current memory trend into a simultaneous peak. Only batch pods carry
+// enough structure to correlate; latency-critical pods are co-located after
+// harvesting (Section IV-C).
+func (c *CBP) corrOK(pod *k8s.Pod, st knots.GPUStat) bool {
+	corrTh, _, _, _ := c.params()
+	if pod.Class != workloads.Batch {
+		return true
+	}
+	node := st.MemSeries
+	if len(node) < 8 || metrics.Variance(node) == 0 {
+		return true // empty or flat node: nothing to correlate against
+	}
+	prof := resample(c.upcomingMemSeries(pod.Profile), len(node))
+	rho, err := metrics.SpearmanRho(prof, node)
+	if err != nil {
+		return true
+	}
+	return rho < corrTh
+}
+
+// upcomingMemSeries returns (and caches) the first DefaultWindow of a
+// profile's memory series at 10 ms resolution, preferring the
+// online-learned early-window series when available.
+func (c *CBP) upcomingMemSeries(p *workloads.Profile) []float64 {
+	if c.Learned != nil {
+		if st, ok := c.Learned.Stats(p.Name); ok && len(st.UpcomingMem) > 0 {
+			return st.UpcomingMem
+		}
+	}
+	if c.profCache == nil {
+		c.profCache = make(map[string][]float64)
+	}
+	if s, ok := c.profCache[p.Name]; ok {
+		return s
+	}
+	upcoming := p.MemSeries(10 * sim.Millisecond)
+	n := int(knots.DefaultWindow / (10 * sim.Millisecond))
+	if len(upcoming) > n {
+		upcoming = upcoming[:n]
+	}
+	c.profCache[p.Name] = upcoming
+	return upcoming
+}
+
+// batchLimit returns the per-round pod budget.
+func (c *CBP) batchLimit() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return 64
+}
+
+// candidates orders devices the way Algorithm 1's utilization aggregator
+// does: active (awake) GPUs sorted by free memory descending, then sleeping
+// devices as a fallback so low load consolidates onto few awake GPUs.
+func candidates(snap *knots.Snapshot, pl *planner) []knots.GPUStat {
+	stats := append([]knots.GPUStat(nil), snap.Stats...)
+	sort.SliceStable(stats, func(i, j int) bool {
+		ai, aj := stats[i].Obs.Asleep, stats[j].Obs.Asleep
+		if ai != aj {
+			return !ai // awake first
+		}
+		return pl.free[stats[i].GPU] > pl.free[stats[j].GPU]
+	})
+	return stats
+}
+
+// Schedule implements k8s.Scheduler.
+func (c *CBP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []k8s.Decision {
+	_, _, _, maxSM := c.params()
+	pl := newPlanner(snap)
+	order := append([]*k8s.Pod(nil), pending...)
+	if len(order) > c.batchLimit() {
+		order = order[:c.batchLimit()]
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return c.ReserveFor(order[i]) > c.ReserveFor(order[j])
+	})
+	var out []k8s.Decision
+	for _, pod := range order {
+		reserve := c.ReserveFor(pod)
+		peakSM := pod.Profile.PeakSMPct()
+		for _, st := range candidates(snap, pl) {
+			g := st.GPU
+			if pl.free[g] < reserve {
+				continue
+			}
+			if pod.Class == workloads.Batch && pl.sm[g]+peakSM > maxSM {
+				continue
+			}
+			if pod.Class == workloads.LatencyCritical && !c.lcFits(pod, pl.sm[g]) {
+				continue
+			}
+			if !k8s.FitsAffinity(pod, g, st.Resident) {
+				continue
+			}
+			if !c.corrOK(pod, st) {
+				continue
+			}
+			out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
+			pl.commit(g, reserve, peakSM)
+			break
+		}
+	}
+	return out
+}
+
+// PP is the peak-prediction scheduler (Section IV-D, Algorithm 1), layered
+// on CBP's harvesting and correlation gate.
+type PP struct {
+	CBP
+	// ForecastHorizon is how far the ARIMA forecast looks ahead (the paper
+	// forecasts the next second).
+	ForecastHorizon sim.Time
+	// NewModel builds the forecaster used on node memory series; nil means
+	// the paper's first-order ARIMA (Equation 3). Exposed for the
+	// forecaster-choice ablation.
+	NewModel func() forecast.Model
+}
+
+// Name implements k8s.Scheduler.
+func (p *PP) Name() string { return "PP" }
+
+// Schedule implements k8s.Scheduler.
+func (p *PP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []k8s.Decision {
+	_, _, _, maxSM := p.params()
+	pl := newPlanner(snap)
+	order := append([]*k8s.Pod(nil), pending...)
+	if len(order) > p.batchLimit() {
+		order = order[:p.batchLimit()]
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return p.ReserveFor(order[i]) > p.ReserveFor(order[j])
+	})
+	var out []k8s.Decision
+	for _, pod := range order {
+		reserve := p.ReserveFor(pod)
+		peakSM := pod.Profile.PeakSMPct()
+		for _, st := range candidates(snap, pl) {
+			g := st.GPU
+			if pl.free[g] < reserve {
+				continue
+			}
+			if pod.Class == workloads.Batch && pl.sm[g]+peakSM > maxSM {
+				continue
+			}
+			if pod.Class == workloads.LatencyCritical && !p.lcFits(pod, pl.sm[g]) {
+				continue
+			}
+			if !k8s.FitsAffinity(pod, g, st.Resident) {
+				continue
+			}
+			if p.corrOK(pod, st) {
+				// Algorithm 1: Can_Co-locate → Ship_Container.
+				out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
+				pl.commit(g, reserve, peakSM)
+				break
+			}
+			// Correlation gate failed: try the forecast path. A positive
+			// autocorrelation on the node's memory series licenses an AR(1)
+			// forecast; ship if predicted free memory covers the pod's peak.
+			if p.forecastAdmits(st, pod.Profile.PeakMemMB()) {
+				out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
+				pl.commit(g, reserve, peakSM)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// forecastAdmits implements the else-branch of Algorithm 1's SCHEDULE
+// procedure.
+func (p *PP) forecastAdmits(st knots.GPUStat, needMB float64) bool {
+	series := st.MemSeries
+	if len(series) < 8 {
+		return false
+	}
+	r1, err := metrics.AutoCorrelation(series, 1)
+	if err != nil || r1 <= 0 {
+		return false // trendless or too-short series: cannot forecast
+	}
+	var m forecast.Model
+	if p.NewModel != nil {
+		m = p.NewModel()
+	} else {
+		m = &forecast.AR1{}
+	}
+	if err := m.Fit(series); err != nil {
+		return false
+	}
+	pred := forecast.Clamp(m.Predict(), 0, st.GPU.MemCapMB)
+	return st.GPU.MemCapMB-pred >= needMB
+}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1000*Millisecond {
+		t.Fatal("Second must be 1000 ms")
+	}
+	if Minute != 60*Second || Hour != 60*Minute {
+		t.Fatal("Minute/Hour derivation broken")
+	}
+	if got := (90 * Second).Seconds(); got != 90 {
+		t.Fatalf("Seconds() = %v, want 90", got)
+	}
+	if got := (2 * Hour).Hours(); got != 2 {
+		t.Fatalf("Hours() = %v, want 2", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	ts := Hour + 23*Minute + 45*Second + 678*Millisecond
+	if got := ts.String(); got != "1h23m45.678s" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (-Second).String(); got != "-0h0m1.000s" {
+		t.Fatalf("negative String() = %q", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(30, func(Time) { order = append(order, 3) })
+	e.At(10, func(Time) { order = append(order, 1) })
+	e.At(20, func(Time) { order = append(order, 2) })
+	e.RunAll(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("event order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(42, func(Time) { order = append(order, i) })
+	}
+	e.RunAll(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestEnginePastEventClamped(t *testing.T) {
+	e := NewEngine(1)
+	e.At(100, func(now Time) {
+		// Scheduling in the past clamps to now rather than rewinding time.
+		e.At(10, func(now2 Time) {
+			if now2 != 100 {
+				t.Errorf("clamped event fired at %v, want 100", now2)
+			}
+		})
+	})
+	e.RunAll(10)
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(10, func(Time) { fired = true })
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Fatal("event should report cancelled")
+	}
+	e.RunAll(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.At(Time(i), func(Time) { fired = append(fired, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.RunAll(100)
+	if len(fired) != 8 {
+		t.Fatalf("fired %d events, want 8: %v", len(fired), fired)
+	}
+	for _, v := range fired {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.At(10, func(Time) { count++ })
+	e.At(20, func(Time) { count++ })
+	e.At(30, func(Time) { count++ })
+	now := e.Run(20)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if now != 20 {
+		t.Fatalf("Run returned %v, want 20", now)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	e.Every(10, func(now Time) bool {
+		ticks = append(ticks, now)
+		return len(ticks) < 3
+	})
+	e.RunAll(100)
+	if len(ticks) != 3 || ticks[0] != 10 || ticks[1] != 20 || ticks[2] != 30 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+}
+
+func TestEngineEveryPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) should panic")
+		}
+	}()
+	NewEngine(1).Every(0, func(Time) bool { return false })
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		e := NewEngine(seed)
+		var out []Time
+		for i := 0; i < 20; i++ {
+			out = append(out, e.ExpDuration(100))
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical draws")
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical draws")
+	}
+}
+
+func TestExpDurationMean(t *testing.T) {
+	e := NewEngine(42)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(e.ExpDuration(200))
+	}
+	mean := sum / n
+	if mean < 180 || mean > 220 {
+		t.Fatalf("ExpDuration empirical mean = %v, want ≈200", mean)
+	}
+	if d := e.ExpDuration(0); d != Millisecond {
+		t.Fatalf("ExpDuration(0) = %v, want 1ms", d)
+	}
+}
+
+func TestParetoDurationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		e := NewEngine(seed)
+		for i := 0; i < 100; i++ {
+			d := e.ParetoDuration(1.5, 10, 10000)
+			if d < 10 || d > 10000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := NewEngine(1).ParetoDuration(0, 10, 100); d != 10 {
+		t.Fatalf("degenerate alpha should return min, got %v", d)
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// With alpha 1.1 the tail beyond 10x min should be non-trivial but a
+	// minority — the 80/20-style split the traces rely on.
+	e := NewEngine(99)
+	long := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if e.ParetoDuration(1.1, 100, 1000000) > 1000 {
+			long++
+		}
+	}
+	frac := float64(long) / n
+	if frac < 0.02 || frac > 0.3 {
+		t.Fatalf("long-job fraction = %v, want within (0.02, 0.3)", frac)
+	}
+}
+
+func TestNormFloatClamped(t *testing.T) {
+	e := NewEngine(5)
+	for i := 0; i < 1000; i++ {
+		v := e.NormFloat(50, 200, 0, 100)
+		if v < 0 || v > 100 {
+			t.Fatalf("NormFloat out of bounds: %v", v)
+		}
+	}
+	if v := NewEngine(1).NormFloat(50, 0, 0, 100); v != 50 {
+		t.Fatalf("zero-stddev NormFloat = %v, want 50", v)
+	}
+}
+
+func TestRunAllBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunAll should panic past event budget")
+		}
+	}()
+	e := NewEngine(1)
+	var loop func(Time)
+	loop = func(Time) { e.After(1, loop) }
+	e.After(1, loop)
+	e.RunAll(10)
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := NewEngine(1)
+	if e.Step() {
+		t.Fatal("Step on empty queue should return false")
+	}
+	if e.Run(math.MaxInt32) != math.MaxInt32 {
+		t.Fatal("Run should advance clock to until")
+	}
+}

@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"kubeknots/internal/metrics"
+	"kubeknots/internal/sim"
+)
+
+// The paper's trace analysis spans 1300 machines (Fig. 2's caption). This
+// file adds the machine dimension: tasks are assigned to machines with a
+// least-loaded policy, and machine-level utilization series can be derived
+// for cluster-shape analyses.
+
+// MachineCount is the paper's fleet size.
+const MachineCount = 1300
+
+// Assignment maps each record (by index) to a machine id.
+type Assignment struct {
+	Machines int
+	Of       []int // Of[i] = machine of t.Records[i]
+}
+
+// AssignMachines spreads the trace's tasks over n machines (least
+// concurrently loaded at arrival, ties broken deterministically), the way a
+// spreading cluster scheduler would have produced the original trace.
+func (t *Trace) AssignMachines(n int, seed int64) Assignment {
+	if n <= 0 {
+		n = MachineCount
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type ending struct {
+		at      sim.Time
+		machine int
+	}
+	var ends []ending // min-heap substitute: kept sorted (small active set)
+	load := make([]int, n)
+	of := make([]int, len(t.Records))
+	for i, r := range t.Records {
+		// Expire finished tasks.
+		k := 0
+		for _, e := range ends {
+			if e.at > r.Arrival {
+				ends[k] = e
+				k++
+			} else {
+				load[e.machine]--
+			}
+		}
+		ends = ends[:k]
+		// Pick the least-loaded machine; random tie-break keeps the fleet
+		// statistically uniform.
+		best, bestLoad := 0, int(^uint(0)>>1)
+		offset := rng.Intn(n)
+		for j := 0; j < n; j++ {
+			m := (offset + j) % n
+			if load[m] < bestLoad {
+				best, bestLoad = m, load[m]
+			}
+		}
+		of[i] = best
+		load[best]++
+		ends = append(ends, ending{at: r.Arrival + r.Duration, machine: best})
+	}
+	return Assignment{Machines: n, Of: of}
+}
+
+// MachineLoadSeries returns each machine's concurrent-task count sampled at
+// the given step across the horizon (machines × samples).
+func (t *Trace) MachineLoadSeries(a Assignment, step sim.Time) [][]float64 {
+	if step <= 0 {
+		step = 5 * sim.Minute
+	}
+	samples := int(t.Cfg.Horizon/step) + 1
+	out := make([][]float64, a.Machines)
+	for i := range out {
+		out[i] = make([]float64, samples)
+	}
+	for i, r := range t.Records {
+		m := a.Of[i]
+		from := int(r.Arrival / step)
+		to := int((r.Arrival + r.Duration) / step)
+		if to >= samples {
+			to = samples - 1
+		}
+		for s := from; s <= to; s++ {
+			out[m][s]++
+		}
+	}
+	return out
+}
+
+// MachineStats summarizes the fleet: mean load, p99 load, and the fraction
+// of machine-samples that are idle — the utilization skew Observation 2
+// describes.
+type MachineStats struct {
+	MeanLoad     float64
+	P99Load      float64
+	IdleFraction float64
+}
+
+// FleetStats computes MachineStats over the machine-load series.
+func FleetStats(series [][]float64) MachineStats {
+	var all []float64
+	idle, total := 0, 0
+	for _, s := range series {
+		for _, v := range s {
+			all = append(all, v)
+			total++
+			if v == 0 {
+				idle++
+			}
+		}
+	}
+	if total == 0 {
+		return MachineStats{}
+	}
+	return MachineStats{
+		MeanLoad:     metrics.Mean(all),
+		P99Load:      metrics.Percentile(all, 99),
+		IdleFraction: float64(idle) / float64(total),
+	}
+}
+
+// WriteCSV emits the trace in the tracegen CSV schema.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"id", "kind", "arrival_ms", "duration_ms",
+		"avg_cpu_pct", "max_cpu_pct", "avg_mem_pct", "max_mem_pct",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		rec := []string{
+			strconv.Itoa(r.ID), r.Kind.String(),
+			strconv.FormatInt(int64(r.Arrival), 10),
+			strconv.FormatInt(int64(r.Duration), 10),
+			fmt.Sprintf("%.2f", r.AvgCPUPct), fmt.Sprintf("%.2f", r.MaxCPUPct),
+			fmt.Sprintf("%.2f", r.AvgMemPct), fmt.Sprintf("%.2f", r.MaxMemPct),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a trace previously written by WriteCSV / cmd/tracegen.
+// Metric series are not serialized, so loaded records carry summaries only.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	if len(rows[0]) != 8 || rows[0][0] != "id" {
+		return nil, fmt.Errorf("trace: unexpected header %v", rows[0])
+	}
+	tr := &Trace{}
+	var horizon sim.Time
+	for i, row := range rows[1:] {
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", i+1, err)
+		}
+		if rec.Arrival > horizon {
+			horizon = rec.Arrival
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	sort.Slice(tr.Records, func(a, b int) bool {
+		return tr.Records[a].Arrival < tr.Records[b].Arrival
+	})
+	tr.Cfg.Horizon = horizon + 1
+	for _, r := range tr.Records {
+		if r.Kind == BatchJob {
+			tr.Cfg.BatchJobs++
+		} else {
+			tr.Cfg.LCContainers++
+		}
+	}
+	return tr, nil
+}
+
+func parseRow(row []string) (Record, error) {
+	if len(row) != 8 {
+		return Record{}, fmt.Errorf("want 8 fields, got %d", len(row))
+	}
+	id, err := strconv.Atoi(row[0])
+	if err != nil {
+		return Record{}, err
+	}
+	var kind Kind
+	switch row[1] {
+	case "batch":
+		kind = BatchJob
+	case "latency-critical":
+		kind = LCContainer
+	default:
+		return Record{}, fmt.Errorf("unknown kind %q", row[1])
+	}
+	arrival, err := strconv.ParseInt(row[2], 10, 64)
+	if err != nil {
+		return Record{}, err
+	}
+	duration, err := strconv.ParseInt(row[3], 10, 64)
+	if err != nil {
+		return Record{}, err
+	}
+	var pcts [4]float64
+	for i := 0; i < 4; i++ {
+		v, err := strconv.ParseFloat(row[4+i], 64)
+		if err != nil {
+			return Record{}, err
+		}
+		pcts[i] = v
+	}
+	return Record{
+		ID: id, Kind: kind,
+		Arrival: sim.Time(arrival), Duration: sim.Time(duration),
+		AvgCPUPct: pcts[0], MaxCPUPct: pcts[1],
+		AvgMemPct: pcts[2], MaxMemPct: pcts[3],
+	}, nil
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kubeknots/internal/sim"
+)
+
+func TestAssignMachinesCoversFleet(t *testing.T) {
+	tr := Generate(3, Small())
+	a := tr.AssignMachines(50, 1)
+	if a.Machines != 50 || len(a.Of) != len(tr.Records) {
+		t.Fatalf("assignment shape: %d machines, %d mapped", a.Machines, len(a.Of))
+	}
+	used := map[int]bool{}
+	for _, m := range a.Of {
+		if m < 0 || m >= 50 {
+			t.Fatalf("machine id %d out of range", m)
+		}
+		used[m] = true
+	}
+	// Least-loaded spreading across 750 tasks must touch most of 50 machines.
+	if len(used) < 40 {
+		t.Fatalf("only %d machines used", len(used))
+	}
+}
+
+func TestAssignMachinesDefaultsToPaperFleet(t *testing.T) {
+	tr := Generate(3, Config{BatchJobs: 20, LCContainers: 20, Horizon: sim.Hour})
+	a := tr.AssignMachines(0, 1)
+	if a.Machines != MachineCount {
+		t.Fatalf("default fleet = %d, want %d", a.Machines, MachineCount)
+	}
+}
+
+func TestMachineLoadSeriesAndFleetStats(t *testing.T) {
+	tr := Generate(9, Small())
+	a := tr.AssignMachines(30, 1)
+	series := tr.MachineLoadSeries(a, 5*sim.Minute)
+	if len(series) != 30 {
+		t.Fatalf("series machines = %d", len(series))
+	}
+	st := FleetStats(series)
+	if st.MeanLoad <= 0 {
+		t.Fatalf("mean load = %v", st.MeanLoad)
+	}
+	if st.P99Load < st.MeanLoad {
+		t.Fatal("p99 below mean")
+	}
+	if st.IdleFraction < 0 || st.IdleFraction >= 1 {
+		t.Fatalf("idle fraction = %v", st.IdleFraction)
+	}
+	if FleetStats(nil) != (MachineStats{}) {
+		t.Fatal("empty fleet stats should be zero")
+	}
+}
+
+func TestLeastLoadedBeatsRandomSkew(t *testing.T) {
+	// Least-loaded assignment should produce a tighter load distribution
+	// than assigning everything to one machine would (sanity of policy).
+	tr := Generate(5, Small())
+	a := tr.AssignMachines(20, 2)
+	series := tr.MachineLoadSeries(a, 5*sim.Minute)
+	st := FleetStats(series)
+	if st.P99Load > st.MeanLoad*20 {
+		t.Fatalf("extreme skew: p99 %v vs mean %v", st.P99Load, st.MeanLoad)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Generate(4, Config{BatchJobs: 30, LCContainers: 40, Horizon: sim.Hour})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(tr.Records) {
+		t.Fatalf("records = %d, want %d", len(back.Records), len(tr.Records))
+	}
+	if back.Cfg.BatchJobs != 30 || back.Cfg.LCContainers != 40 {
+		t.Fatalf("counts = %d/%d", back.Cfg.BatchJobs, back.Cfg.LCContainers)
+	}
+	for i := range tr.Records {
+		a, b := tr.Records[i], back.Records[i]
+		if a.Arrival != b.Arrival || a.Kind != b.Kind || a.Duration != b.Duration {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadCSVValidation(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"bogus,header", // wrong header
+		"id,kind,arrival_ms,duration_ms,avg_cpu_pct,max_cpu_pct,avg_mem_pct,max_mem_pct\n1,weird,0,1,1,1,1,1",
+		"id,kind,arrival_ms,duration_ms,avg_cpu_pct,max_cpu_pct,avg_mem_pct,max_mem_pct\nx,batch,0,1,1,1,1,1",
+		"id,kind,arrival_ms,duration_ms,avg_cpu_pct,max_cpu_pct,avg_mem_pct,max_mem_pct\n1,batch,zero,1,1,1,1,1",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}

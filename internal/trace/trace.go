@@ -1,0 +1,415 @@
+// Package trace synthesizes an Alibaba-style production cluster trace with
+// the statistical structure the paper extracts from the real (unavailable
+// here) 2017 Alibaba trace in Section II-B and Fig. 2:
+//
+//   - ~12 h of arrivals across batch jobs and latency-critical containers,
+//     with a diurnal rate and a Pareto-principle split (≈80 % of tasks are
+//     short-lived and consume ≈20 % of the resources);
+//   - per-task resource overcommitment — average CPU utilization ≈47 % of
+//     request, half the containers using < 45 % of provisioned memory;
+//   - batch tasks whose utilization metrics are strongly correlated
+//     (CPU↔memory, CPU↔load_1/5/15), making them predictable (Observation 3),
+//     versus latency-critical tasks whose metrics correlate weakly.
+//
+// The schedulers consume only inter-arrival times and this correlation
+// structure, which is why a calibrated synthetic trace preserves the
+// evaluation's behaviour.
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"kubeknots/internal/metrics"
+	"kubeknots/internal/sim"
+)
+
+// Kind distinguishes trace task types.
+type Kind int
+
+// Task kinds.
+const (
+	BatchJob Kind = iota
+	LCContainer
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == BatchJob {
+		return "batch"
+	}
+	return "latency-critical"
+}
+
+// LCMetricNames are the eight container utilization metrics of Fig. 2a.
+var LCMetricNames = []string{
+	"cpu_util", "mem_util", "net_in", "net_out", "disk_io",
+	"load_1", "load_5", "load_15",
+}
+
+// BatchMetricNames are the six batch-task utilization metrics of Fig. 2c.
+var BatchMetricNames = []string{
+	"core_util", "mem_util", "load_1", "load_5", "load_15", "disk_io",
+}
+
+// Record is one trace task.
+type Record struct {
+	ID       int
+	Kind     Kind
+	Arrival  sim.Time
+	Duration sim.Time
+
+	// Request-relative utilization summaries (percent of provisioned),
+	// the axes of Fig. 2b.
+	AvgCPUPct float64
+	MaxCPUPct float64
+	AvgMemPct float64
+	MaxMemPct float64
+
+	// Metrics holds the sampled utilization series for correlation
+	// analysis, keyed by LCMetricNames or BatchMetricNames.
+	Metrics map[string][]float64
+}
+
+// Config sizes a synthetic trace. The zero value is replaced by Default.
+type Config struct {
+	BatchJobs    int      // number of batch jobs (paper: 12 951)
+	LCContainers int      // number of LC containers (paper: 11 089)
+	Horizon      sim.Time // trace span (paper: 12 h)
+	MetricPoints int      // samples per task series
+}
+
+// Default returns the paper-scale configuration.
+func Default() Config {
+	return Config{
+		BatchJobs:    12951,
+		LCContainers: 11089,
+		Horizon:      12 * sim.Hour,
+		MetricPoints: 48,
+	}
+}
+
+// Small returns a reduced configuration for unit tests and quick runs.
+func Small() Config {
+	return Config{BatchJobs: 400, LCContainers: 350, Horizon: sim.Hour, MetricPoints: 48}
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.BatchJobs <= 0 {
+		c.BatchJobs = d.BatchJobs
+	}
+	if c.LCContainers <= 0 {
+		c.LCContainers = d.LCContainers
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = d.Horizon
+	}
+	if c.MetricPoints < 8 {
+		c.MetricPoints = d.MetricPoints
+	}
+	return c
+}
+
+// Trace is a generated workload trace with records sorted by arrival time.
+type Trace struct {
+	Cfg     Config
+	Records []Record
+}
+
+// DiurnalRate returns the relative arrival intensity at time t within the
+// horizon: a day-shaped sinusoid peaking mid-trace, floor 0.4.
+func DiurnalRate(t, horizon sim.Time) float64 {
+	if horizon <= 0 {
+		return 1
+	}
+	x := float64(t) / float64(horizon)
+	return 0.7 + 0.6*math.Sin(math.Pi*x)
+}
+
+// Generate synthesizes a trace with the given seed and configuration.
+func Generate(seed int64, cfg Config) *Trace {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	total := cfg.BatchJobs + cfg.LCContainers
+	recs := make([]Record, 0, total)
+
+	// Thinned non-homogeneous Poisson arrivals across the horizon.
+	arrivals := make([]sim.Time, 0, total)
+	meanGap := float64(cfg.Horizon) / float64(total)
+	t := sim.Time(0)
+	for len(arrivals) < total {
+		gap := sim.Time(math.Max(1, math.Round(rng.ExpFloat64()*meanGap)))
+		t += gap
+		if t >= cfg.Horizon {
+			t = cfg.Horizon - 1
+		}
+		if rng.Float64() <= DiurnalRate(t, cfg.Horizon) {
+			arrivals = append(arrivals, t)
+		}
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+
+	// Interleave kinds so LC shares spread across the day: draw kind by
+	// remaining quota.
+	nb, nl := cfg.BatchJobs, cfg.LCContainers
+	for i, at := range arrivals {
+		var k Kind
+		switch {
+		case nb == 0:
+			k = LCContainer
+		case nl == 0:
+			k = BatchJob
+		case rng.Float64() < float64(nl)/float64(nb+nl):
+			k = LCContainer
+		default:
+			k = BatchJob
+		}
+		var r Record
+		if k == LCContainer {
+			nl--
+			r = genLC(rng, cfg)
+		} else {
+			nb--
+			r = genBatch(rng, cfg)
+		}
+		r.ID = i
+		r.Arrival = at
+		recs = append(recs, r)
+	}
+	return &Trace{Cfg: cfg, Records: recs}
+}
+
+// genBatch creates a long-running batch job with strongly correlated
+// metrics: memory tracks core utilization, and the 1/5/15 load averages are
+// smoothed copies of the core series.
+func genBatch(rng *rand.Rand, cfg Config) Record {
+	// Long-lived: minutes to hours, bounded Pareto tail.
+	dur := paretoDur(rng, 1.2, 2*sim.Minute, 6*sim.Hour)
+	n := cfg.MetricPoints
+	core := randomWalk(rng, n, 30+rng.Float64()*40, 8, 5, 95)
+	mem := make([]float64, n)
+	for i := range mem {
+		mem[i] = clamp(0.85*core[i]+6+rng.NormFloat64()*3, 0, 100)
+	}
+	load1 := metrics.MovingAverage(core, 2)
+	load5 := metrics.MovingAverage(core, 5)
+	load15 := metrics.MovingAverage(core, 12)
+	disk := make([]float64, n)
+	for i := range disk {
+		disk[i] = clamp(0.5*core[i]+rng.NormFloat64()*10, 0, 100)
+	}
+	r := Record{
+		Kind:     BatchJob,
+		Duration: dur,
+		Metrics: map[string][]float64{
+			"core_util": core, "mem_util": mem,
+			"load_1": load1, "load_5": load5, "load_15": load15,
+			"disk_io": disk,
+		},
+	}
+	r.AvgCPUPct = metrics.Mean(core)
+	r.MaxCPUPct = metrics.Max(core)
+	r.AvgMemPct = metrics.Mean(mem)
+	r.MaxMemPct = metrics.Max(mem)
+	return r
+}
+
+// genLC creates a short-lived latency-critical container whose metrics are
+// mutually weakly correlated: CPU is bursty with query load, memory is a
+// near-flat resident set, network tracks its own process.
+func genLC(rng *rand.Rand, cfg Config) Record {
+	dur := paretoDur(rng, 1.6, 2*sim.Second, 5*sim.Minute)
+	n := cfg.MetricPoints
+	cpu := burstSeries(rng, n, 20+rng.Float64()*40)
+	// Resident set: flat around a per-container level, tiny drift —
+	// decoupled from CPU bursts.
+	memBase := 25 + rng.Float64()*50
+	mem := randomWalk(rng, n, memBase, 1.5, 5, 95)
+	netIn := burstSeries(rng, n, 15+rng.Float64()*30)
+	netOut := make([]float64, n)
+	for i := range netOut {
+		netOut[i] = clamp(0.6*netIn[i]+rng.NormFloat64()*8, 0, 100)
+	}
+	disk := randomWalk(rng, n, 10+rng.Float64()*15, 4, 0, 80)
+	load1 := metrics.MovingAverage(cpu, 2)
+	load5 := metrics.MovingAverage(mixNoise(rng, cpu, 12), 5)
+	load15 := metrics.MovingAverage(mixNoise(rng, cpu, 20), 12)
+	r := Record{
+		Kind:     LCContainer,
+		Duration: dur,
+		Metrics: map[string][]float64{
+			"cpu_util": cpu, "mem_util": mem,
+			"net_in": netIn, "net_out": netOut, "disk_io": disk,
+			"load_1": load1, "load_5": load5, "load_15": load15,
+		},
+	}
+	// Overcommit calibration: avg CPU ≈ 47 %, half of pods below 45 % of
+	// provisioned memory.
+	r.AvgCPUPct = clamp(47+rng.NormFloat64()*18, 2, 100)
+	r.MaxCPUPct = clamp(r.AvgCPUPct+10+rng.Float64()*35, r.AvgCPUPct, 100)
+	r.AvgMemPct = clamp(45+rng.NormFloat64()*22, 2, 100)
+	r.MaxMemPct = clamp(r.AvgMemPct+5+rng.Float64()*25, r.AvgMemPct, 100)
+	return r
+}
+
+func paretoDur(rng *rand.Rand, alpha float64, min, max sim.Time) sim.Time {
+	u := rng.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	d := sim.Time(math.Round(float64(min) / math.Pow(u, 1/alpha)))
+	if d > max {
+		d = max
+	}
+	if d < min {
+		d = min
+	}
+	return d
+}
+
+func randomWalk(rng *rand.Rand, n int, start, step, lo, hi float64) []float64 {
+	out := make([]float64, n)
+	v := clamp(start, lo, hi)
+	for i := range out {
+		v = clamp(v+rng.NormFloat64()*step, lo, hi)
+		out[i] = v
+	}
+	return out
+}
+
+func burstSeries(rng *rand.Rand, n int, base float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		v := base + rng.NormFloat64()*6
+		if rng.Float64() < 0.15 { // query burst
+			v += 25 + rng.Float64()*35
+		}
+		out[i] = clamp(v, 0, 100)
+	}
+	return out
+}
+
+func mixNoise(rng *rand.Rand, xs []float64, sd float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = clamp(x+rng.NormFloat64()*sd, 0, 100)
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Select returns the records of the given kind.
+func (t *Trace) Select(k Kind) []Record {
+	var out []Record
+	for _, r := range t.Records {
+		if r.Kind == k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// InterArrivals returns successive arrival gaps, the signal the paper's load
+// generator replays against the GPU cluster (Section III).
+func (t *Trace) InterArrivals() []sim.Time {
+	if len(t.Records) < 2 {
+		return nil
+	}
+	out := make([]sim.Time, 0, len(t.Records)-1)
+	for i := 1; i < len(t.Records); i++ {
+		out = append(out, t.Records[i].Arrival-t.Records[i-1].Arrival)
+	}
+	return out
+}
+
+// CorrelationMatrix computes the mean pairwise Spearman correlation of the
+// named metrics across all records of kind k — the heat maps of Fig. 2a/2c.
+// The result is indexed [i][j] following names' order.
+func (t *Trace) CorrelationMatrix(k Kind, names []string) [][]float64 {
+	recs := t.Select(k)
+	m := len(names)
+	sums := make([][]float64, m)
+	counts := make([][]int, m)
+	for i := range sums {
+		sums[i] = make([]float64, m)
+		counts[i] = make([]int, m)
+	}
+	for _, r := range recs {
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				a, b := r.Metrics[names[i]], r.Metrics[names[j]]
+				if a == nil || b == nil {
+					continue
+				}
+				rho, err := metrics.SpearmanRho(a, b)
+				if err != nil {
+					continue
+				}
+				sums[i][j] += rho
+				counts[i][j]++
+			}
+		}
+	}
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+		for j := range out[i] {
+			if counts[i][j] > 0 {
+				out[i][j] = sums[i][j] / float64(counts[i][j])
+			}
+		}
+	}
+	return out
+}
+
+// UtilizationSummaries returns the four per-container distributions plotted
+// as CDFs in Fig. 2b: average and maximum CPU and memory utilization
+// (percent of provisioned) across LC containers.
+func (t *Trace) UtilizationSummaries() (avgCPU, maxCPU, avgMem, maxMem []float64) {
+	for _, r := range t.Select(LCContainer) {
+		avgCPU = append(avgCPU, r.AvgCPUPct)
+		maxCPU = append(maxCPU, r.MaxCPUPct)
+		avgMem = append(avgMem, r.AvgMemPct)
+		maxMem = append(maxMem, r.MaxMemPct)
+	}
+	return
+}
+
+// ArrivalProcess generates arrival times over a horizon with mean
+// inter-arrival meanIA modulated by the diurnal curve — the load-generator
+// front end used by the cluster experiments. rate > diurnal thinning keeps
+// mean spacing ≈ meanIA/scale.
+func ArrivalProcess(rng *rand.Rand, horizon, meanIA sim.Time, scale float64) []sim.Time {
+	if scale <= 0 {
+		scale = 1
+	}
+	var out []sim.Time
+	t := sim.Time(0)
+	for {
+		gap := sim.Time(math.Max(1, math.Round(rng.ExpFloat64()*float64(meanIA)/scale)))
+		t += gap
+		if t >= horizon {
+			return out
+		}
+		if rng.Float64() <= DiurnalRate(t, horizon) {
+			out = append(out, t)
+		}
+	}
+}
+
+// HorizonFromHours converts a floating-point hour count into simulated
+// time, for CLI convenience.
+func HorizonFromHours(h float64) sim.Time {
+	return sim.Time(h * float64(sim.Hour))
+}

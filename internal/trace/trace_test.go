@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"testing"
+
+	"kubeknots/internal/metrics"
+	"kubeknots/internal/sim"
+)
+
+func genSmall(t *testing.T) *Trace {
+	t.Helper()
+	return Generate(42, Small())
+}
+
+func TestGenerateCounts(t *testing.T) {
+	tr := genSmall(t)
+	cfg := Small()
+	if got := len(tr.Select(BatchJob)); got != cfg.BatchJobs {
+		t.Fatalf("batch jobs = %d, want %d", got, cfg.BatchJobs)
+	}
+	if got := len(tr.Select(LCContainer)); got != cfg.LCContainers {
+		t.Fatalf("LC containers = %d, want %d", got, cfg.LCContainers)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, Small())
+	b := Generate(7, Small())
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("same seed, different record counts")
+	}
+	for i := range a.Records {
+		if a.Records[i].Arrival != b.Records[i].Arrival ||
+			a.Records[i].Kind != b.Records[i].Kind ||
+			a.Records[i].Duration != b.Records[i].Duration {
+			t.Fatalf("record %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestArrivalsSortedWithinHorizon(t *testing.T) {
+	tr := genSmall(t)
+	prev := sim.Time(-1)
+	for _, r := range tr.Records {
+		if r.Arrival < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		if r.Arrival < 0 || r.Arrival >= tr.Cfg.Horizon {
+			t.Fatalf("arrival %v outside horizon", r.Arrival)
+		}
+		prev = r.Arrival
+	}
+}
+
+func TestParetoPrinciple(t *testing.T) {
+	// LC containers are short-lived; batch jobs dominate consumed time.
+	tr := Generate(3, Config{BatchJobs: 300, LCContainers: 1200, Horizon: sim.Hour})
+	var batchTime, lcTime float64
+	for _, r := range tr.Records {
+		if r.Kind == BatchJob {
+			batchTime += float64(r.Duration)
+		} else {
+			lcTime += float64(r.Duration)
+		}
+	}
+	// 20 % of tasks (batch) should consume the strong majority of resource
+	// time even though LC tasks are 80 % of arrivals.
+	if batchTime < 4*lcTime {
+		t.Fatalf("batch/LC consumed-time ratio = %v, want ≥ 4", batchTime/lcTime)
+	}
+}
+
+func TestBatchMetricsStronglyCorrelated(t *testing.T) {
+	tr := genSmall(t)
+	m := tr.CorrelationMatrix(BatchJob, BatchMetricNames)
+	idx := func(name string) int {
+		for i, n := range BatchMetricNames {
+			if n == name {
+				return i
+			}
+		}
+		t.Fatalf("metric %q missing", name)
+		return -1
+	}
+	core, mem := idx("core_util"), idx("mem_util")
+	if m[core][mem] < 0.6 {
+		t.Fatalf("batch core↔mem correlation = %v, want ≥ 0.6 (Observation 3)", m[core][mem])
+	}
+	for _, load := range []string{"load_1", "load_5", "load_15"} {
+		if got := m[core][idx(load)]; got < 0.5 {
+			t.Fatalf("batch core↔%s correlation = %v, want ≥ 0.5", load, got)
+		}
+	}
+	// Diagonal must be 1.
+	for i := range m {
+		if m[i][i] < 0.999 {
+			t.Fatalf("diagonal [%d][%d] = %v", i, i, m[i][i])
+		}
+	}
+}
+
+func TestLCMetricsWeaklyCorrelated(t *testing.T) {
+	tr := genSmall(t)
+	m := tr.CorrelationMatrix(LCContainer, LCMetricNames)
+	idx := func(name string) int {
+		for i, n := range LCMetricNames {
+			if n == name {
+				return i
+			}
+		}
+		return -1
+	}
+	cpu, mem := idx("cpu_util"), idx("mem_util")
+	if v := m[cpu][mem]; v > 0.3 || v < -0.3 {
+		t.Fatalf("LC cpu↔mem correlation = %v, want weak (|ρ| ≤ 0.3)", v)
+	}
+	// LC must be visibly less predictable than batch on the shared pair.
+	bm := tr.CorrelationMatrix(BatchJob, BatchMetricNames)
+	if bm[0][1] <= m[cpu][mem] {
+		t.Fatal("batch cpu↔mem correlation should exceed LC's")
+	}
+}
+
+func TestOvercommitStatistics(t *testing.T) {
+	tr := Generate(1, Config{BatchJobs: 100, LCContainers: 3000, Horizon: 2 * sim.Hour})
+	avgCPU, maxCPU, avgMem, maxMem := tr.UtilizationSummaries()
+	if len(avgCPU) != 3000 {
+		t.Fatalf("summaries length = %d", len(avgCPU))
+	}
+	meanCPU := metrics.Mean(avgCPU)
+	if meanCPU < 40 || meanCPU > 55 {
+		t.Fatalf("mean avg-CPU = %v, want ≈47 (Fig. 2b)", meanCPU)
+	}
+	medMem := metrics.Percentile(avgMem, 50)
+	if medMem < 35 || medMem > 55 {
+		t.Fatalf("median avg-mem = %v, want ≈45 (half below 45%%)", medMem)
+	}
+	for i := range avgCPU {
+		if maxCPU[i] < avgCPU[i] || maxMem[i] < avgMem[i] {
+			t.Fatal("max utilization below average")
+		}
+	}
+}
+
+func TestDiurnalRate(t *testing.T) {
+	h := 12 * sim.Hour
+	mid := DiurnalRate(h/2, h)
+	edge := DiurnalRate(0, h)
+	if mid <= edge {
+		t.Fatalf("diurnal should peak mid-trace: mid=%v edge=%v", mid, edge)
+	}
+	if edge < 0.4 {
+		t.Fatalf("diurnal floor = %v, want ≥ 0.4", edge)
+	}
+	if DiurnalRate(5, 0) != 1 {
+		t.Fatal("degenerate horizon should return 1")
+	}
+}
+
+func TestDiurnalArrivalDensity(t *testing.T) {
+	tr := Generate(5, Small())
+	h := tr.Cfg.Horizon
+	var first, middle int
+	for _, r := range tr.Records {
+		switch {
+		case r.Arrival < h/6:
+			first++
+		case r.Arrival >= h*2/6 && r.Arrival < h*3/6:
+			middle++
+		}
+	}
+	if middle <= first {
+		t.Fatalf("diurnal shape missing: first-sixth=%d mid-sixth=%d", first, middle)
+	}
+}
+
+func TestInterArrivals(t *testing.T) {
+	tr := genSmall(t)
+	ias := tr.InterArrivals()
+	if len(ias) != len(tr.Records)-1 {
+		t.Fatalf("inter-arrivals = %d, want %d", len(ias), len(tr.Records)-1)
+	}
+	for _, ia := range ias {
+		if ia < 0 {
+			t.Fatal("negative inter-arrival")
+		}
+	}
+	empty := &Trace{}
+	if empty.InterArrivals() != nil {
+		t.Fatal("empty trace inter-arrivals should be nil")
+	}
+}
+
+func TestArrivalProcess(t *testing.T) {
+	rng := sim.NewEngine(9).RNG()
+	arr := ArrivalProcess(rng, sim.Hour, 2*sim.Second, 1)
+	if len(arr) < 500 {
+		t.Fatalf("arrival count = %d, want a dense hour", len(arr))
+	}
+	prev := sim.Time(-1)
+	for _, a := range arr {
+		if a <= prev || a >= sim.Hour {
+			t.Fatal("arrivals must be strictly increasing within horizon")
+		}
+		prev = a
+	}
+	// Higher scale → more arrivals.
+	rng2 := sim.NewEngine(9).RNG()
+	dense := ArrivalProcess(rng2, sim.Hour, 2*sim.Second, 2)
+	if len(dense) <= len(arr) {
+		t.Fatalf("scale 2 should produce more arrivals: %d vs %d", len(dense), len(arr))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	d := Default()
+	if cfg.BatchJobs != d.BatchJobs || cfg.Horizon != d.Horizon || cfg.MetricPoints != d.MetricPoints {
+		t.Fatalf("withDefaults = %+v", cfg)
+	}
+	if BatchJob.String() != "batch" || LCContainer.String() != "latency-critical" {
+		t.Fatal("Kind strings wrong")
+	}
+}

@@ -1,0 +1,211 @@
+// Package tsdb is the in-memory stand-in for the node-local InfluxDB the
+// paper deploys on every GPU worker (Section IV-A). Knots' node monitor
+// appends one point per metric per heartbeat; the head-node aggregator reads
+// trailing windows (the paper's five-second sliding window) and most-recent
+// values. Series are bounded ring buffers, so a long simulation cannot grow
+// without bound, and all operations are safe for concurrent use.
+package tsdb
+
+import (
+	"sort"
+	"sync"
+
+	"kubeknots/internal/sim"
+)
+
+// Point is one sample of a metric.
+type Point struct {
+	At    sim.Time
+	Value float64
+}
+
+// series is a bounded ring buffer of points in non-decreasing time order.
+type series struct {
+	buf   []Point
+	start int // index of oldest point
+	n     int // number of valid points
+}
+
+func newSeries(capacity int) *series {
+	return &series{buf: make([]Point, capacity)}
+}
+
+func (s *series) append(p Point) {
+	if s.n == len(s.buf) {
+		// Overwrite the oldest point.
+		s.buf[s.start] = p
+		s.start = (s.start + 1) % len(s.buf)
+		return
+	}
+	s.buf[(s.start+s.n)%len(s.buf)] = p
+	s.n++
+}
+
+func (s *series) at(i int) Point { return s.buf[(s.start+i)%len(s.buf)] }
+
+// window returns points with From ≤ At ≤ To, oldest first.
+func (s *series) window(from, to sim.Time) []Point {
+	if s.n == 0 || from > to {
+		return nil
+	}
+	// Binary search for the first index with At >= from.
+	lo := sort.Search(s.n, func(i int) bool { return s.at(i).At >= from })
+	var out []Point
+	for i := lo; i < s.n; i++ {
+		p := s.at(i)
+		if p.At > to {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func (s *series) lastN(n int) []Point {
+	if n > s.n {
+		n = s.n
+	}
+	out := make([]Point, 0, n)
+	for i := s.n - n; i < s.n; i++ {
+		out = append(out, s.at(i))
+	}
+	return out
+}
+
+// DB is a multi-series time-series store.
+type DB struct {
+	mu       sync.RWMutex
+	capacity int
+	data     map[string]*series
+}
+
+// DefaultCapacity is the per-series ring size when 0 is passed to New:
+// 10 000 points holds ten seconds of 1 ms-heartbeat samples — double the
+// paper's five-second scheduling window.
+const DefaultCapacity = 10000
+
+// New returns a DB whose series each retain at most capacity points
+// (DefaultCapacity if capacity ≤ 0).
+func New(capacity int) *DB {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &DB{capacity: capacity, data: make(map[string]*series)}
+}
+
+// Append records value for the named series at time at. Appends must arrive
+// in non-decreasing time order per series (heartbeat sampling guarantees
+// this); out-of-order points are dropped.
+func (db *DB) Append(name string, at sim.Time, value float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := db.data[name]
+	if s == nil {
+		s = newSeries(db.capacity)
+		db.data[name] = s
+	}
+	if s.n > 0 && s.at(s.n-1).At > at {
+		return
+	}
+	s.append(Point{At: at, Value: value})
+}
+
+// Window returns the points of name with from ≤ At ≤ to, oldest first.
+func (db *DB) Window(name string, from, to sim.Time) []Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.data[name]
+	if s == nil {
+		return nil
+	}
+	return s.window(from, to)
+}
+
+// Values returns just the sample values of Window, for feeding statistics.
+func (db *DB) Values(name string, from, to sim.Time) []float64 {
+	pts := db.Window(name, from, to)
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Last returns the most recent point of name.
+func (db *DB) Last(name string) (Point, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.data[name]
+	if s == nil || s.n == 0 {
+		return Point{}, false
+	}
+	return s.at(s.n - 1), true
+}
+
+// LastN returns up to n most recent points of name, oldest first.
+func (db *DB) LastN(name string, n int) []Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.data[name]
+	if s == nil || n <= 0 {
+		return nil
+	}
+	return s.lastN(n)
+}
+
+// Len returns the number of retained points in name.
+func (db *DB) Len(name string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.data[name]
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// SeriesNames returns the sorted names of all series.
+func (db *DB) SeriesNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.data))
+	for n := range db.data {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Downsample buckets the window [from, to] into fixed-width buckets and
+// returns one mean-valued point per non-empty bucket, stamped at the bucket
+// start. The aggregator uses this to vary the effective heartbeat without
+// re-sampling the cluster (Fig. 10b's interval sweep).
+func (db *DB) Downsample(name string, from, to, bucket sim.Time) []Point {
+	if bucket <= 0 {
+		return db.Window(name, from, to)
+	}
+	pts := db.Window(name, from, to)
+	if len(pts) == 0 {
+		return nil
+	}
+	var out []Point
+	bStart := from
+	var sum float64
+	var cnt int
+	flush := func() {
+		if cnt > 0 {
+			out = append(out, Point{At: bStart, Value: sum / float64(cnt)})
+		}
+		sum, cnt = 0, 0
+	}
+	for _, p := range pts {
+		for p.At >= bStart+bucket {
+			flush()
+			bStart += bucket
+		}
+		sum += p.Value
+		cnt++
+	}
+	flush()
+	return out
+}

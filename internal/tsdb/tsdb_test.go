@@ -1,0 +1,209 @@
+package tsdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"kubeknots/internal/sim"
+)
+
+func TestAppendAndLast(t *testing.T) {
+	db := New(10)
+	if _, ok := db.Last("mem"); ok {
+		t.Fatal("Last on empty series should report !ok")
+	}
+	db.Append("mem", 5, 40)
+	db.Append("mem", 10, 55)
+	p, ok := db.Last("mem")
+	if !ok || p.At != 10 || p.Value != 55 {
+		t.Fatalf("Last = %+v, %v", p, ok)
+	}
+}
+
+func TestOutOfOrderDropped(t *testing.T) {
+	db := New(10)
+	db.Append("sm", 10, 1)
+	db.Append("sm", 5, 2) // earlier than last: dropped
+	if db.Len("sm") != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len("sm"))
+	}
+	db.Append("sm", 10, 3) // equal time is allowed
+	if db.Len("sm") != 2 {
+		t.Fatalf("Len = %d, want 2", db.Len("sm"))
+	}
+}
+
+func TestWindow(t *testing.T) {
+	db := New(100)
+	for i := 0; i < 20; i++ {
+		db.Append("m", sim.Time(i*10), float64(i))
+	}
+	pts := db.Window("m", 50, 90)
+	if len(pts) != 5 {
+		t.Fatalf("Window returned %d points, want 5", len(pts))
+	}
+	if pts[0].At != 50 || pts[4].At != 90 {
+		t.Fatalf("window bounds wrong: %v .. %v", pts[0].At, pts[4].At)
+	}
+	if db.Window("m", 90, 50) != nil {
+		t.Fatal("inverted window should be nil")
+	}
+	if db.Window("absent", 0, 100) != nil {
+		t.Fatal("unknown series should be nil")
+	}
+}
+
+func TestValues(t *testing.T) {
+	db := New(10)
+	db.Append("m", 1, 10)
+	db.Append("m", 2, 20)
+	vs := db.Values("m", 0, 10)
+	if len(vs) != 2 || vs[0] != 10 || vs[1] != 20 {
+		t.Fatalf("Values = %v", vs)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	db := New(5)
+	for i := 0; i < 12; i++ {
+		db.Append("m", sim.Time(i), float64(i))
+	}
+	if db.Len("m") != 5 {
+		t.Fatalf("Len = %d, want 5", db.Len("m"))
+	}
+	pts := db.Window("m", 0, 100)
+	if len(pts) != 5 || pts[0].At != 7 || pts[4].At != 11 {
+		t.Fatalf("ring retained wrong points: %+v", pts)
+	}
+}
+
+func TestLastN(t *testing.T) {
+	db := New(8)
+	for i := 0; i < 6; i++ {
+		db.Append("m", sim.Time(i), float64(i*i))
+	}
+	pts := db.LastN("m", 3)
+	if len(pts) != 3 || pts[0].At != 3 || pts[2].At != 5 {
+		t.Fatalf("LastN = %+v", pts)
+	}
+	if got := db.LastN("m", 100); len(got) != 6 {
+		t.Fatalf("LastN over-length = %d points, want 6", len(got))
+	}
+	if db.LastN("m", 0) != nil || db.LastN("nope", 3) != nil {
+		t.Fatal("LastN edge cases should be nil")
+	}
+}
+
+func TestSeriesNamesSorted(t *testing.T) {
+	db := New(4)
+	db.Append("z", 1, 1)
+	db.Append("a", 1, 1)
+	db.Append("m", 1, 1)
+	names := db.SeriesNames()
+	if len(names) != 3 || names[0] != "a" || names[1] != "m" || names[2] != "z" {
+		t.Fatalf("SeriesNames = %v", names)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	db := New(100)
+	// Two points per 10ms bucket: values i and i+1.
+	for i := 0; i < 10; i++ {
+		db.Append("m", sim.Time(i*5), float64(i))
+	}
+	pts := db.Downsample("m", 0, 45, 10)
+	if len(pts) != 5 {
+		t.Fatalf("Downsample buckets = %d, want 5", len(pts))
+	}
+	if pts[0].Value != 0.5 || pts[0].At != 0 {
+		t.Fatalf("bucket 0 = %+v, want mean 0.5 at t=0", pts[0])
+	}
+	if pts[4].Value != 8.5 {
+		t.Fatalf("bucket 4 mean = %v, want 8.5", pts[4].Value)
+	}
+	// bucket <= 0 falls back to the raw window
+	if got := db.Downsample("m", 0, 45, 0); len(got) != 10 {
+		t.Fatalf("bucket=0 should return raw points, got %d", len(got))
+	}
+	if db.Downsample("none", 0, 45, 10) != nil {
+		t.Fatal("unknown series should be nil")
+	}
+}
+
+func TestDownsampleSkipsEmptyBuckets(t *testing.T) {
+	db := New(100)
+	db.Append("m", 0, 1)
+	db.Append("m", 95, 2) // buckets 1..8 empty
+	pts := db.Downsample("m", 0, 100, 10)
+	if len(pts) != 2 {
+		t.Fatalf("expected 2 non-empty buckets, got %d: %+v", len(pts), pts)
+	}
+	if pts[1].At != 90 {
+		t.Fatalf("second bucket start = %v, want 90", pts[1].At)
+	}
+}
+
+func TestWindowPropertySortedAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := New(64)
+		at := sim.Time(0)
+		for i := 0; i < 200; i++ {
+			at += sim.Time(r.Intn(5))
+			db.Append("m", at, r.Float64())
+		}
+		from := sim.Time(r.Intn(int(at) + 1))
+		to := from + sim.Time(r.Intn(100))
+		pts := db.Window("m", from, to)
+		prev := sim.Time(-1)
+		for _, p := range pts {
+			if p.At < from || p.At > to || p.At < prev {
+				return false
+			}
+			prev = p.At
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("s%d", w)
+			for i := 0; i < 1000; i++ {
+				db.Append(name, sim.Time(i), float64(i))
+				if i%10 == 0 {
+					db.Window(name, 0, sim.Time(i))
+					db.Last(name)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		if got := db.Len(fmt.Sprintf("s%d", w)); got != 1000 {
+			t.Fatalf("series s%d len = %d, want 1000", w, got)
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	db := New(0)
+	for i := 0; i < DefaultCapacity+5; i++ {
+		db.Append("m", sim.Time(i), 0)
+	}
+	if db.Len("m") != DefaultCapacity {
+		t.Fatalf("default capacity = %d, want %d", db.Len("m"), DefaultCapacity)
+	}
+}

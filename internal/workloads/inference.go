@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"kubeknots/internal/sim"
+)
+
+// Djinn & Tonic inference service names (the abbreviations of Fig. 4 and
+// Table I).
+const (
+	Face = "face" // face recognition
+	IMC  = "imc"  // image classification
+	Key  = "key"  // keyword spotting
+	NER  = "ner"  // named-entity recognition
+	POS  = "pos"  // part-of-speech tagging
+	Chk  = "chk"  // sentence chunking
+)
+
+// TFManagedMemFraction is the fraction of device memory TensorFlow earmarks
+// by default regardless of actual demand (Section II-C2) — the internal
+// fragmentation Kube-Knots avoids by exposing real usage to the scheduler.
+const TFManagedMemFraction = 0.99
+
+// InferenceModel describes one Djinn & Tonic DNN service. Its real memory
+// footprint grows affinely with the inference batch size; its service time
+// grows sublinearly thanks to batching efficiency.
+type InferenceModel struct {
+	Name          string
+	BaseMemMB     float64  // weights + activation workspace at batch 1
+	PerQueryMemMB float64  // additional memory per batched query
+	BaseLatency   sim.Time // GPU service time of a single query
+	SMPct         float64  // SM demand while executing
+}
+
+// djinnTonic is calibrated to Fig. 4: single queries use < 10 % of a 16 GB
+// device, and even 128-query batches stay below 50 % (imc, the heaviest
+// vision model, approaches it).
+var djinnTonic = map[string]*InferenceModel{
+	Face: {Name: Face, BaseMemMB: 250, PerQueryMemMB: 6, BaseLatency: 60 * sim.Millisecond, SMPct: 55},
+	IMC:  {Name: IMC, BaseMemMB: 900, PerQueryMemMB: 48, BaseLatency: 70 * sim.Millisecond, SMPct: 70},
+	Key:  {Name: Key, BaseMemMB: 150, PerQueryMemMB: 3, BaseLatency: 15 * sim.Millisecond, SMPct: 35},
+	NER:  {Name: NER, BaseMemMB: 200, PerQueryMemMB: 4, BaseLatency: 12 * sim.Millisecond, SMPct: 30},
+	POS:  {Name: POS, BaseMemMB: 180, PerQueryMemMB: 3.5, BaseLatency: 10 * sim.Millisecond, SMPct: 28},
+	Chk:  {Name: Chk, BaseMemMB: 220, PerQueryMemMB: 5, BaseLatency: 14 * sim.Millisecond, SMPct: 32},
+}
+
+// InferenceNames returns the six service names in a stable order.
+func InferenceNames() []string { return []string{Face, IMC, Key, NER, POS, Chk} }
+
+// Inference returns the named inference model, or nil if unknown.
+func Inference(name string) *InferenceModel { return djinnTonic[name] }
+
+// MemMB returns the model's real device-memory footprint for a batch of the
+// given size (batch ≥ 1).
+func (m *InferenceModel) MemMB(batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	return m.BaseMemMB + m.PerQueryMemMB*float64(batch)
+}
+
+// MemPctOfGPU returns MemMB as a percentage of the 16 GB device, the y-axis
+// of Fig. 4.
+func (m *InferenceModel) MemPctOfGPU(batch int) float64 {
+	return m.MemMB(batch) / GPUMemMB * 100
+}
+
+// ServiceTime returns the GPU execution time for a batch of the given size.
+// Batching amortizes: doubling the batch costs ~50 % more, not 100 %.
+func (m *InferenceModel) ServiceTime(batch int) sim.Time {
+	if batch < 1 {
+		batch = 1
+	}
+	factor := math.Pow(float64(batch), 0.6)
+	d := sim.Time(math.Round(float64(m.BaseLatency) * factor))
+	if d < sim.Millisecond {
+		d = sim.Millisecond
+	}
+	return d
+}
+
+// QueryProfile returns a runnable two-phase profile for a batch of queries:
+// a PCIe phase that loads inputs (and, cold, the weights), then the compute
+// phase. When tfManaged is true, the pod's request earmarks ~99 % of the
+// device — the fragmentation mode of Fig. 4's "TF" series; otherwise the
+// request reflects the real footprint with a modest safety margin.
+func (m *InferenceModel) QueryProfile(batch int, tfManaged bool) *Profile {
+	mem := m.MemMB(batch)
+	req := mem * 1.3
+	if tfManaged {
+		req = TFManagedMemFraction * GPUMemMB
+	}
+	xfer := sim.Time(2+batch/16) * sim.Millisecond
+	p := &Profile{
+		Name:         fmt.Sprintf("%s-b%d", m.Name, batch),
+		Class:        LatencyCritical,
+		RequestMemMB: req,
+		Phases: []Phase{
+			{Duration: xfer, SMPct: 0, MemMB: mem * 0.6, TxMBps: 3000, RxMBps: 50},
+			{Duration: m.ServiceTime(batch), SMPct: m.SMPct, MemMB: mem, TxMBps: 100, RxMBps: 200},
+		},
+	}
+	p.validate()
+	return p
+}

@@ -1,0 +1,108 @@
+package workloads
+
+import "fmt"
+
+// Level classifies an app-mix's sustained GPU load or its coefficient of
+// variation (Table I).
+type Level int
+
+// Load/COV levels.
+const (
+	Low Level = iota
+	Med
+	High
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Low:
+		return "LOW"
+	case Med:
+		return "MED"
+	default:
+		return "HIGH"
+	}
+}
+
+// AppMix is one row of Table I: four Rodinia batch applications mixed with
+// latency-critical inference services, binned by sustained load and COV.
+type AppMix struct {
+	ID    int
+	Batch []string // Rodinia profile names
+	LC    []string // inference model names
+	Load  Level
+	COV   Level
+}
+
+// Name returns the paper's identifier, e.g. "App-Mix-1".
+func (m AppMix) Name() string { return fmt.Sprintf("App-Mix-%d", m.ID) }
+
+// BatchProfiles resolves the mix's batch profile objects.
+func (m AppMix) BatchProfiles() []*Profile {
+	out := make([]*Profile, len(m.Batch))
+	for i, n := range m.Batch {
+		out[i] = RodiniaProfile(n)
+	}
+	return out
+}
+
+// LCModels resolves the mix's inference models.
+func (m AppMix) LCModels() []*InferenceModel {
+	out := make([]*InferenceModel, len(m.LC))
+	for i, n := range m.LC {
+		out[i] = Inference(n)
+	}
+	return out
+}
+
+// ArrivalRateScale converts the mix's load bin into a multiplier on the
+// base trace arrival rate: high-load mixes see roughly twice the traffic of
+// low-load mixes.
+func (m AppMix) ArrivalRateScale() float64 {
+	switch m.Load {
+	case High:
+		return 2.0
+	case Med:
+		return 1.2
+	default:
+		return 0.6
+	}
+}
+
+// AppMixes returns the paper's Table I workload suite.
+func AppMixes() []AppMix {
+	return []AppMix{
+		{
+			ID:    1,
+			Batch: []string{Leukocyte, Heartwall, ParticleFilter, MummerGPU},
+			LC:    []string{Face, Key},
+			Load:  High,
+			COV:   Low,
+		},
+		{
+			ID:    2,
+			Batch: []string{Pathfinder, LUD, KMeans, StreamCluster},
+			LC:    []string{Chk, NER, POS},
+			Load:  Med,
+			COV:   Med,
+		},
+		{
+			ID:    3,
+			Batch: []string{ParticleFilter, StreamCluster, LUD, Myocyte},
+			LC:    []string{IMC, Face},
+			Load:  Low,
+			COV:   High,
+		},
+	}
+}
+
+// MixByID returns the app mix with the given 1-based ID.
+func MixByID(id int) (AppMix, error) {
+	for _, m := range AppMixes() {
+		if m.ID == id {
+			return m, nil
+		}
+	}
+	return AppMix{}, fmt.Errorf("workloads: no app-mix %d", id)
+}

@@ -1,0 +1,223 @@
+package workloads
+
+import "kubeknots/internal/sim"
+
+// GPUMemMB is the device memory of the testbed's NVIDIA P100 (16 GB).
+const GPUMemMB = 16384
+
+// Rodinia application names used across the paper's three app-mixes
+// (Table I).
+const (
+	Leukocyte      = "leukocyte"
+	Heartwall      = "heartwall"
+	ParticleFilter = "particlefilter"
+	MummerGPU      = "mummergpu"
+	Pathfinder     = "pathfinder"
+	LUD            = "lud"
+	KMeans         = "kmeans"
+	StreamCluster  = "streamcluster"
+	Myocyte        = "myocyte"
+)
+
+// Additional Rodinia applications completing the suite the paper
+// characterizes ("the entire Rodinia suite", Section II-C1).
+const (
+	BFS      = "bfs"
+	Hotspot  = "hotspot"
+	SRAD     = "srad"
+	NW       = "nw"
+	Backprop = "backprop"
+	Gaussian = "gaussian"
+)
+
+const s = sim.Second
+
+// rodinia holds the phase profiles, shaped after Fig. 3's characterization:
+// an input PCIe burst leads each run (the early marker PP exploits), compute
+// and memory follow, whole-capacity peaks occupy only a few percent of the
+// runtime, and results stream out at the end. Memory peaks reach ~2.5 GB on
+// a 16 GB device while pod *requests* overstate demand 2–3×.
+var rodinia = map[string]*Profile{
+	Leukocyte: {
+		Name: Leukocyte, Class: Batch, RequestMemMB: 6000,
+		Phases: []Phase{
+			{Duration: 2 * s, SMPct: 5, MemMB: 800, TxMBps: 1500, RxMBps: 20},
+			{Duration: 15 * s, SMPct: 85, MemMB: 1800, TxMBps: 60, RxMBps: 20},
+			{Duration: 3 * s, SMPct: 98, MemMB: 2400, TxMBps: 200, RxMBps: 40},
+			{Duration: 15 * s, SMPct: 85, MemMB: 1800, TxMBps: 60, RxMBps: 20},
+			{Duration: 8 * s, SMPct: 80, MemMB: 1600, TxMBps: 30, RxMBps: 30},
+			{Duration: 2 * s, SMPct: 4, MemMB: 900, TxMBps: 10, RxMBps: 800},
+		},
+	},
+	Heartwall: {
+		Name: Heartwall, Class: Batch, RequestMemMB: 5000,
+		Phases: []Phase{
+			{Duration: 1500 * sim.Millisecond, SMPct: 6, MemMB: 600, TxMBps: 1200, RxMBps: 10},
+			{Duration: 20 * s, SMPct: 75, MemMB: 1400, TxMBps: 40, RxMBps: 15},
+			{Duration: 2 * s, SMPct: 95, MemMB: 2100, TxMBps: 150, RxMBps: 30},
+			{Duration: 12 * s, SMPct: 72, MemMB: 1400, TxMBps: 40, RxMBps: 15},
+			{Duration: 1500 * sim.Millisecond, SMPct: 5, MemMB: 700, TxMBps: 10, RxMBps: 700},
+		},
+	},
+	ParticleFilter: {
+		Name: ParticleFilter, Class: Batch, RequestMemMB: 4000,
+		Phases: []Phase{
+			{Duration: 1 * s, SMPct: 8, MemMB: 400, TxMBps: 900, RxMBps: 10},
+			{Duration: 5 * s, SMPct: 60, MemMB: 900, TxMBps: 30, RxMBps: 10},
+			{Duration: 1 * s, SMPct: 90, MemMB: 1500, TxMBps: 120, RxMBps: 25},
+			{Duration: 5 * s, SMPct: 60, MemMB: 900, TxMBps: 30, RxMBps: 10},
+			{Duration: 1 * s, SMPct: 90, MemMB: 1500, TxMBps: 120, RxMBps: 25},
+			{Duration: 5 * s, SMPct: 58, MemMB: 900, TxMBps: 30, RxMBps: 10},
+			{Duration: 1 * s, SMPct: 92, MemMB: 1500, TxMBps: 120, RxMBps: 25},
+			{Duration: 5 * s, SMPct: 55, MemMB: 850, TxMBps: 20, RxMBps: 10},
+			{Duration: 1 * s, SMPct: 6, MemMB: 500, TxMBps: 10, RxMBps: 500},
+		},
+	},
+	MummerGPU: {
+		Name: MummerGPU, Class: Batch, RequestMemMB: 8000,
+		Phases: []Phase{
+			{Duration: 4 * s, SMPct: 10, MemMB: 1200, TxMBps: 2000, RxMBps: 20},
+			{Duration: 22 * s, SMPct: 70, MemMB: 2200, TxMBps: 80, RxMBps: 40},
+			{Duration: 3 * s, SMPct: 88, MemMB: 2500, TxMBps: 250, RxMBps: 60},
+			{Duration: 18 * s, SMPct: 68, MemMB: 2100, TxMBps: 70, RxMBps: 40},
+			{Duration: 3 * s, SMPct: 8, MemMB: 1300, TxMBps: 15, RxMBps: 1200},
+		},
+	},
+	Pathfinder: {
+		Name: Pathfinder, Class: Batch, RequestMemMB: 2500,
+		Phases: []Phase{
+			{Duration: 1 * s, SMPct: 7, MemMB: 300, TxMBps: 800, RxMBps: 10},
+			{Duration: 7 * s, SMPct: 55, MemMB: 700, TxMBps: 25, RxMBps: 10},
+			{Duration: 1500 * sim.Millisecond, SMPct: 88, MemMB: 1200, TxMBps: 90, RxMBps: 20},
+			{Duration: 8 * s, SMPct: 52, MemMB: 680, TxMBps: 25, RxMBps: 10},
+			{Duration: 1 * s, SMPct: 5, MemMB: 350, TxMBps: 10, RxMBps: 450},
+		},
+	},
+	LUD: {
+		Name: LUD, Class: Batch, RequestMemMB: 3500,
+		Phases: []Phase{
+			{Duration: 1 * s, SMPct: 9, MemMB: 450, TxMBps: 1000, RxMBps: 10},
+			{Duration: 9 * s, SMPct: 65, MemMB: 1000, TxMBps: 35, RxMBps: 15},
+			{Duration: 1500 * sim.Millisecond, SMPct: 92, MemMB: 1400, TxMBps: 140, RxMBps: 30},
+			{Duration: 9 * s, SMPct: 62, MemMB: 950, TxMBps: 30, RxMBps: 15},
+			{Duration: 1 * s, SMPct: 6, MemMB: 500, TxMBps: 10, RxMBps: 600},
+		},
+	},
+	KMeans: {
+		Name: KMeans, Class: Batch, RequestMemMB: 3000,
+		Phases: []Phase{
+			{Duration: 2 * s, SMPct: 8, MemMB: 500, TxMBps: 1100, RxMBps: 10},
+			{Duration: 12 * s, SMPct: 80, MemMB: 1100, TxMBps: 40, RxMBps: 20},
+			{Duration: 2 * s, SMPct: 95, MemMB: 1900, TxMBps: 120, RxMBps: 30},
+			{Duration: 12 * s, SMPct: 78, MemMB: 1050, TxMBps: 40, RxMBps: 20},
+			{Duration: 1 * s, SMPct: 7, MemMB: 550, TxMBps: 10, RxMBps: 500},
+		},
+	},
+	StreamCluster: {
+		Name: StreamCluster, Class: Batch, RequestMemMB: 3000,
+		Phases: []Phase{
+			{Duration: 1500 * sim.Millisecond, SMPct: 6, MemMB: 300, TxMBps: 700, RxMBps: 10},
+			{Duration: 12 * s, SMPct: 35, MemMB: 600, TxMBps: 20, RxMBps: 10},
+			{Duration: 1 * s, SMPct: 85, MemMB: 1300, TxMBps: 110, RxMBps: 25},
+			{Duration: 10 * s, SMPct: 32, MemMB: 580, TxMBps: 20, RxMBps: 10},
+			{Duration: 1 * s, SMPct: 85, MemMB: 1300, TxMBps: 110, RxMBps: 25},
+			{Duration: 8 * s, SMPct: 30, MemMB: 550, TxMBps: 15, RxMBps: 10},
+			{Duration: 1500 * sim.Millisecond, SMPct: 5, MemMB: 350, TxMBps: 10, RxMBps: 400},
+		},
+	},
+	Myocyte: {
+		Name: Myocyte, Class: Batch, RequestMemMB: 2000,
+		Phases: []Phase{
+			{Duration: 1 * s, SMPct: 5, MemMB: 150, TxMBps: 500, RxMBps: 10},
+			{Duration: 12 * s, SMPct: 15, MemMB: 300, TxMBps: 10, RxMBps: 5},
+			{Duration: 1 * s, SMPct: 70, MemMB: 800, TxMBps: 80, RxMBps: 20},
+			{Duration: 13 * s, SMPct: 14, MemMB: 300, TxMBps: 10, RxMBps: 5},
+			{Duration: 1 * s, SMPct: 4, MemMB: 180, TxMBps: 5, RxMBps: 250},
+		},
+	},
+	BFS: {
+		// Breadth-first search: bandwidth-bound traversal, short and bursty.
+		Name: BFS, Class: Batch, RequestMemMB: 3000,
+		Phases: []Phase{
+			{Duration: 1500 * sim.Millisecond, SMPct: 8, MemMB: 600, TxMBps: 1600, RxMBps: 10},
+			{Duration: 6 * s, SMPct: 45, MemMB: 1000, TxMBps: 300, RxMBps: 60},
+			{Duration: 1 * s, SMPct: 75, MemMB: 1450, TxMBps: 500, RxMBps: 80},
+			{Duration: 5 * s, SMPct: 40, MemMB: 950, TxMBps: 250, RxMBps: 60},
+			{Duration: 1 * s, SMPct: 6, MemMB: 650, TxMBps: 10, RxMBps: 700},
+		},
+	},
+	Hotspot: {
+		// Thermal stencil: compute-heavy, steady working set.
+		Name: Hotspot, Class: Batch, RequestMemMB: 2800,
+		Phases: []Phase{
+			{Duration: 1 * s, SMPct: 7, MemMB: 400, TxMBps: 900, RxMBps: 10},
+			{Duration: 10 * s, SMPct: 78, MemMB: 900, TxMBps: 30, RxMBps: 15},
+			{Duration: 1 * s, SMPct: 93, MemMB: 1350, TxMBps: 90, RxMBps: 20},
+			{Duration: 9 * s, SMPct: 74, MemMB: 880, TxMBps: 30, RxMBps: 15},
+			{Duration: 1 * s, SMPct: 5, MemMB: 450, TxMBps: 10, RxMBps: 550},
+		},
+	},
+	SRAD: {
+		// Speckle-reducing anisotropic diffusion: iterative image kernel.
+		Name: SRAD, Class: Batch, RequestMemMB: 3600,
+		Phases: []Phase{
+			{Duration: 2 * s, SMPct: 9, MemMB: 700, TxMBps: 1300, RxMBps: 10},
+			{Duration: 8 * s, SMPct: 68, MemMB: 1300, TxMBps: 40, RxMBps: 15},
+			{Duration: 1500 * sim.Millisecond, SMPct: 90, MemMB: 1800, TxMBps: 120, RxMBps: 30},
+			{Duration: 8 * s, SMPct: 66, MemMB: 1250, TxMBps: 40, RxMBps: 15},
+			{Duration: 1500 * sim.Millisecond, SMPct: 6, MemMB: 750, TxMBps: 10, RxMBps: 650},
+		},
+	},
+	NW: {
+		// Needleman-Wunsch alignment: diagonal-wavefront, modest SM.
+		Name: NW, Class: Batch, RequestMemMB: 2600,
+		Phases: []Phase{
+			{Duration: 1 * s, SMPct: 6, MemMB: 350, TxMBps: 800, RxMBps: 10},
+			{Duration: 7 * s, SMPct: 42, MemMB: 800, TxMBps: 25, RxMBps: 10},
+			{Duration: 1 * s, SMPct: 70, MemMB: 1200, TxMBps: 80, RxMBps: 20},
+			{Duration: 7 * s, SMPct: 40, MemMB: 780, TxMBps: 25, RxMBps: 10},
+			{Duration: 1 * s, SMPct: 5, MemMB: 400, TxMBps: 10, RxMBps: 480},
+		},
+	},
+	Backprop: {
+		// Neural back-propagation: two compute passes around a weight sync.
+		Name: Backprop, Class: Batch, RequestMemMB: 3200,
+		Phases: []Phase{
+			{Duration: 1 * s, SMPct: 8, MemMB: 500, TxMBps: 1100, RxMBps: 10},
+			{Duration: 6 * s, SMPct: 72, MemMB: 1100, TxMBps: 35, RxMBps: 15},
+			{Duration: 1 * s, SMPct: 94, MemMB: 1600, TxMBps: 130, RxMBps: 25},
+			{Duration: 6 * s, SMPct: 70, MemMB: 1050, TxMBps: 35, RxMBps: 15},
+			{Duration: 1 * s, SMPct: 6, MemMB: 550, TxMBps: 10, RxMBps: 520},
+		},
+	},
+	Gaussian: {
+		// Gaussian elimination: compute ramps as the active matrix shrinks.
+		Name: Gaussian, Class: Batch, RequestMemMB: 4200,
+		Phases: []Phase{
+			{Duration: 2 * s, SMPct: 9, MemMB: 900, TxMBps: 1400, RxMBps: 10},
+			{Duration: 9 * s, SMPct: 82, MemMB: 1500, TxMBps: 45, RxMBps: 20},
+			{Duration: 1 * s, SMPct: 96, MemMB: 2000, TxMBps: 150, RxMBps: 35},
+			{Duration: 7 * s, SMPct: 60, MemMB: 1300, TxMBps: 35, RxMBps: 20},
+			{Duration: 1 * s, SMPct: 7, MemMB: 950, TxMBps: 10, RxMBps: 750},
+		},
+	},
+}
+
+// RodiniaNames returns the fifteen batch application names in a stable
+// order (the nine used by Table I first).
+func RodiniaNames() []string {
+	return []string{
+		Leukocyte, Heartwall, ParticleFilter, MummerGPU, Pathfinder,
+		LUD, KMeans, StreamCluster, Myocyte,
+		BFS, Hotspot, SRAD, NW, Backprop, Gaussian,
+	}
+}
+
+// RodiniaProfile returns the named batch profile, or nil if unknown.
+func RodiniaProfile(name string) *Profile { return rodinia[name] }
+
+func init() {
+	for _, p := range rodinia {
+		p.validate()
+	}
+}

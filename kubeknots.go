@@ -1,0 +1,114 @@
+// Package kubeknots is a from-scratch Go reproduction of "Kube-Knots:
+// Resource Harvesting through Dynamic Container Orchestration in GPU-based
+// Datacenters" (Thinakaran et al., IEEE CLUSTER 2019).
+//
+// The package is the public facade over the full system:
+//
+//   - a simulated GPU datacenter (internal/cluster) whose devices time-share
+//     SMs, space-share memory, crash pods on capacity violations, and draw
+//     power linearly with utilization;
+//   - a miniature Kubernetes-like orchestrator (internal/k8s) with pods,
+//     pending queue, binding, and crash-relaunch;
+//   - the Knots telemetry layer (internal/knots): per-node five-metric NVML
+//     sampling into time-series stores plus a head-node aggregator;
+//   - the paper's schedulers (internal/scheduler): Uniform, Res-Ag, CBP and
+//     PP (Algorithm 1);
+//   - the discrete-time DL-cluster simulator (internal/dlsim) with
+//     Gandiva-like, Tiresias-like, Res-Ag and CBP+PP policies;
+//   - experiment harnesses (internal/experiments) regenerating every table
+//     and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	mix, _ := kubeknots.MixByID(1)
+//	run := kubeknots.Run(kubeknots.NewPP(), mix, kubeknots.RunConfig{})
+//	fmt.Println(run.QoS.PerKilo(), run.ClusterUtilPercentiles())
+package kubeknots
+
+import (
+	"kubeknots/internal/dlsim"
+	"kubeknots/internal/experiments"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/scheduler"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// Time is simulated time in milliseconds (see sim.Time).
+type Time = sim.Time
+
+// Time units.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// Scheduler is a cluster-level GPU placement policy.
+type Scheduler = k8s.Scheduler
+
+// AppMix is one of the paper's Table I workload mixes.
+type AppMix = workloads.AppMix
+
+// RunConfig parameterizes a cluster replay (zero values take the paper's
+// defaults: ten nodes, five simulated minutes).
+type RunConfig = experiments.ClusterConfig
+
+// ClusterRun is the outcome of a cluster replay; it embeds the orchestrator
+// for QoS, utilization, energy and crash inspection.
+type ClusterRun = experiments.ClusterRun
+
+// NewUniform returns the Kubernetes-default exclusive-GPU scheduler.
+func NewUniform() Scheduler { return scheduler.Uniform{} }
+
+// NewResAg returns the resource-agnostic GPU-sharing baseline.
+func NewResAg() Scheduler { return &scheduler.ResAg{} }
+
+// NewCBP returns the Correlation-Based Prediction scheduler with the
+// paper's defaults (ρ < 0.5 gate, p80 resize).
+func NewCBP() Scheduler { return &scheduler.CBP{} }
+
+// NewPP returns the Peak Prediction scheduler (CBP + autocorrelation-gated
+// ARIMA forecasting, Algorithm 1).
+func NewPP() Scheduler { return &scheduler.PP{} }
+
+// MixByID returns App-Mix-1..3 from Table I.
+func MixByID(id int) (AppMix, error) { return workloads.MixByID(id) }
+
+// AppMixes returns all three Table I mixes.
+func AppMixes() []AppMix { return workloads.AppMixes() }
+
+// Run replays an app-mix against a simulated ten-node GPU cluster under the
+// given scheduler.
+func Run(s Scheduler, mix AppMix, cfg RunConfig) *ClusterRun {
+	return experiments.RunCluster(s, mix, cfg)
+}
+
+// DLConfig parameterizes the Section V-C deep-learning cluster simulation.
+type DLConfig = dlsim.Config
+
+// DLPolicy is a DL-cluster scheduling discipline.
+type DLPolicy = dlsim.Policy
+
+// DLResult is the outcome of one DL simulation.
+type DLResult = dlsim.Result
+
+// NewKubeKnotsDL returns the CBP+PP policy for the DL simulator.
+func NewKubeKnotsDL() DLPolicy { return &dlsim.KubeKnotsPolicy{} }
+
+// NewGandiva returns the Gandiva-like time-slicing comparator.
+func NewGandiva() DLPolicy { return &dlsim.GandivaPolicy{} }
+
+// NewTiresias returns the Tiresias-like two-queue LAS comparator.
+func NewTiresias() DLPolicy { return &dlsim.TiresiasPolicy{} }
+
+// NewResAgDL returns the request-driven DL baseline.
+func NewResAgDL() DLPolicy { return dlsim.ResAgPolicy{} }
+
+// RunDL executes the DL-cluster simulation (use dlsim defaults via
+// DLConfig{}: 520 training jobs + 1400 inference tasks on 32×8 GPUs).
+func RunDL(p DLPolicy, cfg DLConfig) *DLResult { return dlsim.Run(p, cfg) }
+
+// Table is a printable experiment result.
+type Table = experiments.Table

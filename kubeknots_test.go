@@ -1,0 +1,57 @@
+package kubeknots
+
+import "testing"
+
+func TestFacadeSchedulers(t *testing.T) {
+	names := map[string]Scheduler{
+		"Uniform": NewUniform(),
+		"Res-Ag":  NewResAg(),
+		"CBP":     NewCBP(),
+		"PP":      NewPP(),
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Fatalf("scheduler name = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestFacadeMixes(t *testing.T) {
+	if len(AppMixes()) != 3 {
+		t.Fatal("want 3 app mixes")
+	}
+	m, err := MixByID(2)
+	if err != nil || m.ID != 2 {
+		t.Fatalf("MixByID: %v %v", m, err)
+	}
+	if _, err := MixByID(7); err == nil {
+		t.Fatal("unknown mix should error")
+	}
+}
+
+func TestFacadeRun(t *testing.T) {
+	mix, _ := MixByID(3)
+	run := Run(NewPP(), mix, RunConfig{Horizon: 30 * Second})
+	if len(run.Completed) == 0 {
+		t.Fatal("no pods completed through the facade")
+	}
+	if run.Cluster.TotalEnergyJ() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestFacadeRunDL(t *testing.T) {
+	cfg := DLConfig{Nodes: 4, GPUsPerNode: 4, NumDLT: 10, NumDLI: 50, Horizon: Hour, LoadScale: 0.3}
+	r := RunDL(NewKubeKnotsDL(), cfg)
+	if r.Policy != "CBP+PP" {
+		t.Fatalf("policy = %q", r.Policy)
+	}
+	if r.Unplaced != 0 {
+		t.Fatalf("%d jobs unfinished", r.Unplaced)
+	}
+	for _, p := range []DLPolicy{NewGandiva(), NewTiresias(), NewResAgDL()} {
+		if p.Name() == "" {
+			t.Fatal("comparator missing name")
+		}
+	}
+}
