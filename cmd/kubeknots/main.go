@@ -4,32 +4,44 @@
 //
 // Usage:
 //
-//	kubeknots [-horizon 5m] [-seed 1] [-dlscale full|small] <experiment>...
+//	kubeknots [-horizon 5m] [-seed 1] [-parallel N] [-seeds 1,2,3] <experiment>...
 //	kubeknots all
 //
 // Experiments: fig1 fig2a fig2b fig2c fig3 fig4 table1 fig6 fig7 fig8 fig9
 // fig10a fig10b fig11a fig11b fig12a fig12b table4 ablations
+//
+// Every experiment builds its own simulation state from the seed, so "all"
+// and multi-experiment invocations fan the (experiment × seed) grid across a
+// worker pool. Output is emitted in experiment order after the sweep
+// completes and is byte-identical at any -parallel value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"kubeknots/internal/dlsim"
 	"kubeknots/internal/experiments"
 	"kubeknots/internal/sim"
+	"kubeknots/internal/sweep"
 	"kubeknots/internal/trace"
 )
 
 var (
-	horizon = flag.Duration("horizon", 5*time.Minute, "simulated load window for cluster experiments")
-	seed    = flag.Int64("seed", 1, "deterministic seed")
-	dlscale = flag.String("dlscale", "full", "DL simulator scale: full (520 DLT + 1400 DLI on 256 GPUs) or small")
-	tscale  = flag.String("tracescale", "small", "Alibaba-style trace scale for fig2: full (12h, ~24k tasks) or small")
-	format  = flag.String("format", "text", "output format: text | json | csv")
+	horizon  = flag.Duration("horizon", 5*time.Minute, "simulated load window for cluster experiments")
+	seed     = flag.Int64("seed", 1, "deterministic seed")
+	seedList = flag.String("seeds", "", "comma-separated seeds for a replication sweep; tables report mean±stddev (overrides -seed)")
+	parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the experiment sweep (1 = serial)")
+	stats    = flag.Bool("stats", false, "print per-job wall time and allocation stats to stderr")
+	dlscale  = flag.String("dlscale", "full", "DL simulator scale: full (520 DLT + 1400 DLI on 256 GPUs) or small")
+	tscale   = flag.String("tracescale", "small", "Alibaba-style trace scale for fig2: full (12h, ~24k tasks) or small")
+	format   = flag.String("format", "text", "output format: text | json | csv")
 )
 
 // emit renders a table in the selected format.
@@ -45,114 +57,131 @@ func emit(t *experiments.Table) error {
 	}
 }
 
+// parseSeeds parses the -seeds flag; empty means "use -seed alone".
+func parseSeeds(s string) ([]int64, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int64{*seed}, nil
+	}
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", s)
+	}
+	return out, nil
+}
+
 func main() {
 	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
+	names := flag.Args()
+	if len(names) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	ccfg := experiments.ClusterConfig{
-		Horizon: sim.Time(horizon.Milliseconds()),
-		Seed:    *seed,
+	if len(names) == 1 && names[0] == "all" {
+		names = experiments.ExperimentNames()
 	}
-	dcfg := dlsim.Default()
+
+	seeds, err := parseSeeds(*seedList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kubeknots: %v\n", err)
+		os.Exit(2)
+	}
+
+	base := experiments.DefaultSpec()
+	base.Cluster.Horizon = sim.Time(horizon.Milliseconds())
 	if *dlscale == "small" {
-		dcfg = dlsim.Small()
+		base.DL = dlsim.Small()
+	} else {
+		base.DL = dlsim.Default()
 	}
-	dcfg.Seed = *seed
-	tcfg := trace.Small()
 	if *tscale == "full" {
-		tcfg = trace.Default()
+		base.Trace = trace.Default()
 	}
 
-	table := map[string]func() error{
-		"fig1":   run(func() *experiments.Table { return experiments.Fig1() }),
-		"fig2a":  run(func() *experiments.Table { return experiments.Fig2a(*seed, tcfg) }),
-		"fig2b":  run(func() *experiments.Table { return experiments.Fig2b(*seed, tcfg) }),
-		"fig2c":  run(func() *experiments.Table { return experiments.Fig2c(*seed, tcfg) }),
-		"fig3":   run(func() *experiments.Table { return experiments.Fig3(0) }),
-		"fig4":   run(func() *experiments.Table { return experiments.Fig4() }),
-		"table1": run(func() *experiments.Table { return experiments.Table1() }),
-		"fig6": func() error {
-			for mix := 1; mix <= 3; mix++ {
-				t, err := experiments.Fig6(mix, ccfg)
-				if err != nil {
-					return err
-				}
-				if err := emit(t); err != nil {
-					return err
-				}
-			}
-			return nil
-		},
-		"fig7": run(func() *experiments.Table { return experiments.Fig7(ccfg) }),
-		"fig8": func() error {
-			for mix := 1; mix <= 3; mix++ {
-				t, err := experiments.Fig8(mix, ccfg)
-				if err != nil {
-					return err
-				}
-				if err := emit(t); err != nil {
-					return err
-				}
-			}
-			return nil
-		},
-		"fig9":   run(func() *experiments.Table { return experiments.Fig9(ccfg) }),
-		"fig10a": run(func() *experiments.Table { return experiments.Fig10a(ccfg) }),
-		"fig10b": run(func() *experiments.Table { return experiments.Fig10b(*seed) }),
-		"fig11a": run(func() *experiments.Table { return experiments.Fig11a(ccfg) }),
-		"fig11b": func() error {
-			t, err := experiments.Fig11b(ccfg)
-			if err != nil {
-				return err
-			}
-			return emit(t)
-		},
-		"fig12a": run(func() *experiments.Table { return experiments.Fig12a(dcfg) }),
-		"fig12b": run(func() *experiments.Table { return experiments.Fig12b(dcfg) }),
-		"table4": run(func() *experiments.Table { return experiments.Table4(dcfg) }),
-		"ablations": func() error {
-			for _, t := range []*experiments.Table{
-				experiments.AblationCorrThreshold(ccfg),
-				experiments.AblationResizePercentile(ccfg),
-				experiments.AblationHeartbeat(ccfg),
-				experiments.AblationForecaster(ccfg),
-				experiments.AblationLearnedProfiles(ccfg),
-				experiments.AblationSLOFraction(ccfg),
-			} {
-				if err := emit(t); err != nil {
-					return err
-				}
-			}
-			return nil
-		},
-	}
-
-	if len(args) == 1 && args[0] == "all" {
-		args = args[:0]
-		for k := range table {
-			args = append(args, k)
-		}
-		sort.Strings(args)
-	}
-	for _, a := range args {
-		fn, ok := table[a]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "kubeknots: unknown experiment %q\n", a)
+	// Resolve every name before launching anything so a typo still exits 2
+	// with no partial output.
+	exps := make([]experiments.Experiment, len(names))
+	for i, name := range names {
+		e, err := experiments.ExperimentByName(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kubeknots: unknown experiment %q\n", name)
 			usage()
 			os.Exit(2)
 		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "kubeknots: %s: %v\n", a, err)
-			os.Exit(1)
+		exps[i] = e
+	}
+
+	// One sweep job per (experiment × seed); in-experiment grids share the
+	// same pool width via SetParallelism.
+	experiments.SetParallelism(*parallel)
+	jobs := make([]sweep.Job[[]*experiments.Table], 0, len(exps)*len(seeds))
+	for _, e := range exps {
+		e := e
+		for _, sd := range seeds {
+			spec := base.WithSeed(sd)
+			key := e.Name
+			if len(seeds) > 1 {
+				key = fmt.Sprintf("%s/seed=%d", e.Name, sd)
+			}
+			jobs = append(jobs, sweep.Job[[]*experiments.Table]{
+				Key: key,
+				Run: func(context.Context) ([]*experiments.Table, error) {
+					return e.Run(spec)
+				},
+			})
 		}
 	}
-}
 
-func run(f func() *experiments.Table) func() error {
-	return func() error { return emit(f()) }
+	results := sweep.Run(context.Background(), jobs, sweep.Options[[]*experiments.Table]{
+		Parallel: *parallel,
+	})
+
+	if *stats {
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "kubeknots: job %-24s wall=%-12s alloc=%.1fMB worker=%d\n",
+				r.Key, r.Wall.Round(time.Millisecond), float64(r.AllocBytes)/(1<<20), r.Worker)
+		}
+		s := sweep.Summarize(results)
+		fmt.Fprintf(os.Stderr, "kubeknots: sweep: %d jobs, %d errors, total-wall=%s max-wall=%s alloc=%.1fMB parallel=%d\n",
+			s.Jobs, s.Errors, s.TotalWall.Round(time.Millisecond), s.MaxWall.Round(time.Millisecond),
+			float64(s.AllocBytes)/(1<<20), *parallel)
+	}
+
+	// Emit in experiment order regardless of completion order. With multiple
+	// seeds the per-seed replicates of an experiment occupy a contiguous
+	// slice of results and fold into mean±stddev tables.
+	for i, e := range exps {
+		group := results[i*len(seeds) : (i+1)*len(seeds)]
+		runs := make([][]*experiments.Table, 0, len(group))
+		for _, r := range group {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "kubeknots: %s: %v\n", r.Key, r.Err)
+				os.Exit(1)
+			}
+			runs = append(runs, r.Value)
+		}
+		tabs, err := experiments.AggregateSeeds(runs, seeds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kubeknots: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for _, t := range tabs {
+			if err := emit(t); err != nil {
+				fmt.Fprintf(os.Stderr, "kubeknots: %s: %v\n", e.Name, err)
+				os.Exit(1)
+			}
+		}
+	}
 }
 
 func usage() {

@@ -1,0 +1,117 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentSubmitAndQuery floods the apiserver with parallel pod
+// submissions while readers hit every GET endpoint and a driver advances the
+// clock. Run under -race. Every accepted submission must appear in the final
+// pod list — no lost pods.
+func TestConcurrentSubmitAndQuery(t *testing.T) {
+	const (
+		writers = 8
+		readers = 4
+		perW    = 10
+	)
+	ts, _ := newTestServer(t)
+	var stop atomic.Bool
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			paths := []string{"/pods", "/nodes", "/qos", "/events"}
+			for !stop.Load() {
+				resp, err := http.Get(ts.URL + paths[r%len(paths)])
+				if err != nil {
+					t.Errorf("GET: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: HTTP %d", paths[r%len(paths)], resp.StatusCode)
+					return
+				}
+			}
+		}(r)
+	}
+
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perW; i++ {
+				name := fmt.Sprintf("pod-%d-%d", w, i)
+				resp := post(t, ts.URL+"/pods", manifest(name))
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					t.Errorf("POST %s: HTTP %d", name, resp.StatusCode)
+					return
+				}
+				if i%3 == 0 {
+					r2 := post(t, ts.URL+"/advance", map[string]int64{"ms": 50})
+					io.Copy(io.Discard, r2.Body)
+					r2.Body.Close()
+				}
+			}
+		}(w)
+	}
+	ww.Wait()
+	stop.Store(true)
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/pods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pods := decode[[]PodStatus](t, resp)
+	if len(pods) != writers*perW {
+		t.Fatalf("lost pods: listed %d, want %d", len(pods), writers*perW)
+	}
+	for i := 1; i < len(pods); i++ {
+		if pods[i].Name < pods[i-1].Name {
+			t.Fatal("pod list not sorted")
+		}
+	}
+}
+
+// TestConcurrentDuplicateSubmit races many submitters on ONE pod name: under
+// the server's lock exactly one may win a 201; the rest must get 409. Run
+// under -race.
+func TestConcurrentDuplicateSubmit(t *testing.T) {
+	ts, _ := newTestServer(t)
+	const contenders = 16
+	var created, conflicted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < contenders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := post(t, ts.URL+"/pods", manifest("highlander"))
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusCreated:
+				created.Add(1)
+			case http.StatusConflict:
+				conflicted.Add(1)
+			default:
+				t.Errorf("unexpected HTTP %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	if created.Load() != 1 || conflicted.Load() != contenders-1 {
+		t.Fatalf("created=%d conflicted=%d, want 1/%d", created.Load(), conflicted.Load(), contenders-1)
+	}
+}

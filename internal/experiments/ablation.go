@@ -9,6 +9,10 @@ import (
 	"kubeknots/internal/workloads"
 )
 
+// The ablation grids fan their independent RunCluster points through the
+// sweep pool (runClusterGrid); rows are emitted in grid order, so tables are
+// identical at any parallelism.
+
 // AblationCorrThreshold sweeps CBP's co-location correlation threshold
 // (paper default 0.5) on App-Mix-2 and reports utilization, QoS, and
 // crashes — the trade-off DESIGN.md calls out: a permissive gate packs
@@ -23,10 +27,18 @@ func AblationCorrThreshold(cfg ClusterConfig, thresholds ...float64) *Table {
 		Title:  "CBP correlation-threshold sweep (App-Mix-2)",
 		Header: []string{"threshold", "util-p50", "util-p99", "qos/kilo", "crashes"},
 	}
-	for _, th := range thresholds {
-		o := RunCluster(&scheduler.CBP{CorrThreshold: th}, mix, cfg)
+	points := make([]clusterPoint, len(thresholds))
+	for i, th := range thresholds {
+		points[i] = clusterPoint{
+			Key:   fmt.Sprintf("ablation-corr/th=%.2f", th),
+			Sched: &scheduler.CBP{CorrThreshold: th},
+			Mix:   mix,
+			Cfg:   cfg,
+		}
+	}
+	for i, o := range runClusterGrid(points) {
 		ps := o.ClusterUtilPercentiles()
-		t.AddRow(f2(th), f1(ps[0]), f1(ps[2]), f1(o.QoS.PerKilo()),
+		t.AddRow(f2(thresholds[i]), f1(ps[0]), f1(ps[2]), f1(o.QoS.PerKilo()),
 			fmt.Sprintf("%d", o.CrashEvents))
 	}
 	return t
@@ -50,10 +62,18 @@ func AblationResizePercentile(cfg ClusterConfig, pcts ...float64) *Table {
 		Title:  "PP resize-percentile sweep (App-Mix-1, 3 GB devices)",
 		Header: []string{"percentile", "util-p50", "util-p99", "qos/kilo", "crashes"},
 	}
-	for _, pct := range pcts {
-		o := RunCluster(&scheduler.PP{CBP: scheduler.CBP{ResizePct: pct}}, mix, cfg)
+	points := make([]clusterPoint, len(pcts))
+	for i, pct := range pcts {
+		points[i] = clusterPoint{
+			Key:   fmt.Sprintf("ablation-resize/pct=%.0f", pct),
+			Sched: &scheduler.PP{CBP: scheduler.CBP{ResizePct: pct}},
+			Mix:   mix,
+			Cfg:   cfg,
+		}
+	}
+	for i, o := range runClusterGrid(points) {
 		ps := o.ClusterUtilPercentiles()
-		t.AddRow(f1(pct), f1(ps[0]), f1(ps[2]), f1(o.QoS.PerKilo()),
+		t.AddRow(f1(pcts[i]), f1(ps[0]), f1(ps[2]), f1(o.QoS.PerKilo()),
 			fmt.Sprintf("%d", o.CrashEvents))
 	}
 	t.Notes = append(t.Notes,
@@ -74,12 +94,20 @@ func AblationHeartbeat(cfg ClusterConfig, heartbeats ...sim.Time) *Table {
 		Title:  "Heartbeat-interval sweep under PP (App-Mix-1)",
 		Header: []string{"heartbeat", "util-p50", "qos/kilo", "crashes"},
 	}
-	for _, hb := range heartbeats {
+	points := make([]clusterPoint, len(heartbeats))
+	for i, hb := range heartbeats {
 		c := cfg
 		c.Heartbeat = hb
-		o := RunCluster(&scheduler.PP{}, mix, c)
+		points[i] = clusterPoint{
+			Key:   fmt.Sprintf("ablation-heartbeat/hb=%s", hb),
+			Sched: &scheduler.PP{},
+			Mix:   mix,
+			Cfg:   c,
+		}
+	}
+	for i, o := range runClusterGrid(points) {
 		ps := o.ClusterUtilPercentiles()
-		t.AddRow(hb.String(), f1(ps[0]), f1(o.QoS.PerKilo()),
+		t.AddRow(heartbeats[i].String(), f1(ps[0]), f1(o.QoS.PerKilo()),
 			fmt.Sprintf("%d", o.CrashEvents))
 	}
 	return t
@@ -102,10 +130,18 @@ func AblationForecaster(cfg ClusterConfig) *Table {
 		Title:  "Forecaster choice inside PP (App-Mix-1)",
 		Header: []string{"model", "util-p50", "qos/kilo", "crashes"},
 	}
-	for _, m := range models {
-		o := RunCluster(&scheduler.PP{NewModel: m.f}, mix, cfg)
+	points := make([]clusterPoint, len(models))
+	for i, m := range models {
+		points[i] = clusterPoint{
+			Key:   fmt.Sprintf("ablation-forecaster/%s", m.name),
+			Sched: &scheduler.PP{NewModel: m.f},
+			Mix:   mix,
+			Cfg:   cfg,
+		}
+	}
+	for i, o := range runClusterGrid(points) {
 		ps := o.ClusterUtilPercentiles()
-		t.AddRow(m.name, f1(ps[0]), f1(o.QoS.PerKilo()),
+		t.AddRow(models[i].name, f1(ps[0]), f1(o.QoS.PerKilo()),
 			fmt.Sprintf("%d", o.CrashEvents))
 	}
 	return t
@@ -122,13 +158,16 @@ func AblationLearnedProfiles(cfg ClusterConfig) *Table {
 		Title:  "Static vs online-learned provisioning under PP (App-Mix-2)",
 		Header: []string{"mode", "util-p50", "qos/kilo", "crashes"},
 	}
-	// Static profiles.
-	o := RunCluster(&scheduler.PP{}, mix, cfg)
+	// The static run and the profiler warm-up are independent and run in
+	// parallel; the learned run depends on the warm profiler and follows.
+	first := runClusterGrid([]clusterPoint{
+		{Key: "ablation-learned/static", Sched: &scheduler.PP{}, Mix: mix, Cfg: cfg},
+		{Key: "ablation-learned/warmup", Sched: &scheduler.PP{}, Mix: mix, Cfg: cfg},
+	})
+	o, warm := first[0], first[1]
 	ps := o.ClusterUtilPercentiles()
 	t.AddRow("static-profiles", f1(ps[0]), f1(o.QoS.PerKilo()),
 		fmt.Sprintf("%d", o.CrashEvents))
-	// Learned: warm the profiler with one run, then provision from it.
-	warm := RunCluster(&scheduler.PP{}, mix, cfg)
 	learned := &scheduler.PP{CBP: scheduler.CBP{Learned: warm.Profiler}}
 	o2 := RunCluster(learned, mix, cfg)
 	ps2 := o2.ClusterUtilPercentiles()
@@ -152,10 +191,18 @@ func AblationSLOFraction(cfg ClusterConfig, fracs ...float64) *Table {
 		Title:  "PP SLO-admission-fraction sweep (App-Mix-1)",
 		Header: []string{"fraction", "util-p50", "qos/kilo", "crashes"},
 	}
-	for _, f := range fracs {
-		o := RunCluster(&scheduler.PP{CBP: scheduler.CBP{SLOFraction: f}}, mix, cfg)
+	points := make([]clusterPoint, len(fracs))
+	for i, f := range fracs {
+		points[i] = clusterPoint{
+			Key:   fmt.Sprintf("ablation-slofrac/f=%.2f", f),
+			Sched: &scheduler.PP{CBP: scheduler.CBP{SLOFraction: f}},
+			Mix:   mix,
+			Cfg:   cfg,
+		}
+	}
+	for i, o := range runClusterGrid(points) {
 		ps := o.ClusterUtilPercentiles()
-		t.AddRow(f2(f), f1(ps[0]), f1(o.QoS.PerKilo()),
+		t.AddRow(f2(fracs[i]), f1(ps[0]), f1(o.QoS.PerKilo()),
 			fmt.Sprintf("%d", o.CrashEvents))
 	}
 	return t

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Multi-seed replication sweeps (`kubeknots -seeds 1,2,3`) run every
+// experiment once per seed and fold the per-seed tables into one table whose
+// numeric cells read "mean±stddev". Label cells (mix names, scheduler names,
+// percent buckets) must agree across seeds; cells carrying a unit suffix the
+// tables use ("x" ratios, "%" buckets) aggregate on the numeric part and
+// keep the suffix.
+
+// parseCell splits a table cell into a float and a preserved suffix.
+func parseCell(s string) (v float64, suffix string, ok bool) {
+	for _, suf := range []string{"", "x", "%"} {
+		body := strings.TrimSuffix(s, suf)
+		if suf != "" && body == s {
+			continue
+		}
+		f, err := strconv.ParseFloat(body, 64)
+		if err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
+			return f, suf, true
+		}
+	}
+	return 0, "", false
+}
+
+// meanStd returns the sample mean and (n-1) standard deviation.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// formatMeanStd renders an aggregated cell, matching the precision of the
+// replicate cells (the repo's tables use fixed decimals, so the first
+// replicate's fraction width is reused).
+func formatMeanStd(mean, std float64, template, suffix string) string {
+	dec := 0
+	if i := strings.IndexByte(strings.TrimSuffix(template, suffix), '.'); i >= 0 {
+		dec = len(strings.TrimSuffix(template, suffix)) - i - 1
+	}
+	return fmt.Sprintf("%.*f±%.*f%s", dec, mean, dec, std, suffix)
+}
+
+// AggregateSeeds folds one experiment's per-seed replicate tables into
+// mean±stddev tables. runs[i] is the table list produced with seeds[i]; all
+// replicates must have the same shape (same experiment, same config). The
+// result has one table per underlying table, in order.
+func AggregateSeeds(runs [][]*Table, seeds []int64) ([]*Table, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("experiments: no runs to aggregate")
+	}
+	if len(seeds) != len(runs) {
+		return nil, fmt.Errorf("experiments: %d runs but %d seeds", len(runs), len(seeds))
+	}
+	if len(runs) == 1 {
+		return runs[0], nil
+	}
+	base := runs[0]
+	for r := 1; r < len(runs); r++ {
+		if len(runs[r]) != len(base) {
+			return nil, fmt.Errorf("experiments: seed %d produced %d tables, seed %d produced %d",
+				seeds[0], len(base), seeds[r], len(runs[r]))
+		}
+	}
+	seedList := make([]string, len(seeds))
+	for i, s := range seeds {
+		seedList[i] = strconv.FormatInt(s, 10)
+	}
+
+	out := make([]*Table, len(base))
+	for ti, bt := range base {
+		agg := &Table{
+			ID:     bt.ID,
+			Title:  fmt.Sprintf("%s [mean±sd over %d seeds]", bt.Title, len(runs)),
+			Header: append([]string(nil), bt.Header...),
+		}
+		labelMismatch := false
+		for ri := range bt.Rows {
+			row := make([]string, len(bt.Rows[ri]))
+			for ci := range bt.Rows[ri] {
+				cells := make([]string, 0, len(runs))
+				for _, run := range runs {
+					t := run[ti]
+					if t.ID != bt.ID || ri >= len(t.Rows) || ci >= len(t.Rows[ri]) {
+						return nil, fmt.Errorf("experiments: replicate tables for %q have mismatched shapes", bt.ID)
+					}
+					cells = append(cells, t.Rows[ri][ci])
+				}
+				row[ci] = aggregateCell(cells, &labelMismatch)
+			}
+			agg.Rows = append(agg.Rows, row)
+		}
+		agg.Notes = append(agg.Notes,
+			fmt.Sprintf("aggregated across seeds %s", strings.Join(seedList, ",")))
+		if labelMismatch {
+			agg.Notes = append(agg.Notes,
+				"some non-numeric cells differed across seeds; first seed's value shown")
+		}
+		// Per-seed notes are dropped: they describe a single replicate.
+		out[ti] = agg
+	}
+	return out, nil
+}
+
+// aggregateCell merges one cell position across replicates.
+func aggregateCell(cells []string, labelMismatch *bool) string {
+	vals := make([]float64, 0, len(cells))
+	suffix := ""
+	numeric := true
+	for i, c := range cells {
+		v, suf, ok := parseCell(c)
+		if !ok || (i > 0 && suf != suffix) {
+			numeric = false
+			break
+		}
+		suffix = suf
+		vals = append(vals, v)
+	}
+	if numeric {
+		same := true
+		for _, v := range vals[1:] {
+			if v != vals[0] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return cells[0] // constant numeric cell (e.g. node index): keep as-is
+		}
+		mean, std := meanStd(vals)
+		return formatMeanStd(mean, std, cells[0], suffix)
+	}
+	for _, c := range cells[1:] {
+		if c != cells[0] {
+			*labelMismatch = true
+			break
+		}
+	}
+	return cells[0]
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAggregateSeedsMeanStd(t *testing.T) {
+	mk := func(util, ratio string) []*Table {
+		tb := &Table{
+			ID:     "t",
+			Title:  "demo",
+			Header: []string{"mix", "util", "ratio"},
+			Notes:  []string{"per-seed note"},
+		}
+		tb.AddRow("App-Mix-1", util, ratio)
+		return []*Table{tb}
+	}
+	out, err := AggregateSeeds([][]*Table{mk("10.0", "1.50x"), mk("14.0", "1.70x")}, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("got %d tables", len(out))
+	}
+	row := out[0].Rows[0]
+	if row[0] != "App-Mix-1" {
+		t.Errorf("label cell changed: %q", row[0])
+	}
+	if row[1] != "12.0±2.8" {
+		t.Errorf("util cell = %q, want 12.0±2.8", row[1])
+	}
+	if row[2] != "1.60±0.14x" {
+		t.Errorf("ratio cell = %q, want 1.60±0.14x", row[2])
+	}
+	if !strings.Contains(out[0].Title, "2 seeds") {
+		t.Errorf("title missing seed count: %q", out[0].Title)
+	}
+	found := false
+	for _, n := range out[0].Notes {
+		if strings.Contains(n, "seeds 1,2") {
+			found = true
+		}
+		if n == "per-seed note" {
+			t.Errorf("per-seed note leaked into aggregate")
+		}
+	}
+	if !found {
+		t.Errorf("aggregate note missing seed list: %v", out[0].Notes)
+	}
+}
+
+func TestAggregateSeedsConstantAndSingle(t *testing.T) {
+	mk := func() []*Table {
+		tb := &Table{ID: "t", Header: []string{"node", "v"}}
+		tb.AddRow("3", "7.00")
+		return []*Table{tb}
+	}
+	out, err := AggregateSeeds([][]*Table{mk(), mk(), mk()}, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].Rows[0]; got[0] != "3" || got[1] != "7.00" {
+		t.Errorf("constant cells altered: %v", got)
+	}
+
+	single := mk()
+	out, err = AggregateSeeds([][]*Table{single}, []int64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != single[0] {
+		t.Errorf("single-seed aggregation should return the run unchanged")
+	}
+}
+
+func TestAggregateSeedsShapeMismatch(t *testing.T) {
+	a := []*Table{{ID: "t", Header: []string{"v"}}}
+	if _, err := AggregateSeeds([][]*Table{a, {}}, []int64{1, 2}); err == nil {
+		t.Fatal("want error for mismatched table counts")
+	}
+	if _, err := AggregateSeeds([][]*Table{a, a}, []int64{1}); err == nil {
+		t.Fatal("want error for seed/run count mismatch")
+	}
+}

@@ -175,16 +175,24 @@ func Fig8(mixID int, cfg ClusterConfig) (*Table, error) {
 }
 
 // Fig7 regenerates Fig. 7: sorted per-node COV of utilization for each
-// app-mix under Res-Ag.
+// app-mix under Res-Ag. The three mix runs fan out through the sweep pool.
 func Fig7(cfg ClusterConfig) *Table {
 	t := &Table{
 		ID:     "fig7",
 		Title:  "Coefficient of variation across GPU nodes (Res-Ag), sorted",
 		Header: []string{"node(sorted)", "App-Mix-1", "App-Mix-2", "App-Mix-3"},
 	}
-	var cols [][]float64
+	var points []clusterPoint
 	for _, mix := range workloads.AppMixes() {
-		o := RunCluster(&scheduler.ResAg{}, mix, cfg)
+		points = append(points, clusterPoint{
+			Key:   fmt.Sprintf("fig7/%s", mix.Name()),
+			Sched: &scheduler.ResAg{},
+			Mix:   mix,
+			Cfg:   cfg,
+		})
+	}
+	var cols [][]float64
+	for _, o := range runClusterGrid(points) {
 		cols = append(cols, o.NodeCOVs())
 	}
 	for i := 0; i < len(cols[0]); i++ {
@@ -196,19 +204,33 @@ func Fig7(cfg ClusterConfig) *Table {
 }
 
 // Fig9 regenerates Fig. 9: cluster-wide utilization percentiles for PP,
-// CBP and Res-Ag on each app-mix.
+// CBP and Res-Ag on each app-mix — a 3 × 3 grid through the sweep pool.
 func Fig9(cfg ClusterConfig) *Table {
 	t := &Table{
 		ID:     "fig9",
 		Title:  "Cluster-wide GPU utilization percentiles by scheduler",
 		Header: []string{"mix", "scheduler", "p50", "p90", "p99", "max"},
 	}
+	var points []clusterPoint
 	for _, mix := range workloads.AppMixes() {
-		for _, s := range []k8s.Scheduler{&scheduler.PP{}, &scheduler.CBP{}, &scheduler.ResAg{}} {
-			o := RunCluster(s, mix, cfg)
-			ps := o.ClusterUtilPercentiles()
-			t.AddRow(mix.Name(), s.Name(), f1(ps[0]), f1(ps[1]), f1(ps[2]), f1(ps[3]))
+		for _, mk := range []func() k8s.Scheduler{
+			func() k8s.Scheduler { return &scheduler.PP{} },
+			func() k8s.Scheduler { return &scheduler.CBP{} },
+			func() k8s.Scheduler { return &scheduler.ResAg{} },
+		} {
+			s := mk()
+			points = append(points, clusterPoint{
+				Key:   fmt.Sprintf("fig9/%s/%s", mix.Name(), s.Name()),
+				Sched: s,
+				Mix:   mix,
+				Cfg:   cfg,
+			})
 		}
+	}
+	for i, o := range runClusterGrid(points) {
+		ps := o.ClusterUtilPercentiles()
+		t.AddRow(points[i].Mix.Name(), points[i].Sched.Name(),
+			f1(ps[0]), f1(ps[1]), f1(ps[2]), f1(ps[3]))
 	}
 	return t
 }
@@ -221,15 +243,27 @@ func Fig10a(cfg ClusterConfig) *Table {
 		Title:  "QoS violations per kilo inference queries (150 ms SLO)",
 		Header: []string{"mix", "Res-Ag", "CBP", "PP", "Uniform"},
 	}
+	var points []clusterPoint
 	for _, mix := range workloads.AppMixes() {
-		row := []string{mix.Name()}
 		for _, name := range SchedulerNames() {
 			s, err := SchedulerByName(name)
 			if err != nil {
 				panic(err)
 			}
-			o := RunCluster(s, mix, cfg)
-			row = append(row, f1(o.QoS.PerKilo()))
+			points = append(points, clusterPoint{
+				Key:   fmt.Sprintf("fig10a/%s/%s", mix.Name(), name),
+				Sched: s,
+				Mix:   mix,
+				Cfg:   cfg,
+			})
+		}
+	}
+	runs := runClusterGrid(points)
+	nSched := len(SchedulerNames())
+	for m, mix := range workloads.AppMixes() {
+		row := []string{mix.Name()}
+		for k := 0; k < nSched; k++ {
+			row = append(row, f1(runs[m*nSched+k].QoS.PerKilo()))
 		}
 		t.AddRow(row...)
 	}
@@ -246,16 +280,28 @@ func Fig11a(cfg ClusterConfig) *Table {
 		Title:  "Normalized cluster energy (Uniform = 1.0)",
 		Header: []string{"mix", "Res-Ag", "CBP", "PP", "Uniform"},
 	}
+	var points []clusterPoint
 	for _, mix := range workloads.AppMixes() {
-		var uniform float64
-		vals := make(map[string]float64)
 		for _, name := range SchedulerNames() {
 			s, err := SchedulerByName(name)
 			if err != nil {
 				panic(err)
 			}
-			r := RunCluster(s, mix, cfg)
-			vals[name] = r.EnergyHorizonJ
+			points = append(points, clusterPoint{
+				Key:   fmt.Sprintf("fig11a/%s/%s", mix.Name(), name),
+				Sched: s,
+				Mix:   mix,
+				Cfg:   cfg,
+			})
+		}
+	}
+	runs := runClusterGrid(points)
+	names := SchedulerNames()
+	for m, mix := range workloads.AppMixes() {
+		var uniform float64
+		vals := make(map[string]float64)
+		for k, name := range names {
+			vals[name] = runs[m*len(names)+k].EnergyHorizonJ
 			if name == "Uniform" {
 				uniform = vals[name]
 			}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"kubeknots/internal/dlsim"
+	"kubeknots/internal/sim"
+)
+
+// skipSlowUnderRace bows simulation-heavy tests out of -race runs, where
+// instrumentation slows the discrete-event engines ~15× and the full
+// registry would blow CI's per-package timeout. Race coverage of the sweep
+// integration comes from TestGridPoolRaceSmoke and the stress tests in
+// sweep/tsdb/knots/api.
+func skipSlowUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("heavy simulation test skipped under -race (see race_on_test.go)")
+	}
+}
+
+// TestGridPoolRaceSmoke stays live under -race: it pushes one DL-simulator
+// grid through the 8-worker pool and checks the result still matches the
+// serial run, exercising the sweep fan-in/fan-out paths the heavier skipped
+// tests rely on.
+func TestGridPoolRaceSmoke(t *testing.T) {
+	spec := fastSpec()
+	e, err := ExperimentByName("fig12b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer SetParallelism(0)
+	SetParallelism(1)
+	serial := render(t, e, spec)
+	SetParallelism(8)
+	if pooled := render(t, e, spec); pooled != serial {
+		t.Fatalf("fig12b differs between pool widths:\n%s\nvs\n%s", serial, pooled)
+	}
+}
+
+// fastSpec shrinks every experiment family so the whole registry runs in
+// seconds: 45 simulated seconds of cluster load and the small DL/trace
+// scales.
+func fastSpec() Spec {
+	s := DefaultSpec()
+	s.Cluster.Horizon = 45 * sim.Second
+	s.DL = dlsim.Small()
+	return s.WithSeed(1)
+}
+
+// render runs one experiment and returns its tables as the exact text the
+// CLI would print.
+func render(t *testing.T, e Experiment, spec Spec) string {
+	t.Helper()
+	tabs, err := e.Run(spec)
+	if err != nil {
+		t.Fatalf("%s: %v", e.Name, err)
+	}
+	var buf bytes.Buffer
+	for _, tb := range tabs {
+		tb.Fprint(&buf)
+	}
+	return buf.String()
+}
+
+// TestRegistryDeterministicAcrossPoolWidth is the core determinism
+// regression: every registered experiment must render bit-identical tables
+// whether its internal grids run serially or across an 8-worker sweep pool.
+func TestRegistryDeterministicAcrossPoolWidth(t *testing.T) {
+	skipSlowUnderRace(t)
+	spec := fastSpec()
+	defer SetParallelism(0)
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			SetParallelism(1)
+			serial := render(t, e, spec)
+			SetParallelism(8)
+			pooled := render(t, e, spec)
+			if serial != pooled {
+				t.Errorf("output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s--- parallel ---\n%s", serial, pooled)
+			}
+			if serial == "" {
+				t.Errorf("experiment rendered no output")
+			}
+		})
+	}
+}
+
+// TestSameSeedAcrossGOMAXPROCS pins the same-seed guarantee against the Go
+// scheduler itself: changing GOMAXPROCS (not just the pool width) must not
+// change any table.
+func TestSameSeedAcrossGOMAXPROCS(t *testing.T) {
+	skipSlowUnderRace(t)
+	spec := fastSpec()
+	SetParallelism(8)
+	defer SetParallelism(0)
+	reps := []Experiment{}
+	for _, name := range []string{"fig9", "fig12b", "table4"} {
+		e, err := ExperimentByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, e)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	var one []string
+	for _, e := range reps {
+		one = append(one, render(t, e, spec))
+	}
+	runtime.GOMAXPROCS(4)
+	for i, e := range reps {
+		if got := render(t, e, spec); got != one[i] {
+			t.Errorf("%s: output differs between GOMAXPROCS=1 and GOMAXPROCS=4", e.Name)
+		}
+	}
+}
+
+// TestSeedsActuallyVaryResults guards against a sweep that silently reuses
+// one seed for every replicate: different seeds must perturb at least one
+// stochastic experiment's table.
+func TestSeedsActuallyVaryResults(t *testing.T) {
+	e, err := ExperimentByName("fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := render(t, e, fastSpec().WithSeed(1))
+	b := render(t, e, fastSpec().WithSeed(99))
+	if a == b {
+		t.Fatal("fig2a identical under seeds 1 and 99; seed plumbing is broken")
+	}
+}

@@ -37,9 +37,16 @@ func Fig12a(cfg dlsim.Config) *Table {
 		Title:  "JCT CDF (hours) for DL workload, App-Mix-1 load",
 		Header: []string{"fraction", "Tiresias", "Res-Ag", "Gandiva", "CBP+PP"},
 	}
-	var cols [][]float64
+	var points []dlPoint
 	for _, p := range dlPolicies() {
-		r := dlsim.Run(p, cfg)
+		points = append(points, dlPoint{
+			Key:    fmt.Sprintf("fig12a/%s", p.Name()),
+			Policy: p,
+			Cfg:    cfg,
+		})
+	}
+	var cols [][]float64
+	for _, r := range runDLGrid(points) {
 		cols = append(cols, r.AllJCTHours())
 	}
 	for f := 10.0; f <= 100; f += 10 {
@@ -67,10 +74,17 @@ func Table4(cfg dlsim.Config) *Table {
 		avg, med, p99 float64
 		crashes       int
 	}
+	var points []dlPoint
+	for _, p := range dlPolicies() {
+		points = append(points, dlPoint{
+			Key:    fmt.Sprintf("table4/%s", p.Name()),
+			Policy: p,
+			Cfg:    cfg,
+		})
+	}
 	var stats []stat
 	var base stat
-	for _, p := range dlPolicies() {
-		r := dlsim.Run(p, cfg)
+	for _, r := range runDLGrid(points) {
 		jcts := r.DLTJCTHours()
 		s := stat{
 			name:    r.Policy,
@@ -110,12 +124,23 @@ func Fig12b(cfg dlsim.Config) *Table {
 		Title:  "DL inference QoS violations per hour (150 ms SLO)",
 		Header: []string{"mix", "Res-Ag", "Gandiva", "Tiresias", "CBP+PP"},
 	}
+	var points []dlPoint
 	for mixID := 1; mixID <= 3; mixID++ {
 		c := cfg
 		c.LoadScale = mixLoadScale(mixID)
-		vals := make(map[string]float64)
 		for _, p := range dlPolicies() {
-			r := dlsim.Run(p, c)
+			points = append(points, dlPoint{
+				Key:    fmt.Sprintf("fig12b/mix-%d/%s", mixID, p.Name()),
+				Policy: p,
+				Cfg:    c,
+			})
+		}
+	}
+	runs := runDLGrid(points)
+	perMix := len(dlPolicies())
+	for mixID := 1; mixID <= 3; mixID++ {
+		vals := make(map[string]float64)
+		for _, r := range runs[(mixID-1)*perMix : mixID*perMix] {
 			vals[r.Policy] = r.ViolationsPerHour()
 		}
 		t.AddRow(fmt.Sprintf("App-Mix-%d", mixID),

@@ -162,6 +162,7 @@ func TestRunClusterEndToEnd(t *testing.T) {
 }
 
 func TestFig9Orderings(t *testing.T) {
+	skipSlowUnderRace(t)
 	tb := Fig9(fastCfg())
 	if len(tb.Rows) != 9 {
 		t.Fatalf("fig9 rows = %d", len(tb.Rows))
@@ -177,6 +178,7 @@ func TestFig9Orderings(t *testing.T) {
 }
 
 func TestFig10aOrderings(t *testing.T) {
+	skipSlowUnderRace(t)
 	tb := Fig10a(fastCfg())
 	if len(tb.Rows) != 3 {
 		t.Fatalf("fig10a rows = %d", len(tb.Rows))
@@ -197,6 +199,7 @@ func TestFig10aOrderings(t *testing.T) {
 }
 
 func TestFig11aEnergyOrdering(t *testing.T) {
+	skipSlowUnderRace(t)
 	tb := Fig11a(fastCfg())
 	for i := range tb.Rows {
 		pp, uniform := cell(t, tb, i, 3), cell(t, tb, i, 4)
@@ -210,6 +213,7 @@ func TestFig11aEnergyOrdering(t *testing.T) {
 }
 
 func TestFig6Fig7Fig8Fig11b(t *testing.T) {
+	skipSlowUnderRace(t)
 	cfg := fastCfg()
 	f6, err := Fig6(1, cfg)
 	if err != nil || len(f6.Rows) != 10 {
@@ -312,6 +316,7 @@ func TestDLExperiments(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	skipSlowUnderRace(t)
 	cfg := fastCfg()
 	a := AblationCorrThreshold(cfg, 0.5, 0.9)
 	if len(a.Rows) != 2 {
@@ -358,6 +363,7 @@ func TestTableFormats(t *testing.T) {
 }
 
 func TestNewAblations(t *testing.T) {
+	skipSlowUnderRace(t)
 	cfg := fastCfg()
 	a := AblationLearnedProfiles(cfg)
 	if len(a.Rows) != 2 {

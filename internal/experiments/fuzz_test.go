@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzSchedulerByName checks the CLI's scheduler lookup over arbitrary
+// strings: every input yields exactly one of (scheduler, nil) or (nil,
+// error), recognized names construct policies whose Name() round-trips back
+// through the lookup, and nothing panics.
+func FuzzSchedulerByName(f *testing.F) {
+	for _, n := range SchedulerNames() {
+		f.Add(n)
+	}
+	for _, n := range []string{"uniform", "resag", "cbp", "pp", "cbp+pp",
+		"", "PP ", "pP", "CBP+", "res-ag", "知", "\x00", "Uniform\n"} {
+		f.Add(n)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		s, err := SchedulerByName(name)
+		if (s == nil) == (err == nil) {
+			t.Fatalf("SchedulerByName(%q) = (%v, %v); want exactly one non-nil", name, s, err)
+		}
+		if err != nil {
+			if utf8.ValidString(name) && !utf8.ValidString(err.Error()) {
+				t.Fatalf("error for %q is not valid UTF-8", name)
+			}
+			return
+		}
+		rt, err := SchedulerByName(s.Name())
+		if err != nil {
+			t.Fatalf("Name() %q of scheduler for %q is not itself recognized: %v", s.Name(), name, err)
+		}
+		if rt.Name() != s.Name() {
+			t.Fatalf("lookup of %q not idempotent: %q vs %q", name, rt.Name(), s.Name())
+		}
+	})
+}

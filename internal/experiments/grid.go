@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+
+	"kubeknots/internal/dlsim"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/sweep"
+	"kubeknots/internal/workloads"
+)
+
+// Grid-shaped experiments (Fig. 7/9/10a/11a/12, Table 4, the ablations) run
+// many independent simulations whose results feed one table. They fan out
+// through the sweep worker pool; each point builds its own engine and RNG,
+// and rows are assembled from the results in grid order, so the rendered
+// table is bit-identical at any parallelism.
+
+// gridParallel is the worker count for in-experiment grids; 0 means
+// GOMAXPROCS.
+var gridParallel atomic.Int64
+
+// SetParallelism sets the fan-out used by grid-shaped experiments. n <= 0
+// restores the default (GOMAXPROCS). The CLI wires its -parallel flag here;
+// output tables do not depend on the value.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	gridParallel.Store(int64(n))
+}
+
+// Parallelism returns the current grid fan-out.
+func Parallelism() int {
+	if n := int(gridParallel.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// clusterPoint is one grid point of a cluster-experiment sweep.
+type clusterPoint struct {
+	Key   string
+	Sched k8s.Scheduler
+	Mix   workloads.AppMix
+	Cfg   ClusterConfig
+}
+
+// runClusterGrid executes every point through the sweep pool and returns the
+// runs in point order. RunCluster cannot fail; a panicking point (a bug, not
+// a config) is re-raised so the enclosing experiment job reports it.
+func runClusterGrid(points []clusterPoint) []*ClusterRun {
+	runs, err := sweep.Map(context.Background(), points, Parallelism(),
+		func(_ int, p clusterPoint) string { return p.Key },
+		func(_ context.Context, p clusterPoint) (*ClusterRun, error) {
+			return RunCluster(p.Sched, p.Mix, p.Cfg), nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	return runs
+}
+
+// dlPoint is one grid point of a DL-simulator sweep.
+type dlPoint struct {
+	Key    string
+	Policy dlsim.Policy
+	Cfg    dlsim.Config
+}
+
+// runDLGrid executes every DL-simulator point through the sweep pool and
+// returns the results in point order.
+func runDLGrid(points []dlPoint) []*dlsim.Result {
+	runs, err := sweep.Map(context.Background(), points, Parallelism(),
+		func(_ int, p dlPoint) string { return p.Key },
+		func(_ context.Context, p dlPoint) (*dlsim.Result, error) {
+			return dlsim.Run(p.Policy, p.Cfg), nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	return runs
+}

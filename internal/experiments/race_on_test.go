@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled mirrors the -race build flag so heavyweight simulation tests
+// can bow out: race instrumentation slows the discrete-event runs ~15×,
+// pushing the full registry past CI's per-package timeout. Concurrency
+// coverage under -race comes from the sweep/tsdb/knots/api stress tests and
+// TestGridPoolRaceSmoke.
+const raceEnabled = true

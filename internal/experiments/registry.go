@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"kubeknots/internal/dlsim"
+	"kubeknots/internal/trace"
+)
+
+// Spec bundles the per-run configuration for every experiment family, so a
+// sweep can stamp out (experiment × seed) jobs from one value. The CLI keeps
+// the three seed fields in lockstep; tests may vary them independently.
+type Spec struct {
+	// Seed drives the trace-analysis and prediction experiments
+	// (fig2*, fig10b).
+	Seed int64
+	// Cluster parameterizes the ten-node GPU-cluster experiments.
+	Cluster ClusterConfig
+	// DL parameterizes the 256-GPU deep-learning simulator experiments.
+	DL dlsim.Config
+	// Trace sizes the Alibaba-style synthetic trace for fig2.
+	Trace trace.Config
+}
+
+// DefaultSpec returns the CLI's default configuration: seed 1, paper-default
+// cluster, full-scale DL simulator, small trace.
+func DefaultSpec() Spec {
+	return Spec{
+		Seed:    1,
+		Cluster: ClusterConfig{Seed: 1},
+		DL:      dlsim.Default(),
+		Trace:   trace.Small(),
+	}
+}
+
+// WithSeed returns a copy of the spec with every seed field set to seed, the
+// unit of a multi-seed replication sweep.
+func (s Spec) WithSeed(seed int64) Spec {
+	s.Seed = seed
+	s.Cluster.Seed = seed
+	s.DL.Seed = seed
+	return s
+}
+
+// Experiment is one named entry of the paper's evaluation: a function from a
+// Spec to the tables it regenerates. Experiments are independent and build
+// their own simulation state, so a sweep may run any set of them
+// concurrently.
+type Experiment struct {
+	Name string
+	Run  func(Spec) ([]*Table, error)
+}
+
+// tables wraps infallible single-table experiments.
+func tables(f func(Spec) *Table) func(Spec) ([]*Table, error) {
+	return func(s Spec) ([]*Table, error) { return []*Table{f(s)}, nil }
+}
+
+// Registry lists every experiment in the paper's presentation order. Each
+// call returns fresh closures; the experiments themselves carry no shared
+// mutable state.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1", tables(func(Spec) *Table { return Fig1() })},
+		{"fig2a", tables(func(s Spec) *Table { return Fig2a(s.Seed, s.Trace) })},
+		{"fig2b", tables(func(s Spec) *Table { return Fig2b(s.Seed, s.Trace) })},
+		{"fig2c", tables(func(s Spec) *Table { return Fig2c(s.Seed, s.Trace) })},
+		{"fig3", tables(func(Spec) *Table { return Fig3(0) })},
+		{"fig4", tables(func(Spec) *Table { return Fig4() })},
+		{"table1", tables(func(Spec) *Table { return Table1() })},
+		{"fig6", func(s Spec) ([]*Table, error) {
+			var out []*Table
+			for mix := 1; mix <= 3; mix++ {
+				t, err := Fig6(mix, s.Cluster)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, t)
+			}
+			return out, nil
+		}},
+		{"fig7", tables(func(s Spec) *Table { return Fig7(s.Cluster) })},
+		{"fig8", func(s Spec) ([]*Table, error) {
+			var out []*Table
+			for mix := 1; mix <= 3; mix++ {
+				t, err := Fig8(mix, s.Cluster)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, t)
+			}
+			return out, nil
+		}},
+		{"fig9", tables(func(s Spec) *Table { return Fig9(s.Cluster) })},
+		{"fig10a", tables(func(s Spec) *Table { return Fig10a(s.Cluster) })},
+		{"fig10b", tables(func(s Spec) *Table { return Fig10b(s.Seed) })},
+		{"fig11a", tables(func(s Spec) *Table { return Fig11a(s.Cluster) })},
+		{"fig11b", func(s Spec) ([]*Table, error) {
+			t, err := Fig11b(s.Cluster)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		}},
+		{"fig12a", tables(func(s Spec) *Table { return Fig12a(s.DL) })},
+		{"fig12b", tables(func(s Spec) *Table { return Fig12b(s.DL) })},
+		{"table4", tables(func(s Spec) *Table { return Table4(s.DL) })},
+		{"ablations", func(s Spec) ([]*Table, error) {
+			return []*Table{
+				AblationCorrThreshold(s.Cluster),
+				AblationResizePercentile(s.Cluster),
+				AblationHeartbeat(s.Cluster),
+				AblationForecaster(s.Cluster),
+				AblationLearnedProfiles(s.Cluster),
+				AblationSLOFraction(s.Cluster),
+			}, nil
+		}},
+	}
+}
+
+// ExperimentByName looks an experiment up by its CLI name.
+func ExperimentByName(name string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
+}
+
+// ExperimentNames returns every registered name in sorted order (the
+// expansion of the CLI's "all").
+func ExperimentNames() []string {
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, e := range reg {
+		out[i] = e.Name
+	}
+	sort.Strings(out)
+	return out
+}

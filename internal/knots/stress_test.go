@@ -1,0 +1,155 @@
+package knots
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// TestProfilerConcurrentObserveComplete runs many goroutines, each feeding a
+// distinct container of the same image through Observe→Complete, while
+// readers poll Stats and Images. Run under -race. Every completed run must
+// land in the aggregate — no lost runs.
+func TestProfilerConcurrentObserveComplete(t *testing.T) {
+	const (
+		writers = 8
+		readers = 4
+		runs    = 5
+	)
+	prof := workloads.RodiniaProfile(workloads.KMeans)
+	p := NewProfiler()
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if st, ok := p.Stats(prof.Name); ok {
+					if st.Runs <= 0 || st.MemPeakMB < st.MemP80MB {
+						t.Errorf("inconsistent stats mid-run: %+v", st)
+						return
+					}
+				}
+				p.Images()
+			}
+		}()
+	}
+
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for run := 0; run < runs; run++ {
+				c := &cluster.Container{
+					ID:    fmt.Sprintf("c%d-%d", w, run),
+					Class: prof.Class,
+					Inst:  prof.NewInstance(nil),
+				}
+				for s := 0; s < 10; s++ {
+					at := sim.Time(s) * ProfileStep
+					p.Observe(at, c, float64(100+s), float64(10+s))
+				}
+				p.Complete(c)
+			}
+		}(w)
+	}
+	ww.Wait()
+	stop.Store(true)
+	wg.Wait()
+
+	st, ok := p.Stats(prof.Name)
+	if !ok {
+		t.Fatal("no stats after completed runs")
+	}
+	if st.Runs != writers*runs {
+		t.Fatalf("lost runs: Runs = %d, want %d", st.Runs, writers*runs)
+	}
+	if st.MemPeakMB != 109 || st.SMPeakPct != 19 {
+		t.Fatalf("peaks = (%v, %v), want (109, 19)", st.MemPeakMB, st.SMPeakPct)
+	}
+	if len(st.UpcomingMem) == 0 || st.UpcomingMem[0] != 100 {
+		t.Fatalf("upcoming series wrong: %v", st.UpcomingMem)
+	}
+}
+
+// TestRemoteStatsConcurrentFetch drives the HTTP monitoring path under load:
+// a sampler keeps appending heartbeats to the node-local stores while many
+// head-node aggregators fetch the full cluster view. Run under -race. The
+// final serial fetch must see every device and every metric series.
+func TestRemoteStatsConcurrentFetch(t *testing.T) {
+	const fetchers = 6
+	cl, mon, ra, closeAll := remoteRig(t, 3)
+	defer closeAll()
+
+	// Populate device state serially (cluster mutation is single-threaded by
+	// design); the concurrent phase only samples and reads.
+	prof := workloads.RodiniaProfile(workloads.KMeans)
+	c := &cluster.Container{ID: "a", Class: prof.Class, Inst: prof.NewInstance(nil)}
+	if err := cl.GPUs()[0].Place(0, c, 3000); err != nil {
+		t.Fatal(err)
+	}
+	for now := sim.Time(0); now < sim.Second; now += 10 * sim.Millisecond {
+		cl.Tick(now, 10*sim.Millisecond)
+		mon.Sample(now)
+	}
+
+	var clock atomic.Int64
+	clock.Store(int64(sim.Second))
+	var stop atomic.Bool
+	var ww sync.WaitGroup
+	ww.Add(1)
+	go func() { // writer: heartbeat sampler
+		defer ww.Done()
+		for i := 0; i < 500; i++ {
+			mon.Sample(sim.Time(clock.Add(int64(10 * sim.Millisecond))))
+		}
+		stop.Store(true)
+	}()
+
+	var wg sync.WaitGroup
+	for f := 0; f < fetchers; f++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				stats, err := ra.Fetch(sim.Time(clock.Load()))
+				if err != nil {
+					t.Errorf("fetch: %v", err)
+					return
+				}
+				if len(stats) != 3 {
+					t.Errorf("fetch returned %d nodes, want 3", len(stats))
+					return
+				}
+			}
+		}()
+	}
+	ww.Wait()
+	wg.Wait()
+
+	stats, err := ra.Fetch(sim.Time(clock.Load()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := len(cl.NodeGPUs(0))
+	for _, ns := range stats {
+		if len(ns.Devices) != perNode || len(ns.Windows) != perNode {
+			t.Fatalf("node %d: %d devices / %d windows, want %d", ns.Node, len(ns.Devices), len(ns.Windows), perNode)
+		}
+		for _, w := range ns.Windows {
+			for _, m := range Metrics {
+				if len(w.Series[m]) == 0 {
+					t.Fatalf("node %d gpu %s: empty %s series after sampling", ns.Node, w.GPU, m)
+				}
+			}
+		}
+	}
+}

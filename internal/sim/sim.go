@@ -197,6 +197,33 @@ func (e *Engine) RunAll(maxEvents int) Time {
 	return e.now
 }
 
+// Fingerprint digests the engine's observable state — clock, scheduling
+// counter, and pending event times — with FNV-1a. Two replicas of the same
+// seeded simulation have equal fingerprints at equal points; the determinism
+// harness compares them across parallelism levels to localize divergence
+// without diffing whole tables.
+func (e *Engine) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(e.now))
+	mix(e.seq)
+	for _, ev := range e.events {
+		mix(uint64(ev.At))
+		mix(ev.seq)
+	}
+	return h
+}
+
 // ExpDuration draws an exponentially distributed duration with the given
 // mean, clamped to at least 1 ms so arrivals always advance the clock.
 func (e *Engine) ExpDuration(mean Time) Time {

@@ -265,3 +265,26 @@ func TestStepEmpty(t *testing.T) {
 		t.Fatal("Run should advance clock to until")
 	}
 }
+
+func TestFingerprintDeterministic(t *testing.T) {
+	build := func(seed int64) *Engine {
+		e := NewEngine(seed)
+		for i := 0; i < 20; i++ {
+			e.After(e.ExpDuration(50), func(Time) {})
+		}
+		e.Run(40)
+		return e
+	}
+	a, b := build(7), build(7)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same-seed replicas should have equal fingerprints")
+	}
+	if a.Fingerprint() == build(8).Fingerprint() {
+		t.Fatal("different seeds should (almost surely) diverge")
+	}
+	fp := a.Fingerprint()
+	a.Step()
+	if a.Fingerprint() == fp {
+		t.Fatal("fingerprint should change as the simulation advances")
+	}
+}

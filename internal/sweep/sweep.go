@@ -1,0 +1,224 @@
+// Package sweep is the parallel experiment runner behind `kubeknots
+// -parallel N`: a worker pool that executes a grid of independent simulation
+// jobs (experiment × policy × seed × config) across up to GOMAXPROCS
+// goroutines. Every simulation in this repository builds its own sim.Engine
+// and seeded RNG and never reads wall-clock time, so runs are independent
+// and bit-identical per seed — which makes fanning them out safe, provided
+// the harness preserves three properties this package guarantees:
+//
+//   - deterministic result ordering: results are returned in job-submission
+//     order no matter which worker finished first;
+//   - isolation: a panicking job is captured as that job's error (with its
+//     stack) and must not take down the rest of the sweep;
+//   - cancellation: a cancelled context stops dispatching queued jobs, which
+//     then report the context error; in-flight jobs run to completion.
+//
+// Per-job wall time and an approximate allocation count are recorded so the
+// CLI can surface where a sweep spent the machine.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one unit of a sweep: a stable key (used in stats output and error
+// reporting) and the function that produces its result.
+type Job[T any] struct {
+	// Key identifies the job, e.g. "fig9/seed=1".
+	Key string
+	// Run computes the job's value. It must be self-contained: all
+	// simulations construct their own engine and RNG, so concurrent jobs
+	// share nothing.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Result is the outcome of one job, reported in submission order.
+type Result[T any] struct {
+	// Key echoes the job's key.
+	Key string
+	// Value is the job's return value (zero when Err != nil).
+	Value T
+	// Err is the job's error, the captured panic, or the context error for
+	// jobs that were never dispatched.
+	Err error
+	// Wall is the job's wall-clock execution time (zero if never started).
+	// Wall time is harness telemetry, never part of experiment output, so
+	// determinism of the tables is unaffected.
+	Wall time.Duration
+	// AllocBytes is the change in the process-wide cumulative heap
+	// allocation across the job. With Parallel > 1 concurrent jobs share the
+	// counter, so treat it as an attribution hint, not an exact figure.
+	AllocBytes uint64
+	// Worker is the index of the pool worker that ran the job (-1 if the job
+	// was never dispatched).
+	Worker int
+}
+
+// PanicError wraps a panic captured from a job.
+type PanicError struct {
+	// Key is the panicking job's key.
+	Key string
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("sweep: job %q panicked: %v", p.Key, p.Value)
+}
+
+// Options tunes a sweep.
+type Options[T any] struct {
+	// Parallel is the worker count; <= 0 means runtime.GOMAXPROCS(0). The
+	// pool never spawns more workers than jobs.
+	Parallel int
+	// OnDone, when non-nil, is invoked from worker goroutines as each job
+	// finishes (in completion order, not submission order). It must be safe
+	// for concurrent use.
+	OnDone func(index int, r Result[T])
+}
+
+// Run executes jobs on a worker pool and returns one Result per job, in the
+// same order as jobs. It never returns an error itself: per-job failures
+// (including panics) land in the corresponding Result.Err, so one crashing
+// experiment cannot kill the sweep.
+func Run[T any](ctx context.Context, jobs []Job[T], opts Options[T]) []Result[T] {
+	results := make([]Result[T], len(jobs))
+	for i, j := range jobs {
+		results[i] = Result[T]{Key: j.Key, Worker: -1}
+	}
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range next {
+				results[i] = runOne(ctx, jobs[i], worker)
+				if opts.OnDone != nil {
+					opts.OnDone(i, results[i])
+				}
+			}
+		}(w)
+	}
+
+dispatch:
+	for i := range jobs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			// The select dispatched either job i or nothing, so jobs i..n-1
+			// were never handed to a worker: no goroutine touches their
+			// result slots, and marking them here is race-free.
+			for j := i; j < len(jobs); j++ {
+				results[j].Err = ctx.Err()
+			}
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job with panic capture and stats accounting.
+func runOne[T any](ctx context.Context, job Job[T], worker int) (res Result[T]) {
+	res.Key = job.Key
+	res.Worker = worker
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	defer func() {
+		res.Wall = time.Since(start)
+		if res.Wall <= 0 {
+			res.Wall = time.Nanosecond // mark as started even on coarse clocks
+		}
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		if after.TotalAlloc > before.TotalAlloc {
+			res.AllocBytes = after.TotalAlloc - before.TotalAlloc
+		}
+		if r := recover(); r != nil {
+			stack := make([]byte, 64<<10)
+			stack = stack[:runtime.Stack(stack, false)]
+			res.Err = &PanicError{Key: job.Key, Value: r, Stack: stack}
+		}
+	}()
+	res.Value, res.Err = job.Run(ctx)
+	return res
+}
+
+// Map is the common map-shaped sweep: apply fn to every item in parallel and
+// return the values in input order. The first error (by input order) is
+// returned alongside the full result slice; errored slots hold the zero
+// value.
+func Map[In, Out any](ctx context.Context, items []In, parallel int, key func(int, In) string, fn func(ctx context.Context, item In) (Out, error)) ([]Out, error) {
+	jobs := make([]Job[Out], len(items))
+	for i, item := range items {
+		item := item
+		k := fmt.Sprintf("job-%d", i)
+		if key != nil {
+			k = key(i, item)
+		}
+		jobs[i] = Job[Out]{Key: k, Run: func(ctx context.Context) (Out, error) {
+			return fn(ctx, item)
+		}}
+	}
+	results := Run(ctx, jobs, Options[Out]{Parallel: parallel})
+	out := make([]Out, len(results))
+	var firstErr error
+	for i, r := range results {
+		out[i] = r.Value
+		if r.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("sweep: %s: %w", r.Key, r.Err)
+		}
+	}
+	return out, firstErr
+}
+
+// Stats summarizes a finished sweep for the CLI's -stats output.
+type Stats struct {
+	Jobs       int
+	Errors     int
+	TotalWall  time.Duration // sum of per-job wall times (CPU-seconds spent)
+	MaxWall    time.Duration // slowest single job
+	AllocBytes uint64
+}
+
+// Summarize folds per-job results into aggregate stats.
+func Summarize[T any](results []Result[T]) Stats {
+	var s Stats
+	s.Jobs = len(results)
+	for _, r := range results {
+		if r.Err != nil {
+			s.Errors++
+		}
+		s.TotalWall += r.Wall
+		if r.Wall > s.MaxWall {
+			s.MaxWall = r.Wall
+		}
+		s.AllocBytes += r.AllocBytes
+	}
+	return s
+}

@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrderIndependentOfCompletion(t *testing.T) {
+	// Later jobs finish first; results must still come back in submission
+	// order with the right values.
+	const n = 16
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("j%d", i),
+			Run: func(ctx context.Context) (int, error) {
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return i * i, nil
+			},
+		}
+	}
+	results := Run(context.Background(), jobs, Options[int]{Parallel: 8})
+	if len(results) != n {
+		t.Fatalf("results = %d, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Value != i*i {
+			t.Fatalf("job %d value = %d, want %d", i, r.Value, i*i)
+		}
+		if r.Key != fmt.Sprintf("j%d", i) {
+			t.Fatalf("job %d key = %q", i, r.Key)
+		}
+		if r.Wall <= 0 {
+			t.Fatalf("job %d has no wall time", i)
+		}
+	}
+}
+
+func TestPanicCapture(t *testing.T) {
+	jobs := []Job[string]{
+		{Key: "ok-1", Run: func(ctx context.Context) (string, error) { return "a", nil }},
+		{Key: "boom", Run: func(ctx context.Context) (string, error) { panic("kaboom") }},
+		{Key: "ok-2", Run: func(ctx context.Context) (string, error) { return "b", nil }},
+	}
+	results := Run(context.Background(), jobs, Options[string]{Parallel: 2})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy jobs errored: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[0].Value != "a" || results[2].Value != "b" {
+		t.Fatalf("healthy jobs lost values: %+v", results)
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("panic not captured as PanicError: %v", results[1].Err)
+	}
+	if pe.Value != "kaboom" || pe.Key != "boom" {
+		t.Fatalf("panic payload = %+v", pe)
+	}
+	if !strings.Contains(string(pe.Stack), "sweep") {
+		t.Fatalf("panic stack not captured: %q", pe.Stack)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	const n = 12
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("j%d", i),
+			Run: func(ctx context.Context) (int, error) {
+				if i == 0 {
+					close(started)
+					<-release
+				}
+				return i, nil
+			},
+		}
+	}
+	go func() {
+		<-started
+		cancel()
+		close(release)
+	}()
+	results := Run(ctx, jobs, Options[int]{Parallel: 1})
+	if results[0].Err != nil {
+		t.Fatalf("in-flight job should complete: %v", results[0].Err)
+	}
+	cancelled := 0
+	for _, r := range results[1:] {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no queued jobs reported context cancellation")
+	}
+}
+
+func TestParallelOneIsSequential(t *testing.T) {
+	var concurrent, peak int32
+	jobs := make([]Job[struct{}], 8)
+	for i := range jobs {
+		jobs[i] = Job[struct{}]{
+			Key: fmt.Sprintf("j%d", i),
+			Run: func(ctx context.Context) (struct{}, error) {
+				c := atomic.AddInt32(&concurrent, 1)
+				for {
+					p := atomic.LoadInt32(&peak)
+					if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				atomic.AddInt32(&concurrent, -1)
+				return struct{}{}, nil
+			},
+		}
+	}
+	Run(context.Background(), jobs, Options[struct{}]{Parallel: 1})
+	if got := atomic.LoadInt32(&peak); got != 1 {
+		t.Fatalf("peak concurrency = %d, want 1", got)
+	}
+}
+
+func TestOnDoneObservesEveryJob(t *testing.T) {
+	var done int32
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		jobs[i] = Job[int]{Key: fmt.Sprintf("j%d", i),
+			Run: func(ctx context.Context) (int, error) { return 0, nil }}
+	}
+	Run(context.Background(), jobs, Options[int]{
+		Parallel: 4,
+		OnDone:   func(i int, r Result[int]) { atomic.AddInt32(&done, 1) },
+	})
+	if done != 10 {
+		t.Fatalf("OnDone fired %d times, want 10", done)
+	}
+}
+
+func TestMap(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5}
+	out, err := Map(context.Background(), items, 3, nil,
+		func(ctx context.Context, v int) (int, error) { return v * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != items[i]*10 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	_, err = Map(context.Background(), items, 2,
+		func(i int, v int) string { return fmt.Sprintf("item-%d", v) },
+		func(ctx context.Context, v int) (int, error) {
+			if v == 3 {
+				return 0, errors.New("bad item")
+			}
+			return v, nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "item-3") {
+		t.Fatalf("Map error = %v, want keyed failure", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []Result[int]{
+		{Wall: 2 * time.Second, AllocBytes: 100},
+		{Wall: 3 * time.Second, AllocBytes: 50, Err: errors.New("x")},
+	}
+	s := Summarize(results)
+	if s.Jobs != 2 || s.Errors != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TotalWall != 5*time.Second || s.MaxWall != 3*time.Second || s.AllocBytes != 150 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEmptyAndOversizedPool(t *testing.T) {
+	if got := Run(context.Background(), nil, Options[int]{Parallel: 8}); len(got) != 0 {
+		t.Fatalf("empty sweep returned %d results", len(got))
+	}
+	// More workers than jobs must not deadlock or drop results.
+	jobs := []Job[int]{{Key: "only", Run: func(ctx context.Context) (int, error) { return 7, nil }}}
+	got := Run(context.Background(), jobs, Options[int]{Parallel: 64})
+	if got[0].Value != 7 {
+		t.Fatalf("value = %d", got[0].Value)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -214,15 +215,29 @@ func parseRow(row []string) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
+	if arrival < 0 {
+		return Record{}, fmt.Errorf("negative arrival %d", arrival)
+	}
 	duration, err := strconv.ParseInt(row[3], 10, 64)
 	if err != nil {
 		return Record{}, err
+	}
+	if duration < 0 {
+		return Record{}, fmt.Errorf("negative duration %d", duration)
+	}
+	// arrival+duration is indexed into load series downstream; an overflowing
+	// end time would wrap negative and panic there.
+	if arrival > math.MaxInt64-1-duration {
+		return Record{}, fmt.Errorf("arrival+duration overflows")
 	}
 	var pcts [4]float64
 	for i := 0; i < 4; i++ {
 		v, err := strconv.ParseFloat(row[4+i], 64)
 		if err != nil {
 			return Record{}, err
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 100 {
+			return Record{}, fmt.Errorf("percent field %q out of range [0,100]", row[4+i])
 		}
 		pcts[i] = v
 	}
