@@ -8,7 +8,7 @@
 //	kubeknots all
 //
 // Experiments: fig1 fig2a fig2b fig2c fig3 fig4 table1 fig6 fig7 fig8 fig9
-// fig10a fig10b fig11a fig11b fig12a fig12b table4 ablations
+// fig10a fig10b fig11a fig11b fig12a fig12b table4 chaos ablations
 //
 // Every experiment builds its own simulation state from the seed, so "all"
 // and multi-experiment invocations fan the (experiment × seed) grid across a
@@ -42,6 +42,10 @@ var (
 	dlscale  = flag.String("dlscale", "full", "DL simulator scale: full (520 DLT + 1400 DLI on 256 GPUs) or small")
 	tscale   = flag.String("tracescale", "small", "Alibaba-style trace scale for fig2: full (12h, ~24k tasks) or small")
 	format   = flag.String("format", "text", "output format: text | json | csv")
+
+	chaosSeed = flag.Int64("chaos-seed", 0, "fault-schedule seed for the chaos experiment (0 = follow -seed)")
+	mttf      = flag.Duration("mttf", 90*time.Second, "per-node mean time to failure for the chaos experiment")
+	mttr      = flag.Duration("mttr", 10*time.Second, "per-node mean time to repair for the chaos experiment")
 )
 
 // emit renders a table in the selected format.
@@ -107,6 +111,8 @@ func main() {
 	if *tscale == "full" {
 		base.Trace = trace.Default()
 	}
+	base.Chaos.MTTF = sim.Time(mttf.Milliseconds())
+	base.Chaos.MTTR = sim.Time(mttr.Milliseconds())
 
 	// Resolve every name before launching anything so a typo still exits 2
 	// with no partial output.
@@ -129,6 +135,9 @@ func main() {
 		e := e
 		for _, sd := range seeds {
 			spec := base.WithSeed(sd)
+			if *chaosSeed != 0 {
+				spec.Chaos.Seed = *chaosSeed
+			}
 			key := e.Name
 			if len(seeds) > 1 {
 				key = fmt.Sprintf("%s/seed=%d", e.Name, sd)
@@ -187,6 +196,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: kubeknots [flags] <experiment>...
 experiments: fig1 fig2a fig2b fig2c fig3 fig4 table1 fig6 fig7 fig8 fig9
-             fig10a fig10b fig11a fig11b fig12a fig12b table4 ablations all`)
+             fig10a fig10b fig11a fig11b fig12a fig12b table4 chaos
+             ablations all`)
 	flag.PrintDefaults()
 }

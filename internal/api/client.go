@@ -6,17 +6,25 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"kubeknots/internal/k8s"
 	"kubeknots/internal/sim"
 )
+
+// DefaultTimeout bounds every apiserver call when no custom client is
+// supplied — a wedged server must surface as an error, not a hung client.
+const DefaultTimeout = 10 * time.Second
+
+// defaultClient replaces the untimed http.DefaultClient.
+var defaultClient = &http.Client{Timeout: DefaultTimeout}
 
 // Client is a typed Go client for the apiserver, mirroring client-go's role
 // against the Kubernetes apiserver.
 type Client struct {
 	// Base is the server URL, e.g. "http://localhost:8088".
 	Base string
-	// HTTP defaults to http.DefaultClient.
+	// HTTP defaults to a client bounded by DefaultTimeout.
 	HTTP *http.Client
 }
 
@@ -27,7 +35,7 @@ func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultClient
 }
 
 // apiError decodes the server's {"error": ...} body.

@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlan drives the plan parser with arbitrary specs: it must either
+// error or return a plan that validates, round-trips through String, and
+// never panics — the CLI feeds it raw flag input.
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		"",
+		"none",
+		"off",
+		"node:mttf=60s,mttr=10s",
+		"node:mttf=60s,mttr=10s;gpu:mttf=5m,mttr=30s;telemetry:mttf=30s,mttr=5s;net:latency=50ms,errors=0.05",
+		"net:errors=0.99",
+		"net:latency=1ms",
+		"telemetry:mttf=1h,mttr=1ms",
+		"node:mttf=9223372036854775807ns,mttr=1s",
+		"node:mttf=1s,mttr=1s;node:mttf=2s,mttr=2s",
+		"gpu:mttr=1s",
+		"net:errors=-0.5",
+		"net:errors=1e308",
+		";;;",
+		"node:mttf=60s,mttr=10s;",
+		" node : mttf = 60s , mttr = 10s ",
+		"node:mttf=60s,mttr=10s\x00",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted plan fails validation: %q → %+v: %v", spec, p, err)
+		}
+		rendered := p.String()
+		back, err := ParsePlan(rendered)
+		if err != nil {
+			t.Fatalf("String output does not re-parse: %q → %q: %v", spec, rendered, err)
+		}
+		if back != p {
+			t.Fatalf("round trip not stable: %q → %+v → %q → %+v", spec, p, rendered, back)
+		}
+		if p.Zero() != (rendered == "none") {
+			t.Fatalf("Zero()=%v but String()=%q", p.Zero(), rendered)
+		}
+		if strings.Contains(rendered, ";;") {
+			t.Fatalf("malformed rendering %q", rendered)
+		}
+	})
+}

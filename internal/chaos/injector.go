@@ -1,0 +1,238 @@
+package chaos
+
+import (
+	"math"
+	"math/rand"
+
+	"kubeknots/internal/sim"
+)
+
+// Target is what the injector breaks and repairs. The k8s orchestrator
+// implements it structurally (chaos stays free of orchestration imports).
+// All methods are called from simulation events, i.e. single-threaded.
+type Target interface {
+	// NodeCount returns the number of nodes faults may hit.
+	NodeCount() int
+	// GPUCount returns how many devices node carries.
+	GPUCount(node int) int
+	// FailNode crashes a whole node: its devices fail (resident pods are
+	// drained for rescheduling) and its telemetry stops.
+	FailNode(now sim.Time, node int)
+	// RestoreNode reboots a crashed node.
+	RestoreNode(now sim.Time, node int)
+	// FailGPU fails one device, killing resident pods.
+	FailGPU(now sim.Time, node, index int)
+	// RestoreGPU brings a failed device back.
+	RestoreGPU(now sim.Time, node, index int)
+	// SetTelemetry stops (down=true) or resumes a node monitor's reporting
+	// without touching the devices.
+	SetTelemetry(now sim.Time, node int, down bool)
+	// SetNetwork applies stats-path degradation: per-heartbeat loss
+	// probability errRate and sample delay latency; seed makes the loss
+	// process deterministic. errRate 0 and latency 0 restore health.
+	SetNetwork(now sim.Time, latency sim.Time, errRate float64, seed int64)
+}
+
+// FaultEvent is one recorded injection, for availability accounting and
+// debugging replays.
+type FaultEvent struct {
+	At   sim.Time
+	Kind FaultKind
+	Node int
+	// GPU is the device index for KindGPU events (-1 otherwise).
+	GPU int
+	// Up is false for the failure edge, true for the repair edge.
+	Up bool
+}
+
+// Injector schedules a Plan's faults onto a simulation engine. Create with
+// NewInjector, then Start once before driving the engine.
+type Injector struct {
+	Eng    *sim.Engine
+	Plan   Plan
+	Target Target
+	// Events records every injected edge in firing order.
+	Events []FaultEvent
+
+	rng      *rand.Rand
+	nodeDown []bool // node-crash domain state
+	teleDown []bool // telemetry domain state
+	gpuDown  map[[2]int]bool
+	started  bool
+}
+
+// NewInjector builds an injector over eng targeting t. The plan must
+// Validate; a zero plan yields an injector whose Start is a no-op.
+func NewInjector(eng *sim.Engine, plan Plan, t Target) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		Eng:    eng,
+		Plan:   plan,
+		Target: t,
+		rng:    rand.New(rand.NewSource(plan.Seed)),
+	}, nil
+}
+
+// expDur draws an exponential interval with the given mean from the
+// injector's private RNG, clamped to ≥ 1 ms.
+func (in *Injector) expDur(mean sim.Time) sim.Time {
+	d := sim.Time(math.Round(in.rng.ExpFloat64() * float64(mean)))
+	if d < sim.Millisecond {
+		d = sim.Millisecond
+	}
+	return d
+}
+
+// Start schedules the first failure of every enabled domain. Call once.
+// With a zero plan no events are scheduled and no RNG is drawn, so the
+// engine's behaviour is untouched.
+func (in *Injector) Start() {
+	if in.started {
+		panic("chaos: injector already started")
+	}
+	in.started = true
+	if in.Plan.Zero() {
+		return
+	}
+	n := in.Target.NodeCount()
+	in.nodeDown = make([]bool, n)
+	in.teleDown = make([]bool, n)
+	in.gpuDown = make(map[[2]int]bool)
+	// Domain order is fixed so the RNG draw sequence — and therefore the
+	// whole fault schedule — depends only on the plan seed and cluster shape.
+	if in.Plan.Node.Enabled() {
+		for node := 0; node < n; node++ {
+			in.scheduleNodeFault(node)
+		}
+	}
+	if in.Plan.GPU.Enabled() {
+		for node := 0; node < n; node++ {
+			for idx := 0; idx < in.Target.GPUCount(node); idx++ {
+				in.scheduleGPUFault(node, idx)
+			}
+		}
+	}
+	if in.Plan.Telemetry.Enabled() {
+		for node := 0; node < n; node++ {
+			in.scheduleTelemetryFault(node)
+		}
+	}
+	if in.Plan.Network.Enabled() {
+		// Network degradation holds for the whole run; the loss process gets
+		// its own deterministic sub-seed so heartbeat draws don't consume the
+		// fault-schedule stream.
+		latency, errRate := in.Plan.Network.Latency, in.Plan.Network.ErrRate
+		seed := in.rng.Int63()
+		in.Eng.At(in.Eng.Now(), func(now sim.Time) {
+			in.Target.SetNetwork(now, latency, errRate, seed)
+			in.record(now, KindNetwork, -1, -1, false)
+		})
+	}
+}
+
+func (in *Injector) record(at sim.Time, kind FaultKind, node, gpu int, up bool) {
+	in.Events = append(in.Events, FaultEvent{At: at, Kind: kind, Node: node, GPU: gpu, Up: up})
+}
+
+// scheduleNodeFault arms the next crash of one node. Crash and reboot draws
+// happen up front so the schedule is independent of target behaviour.
+func (in *Injector) scheduleNodeFault(node int) {
+	wait := in.expDur(in.Plan.Node.MTTF)
+	outage := in.expDur(in.Plan.Node.MTTR)
+	in.Eng.After(wait, func(now sim.Time) {
+		if in.nodeDown[node] {
+			// Already down (overlapping draw): just rearm.
+			in.scheduleNodeFault(node)
+			return
+		}
+		in.nodeDown[node] = true
+		in.Target.FailNode(now, node)
+		in.record(now, KindNode, node, -1, false)
+		in.Eng.After(outage, func(now sim.Time) {
+			in.nodeDown[node] = false
+			in.Target.RestoreNode(now, node)
+			in.record(now, KindNode, node, -1, true)
+			in.scheduleNodeFault(node)
+		})
+	})
+}
+
+// scheduleGPUFault arms the next single-device failure.
+func (in *Injector) scheduleGPUFault(node, idx int) {
+	wait := in.expDur(in.Plan.GPU.MTTF)
+	outage := in.expDur(in.Plan.GPU.MTTR)
+	key := [2]int{node, idx}
+	in.Eng.After(wait, func(now sim.Time) {
+		if in.gpuDown[key] || in.nodeDown[node] {
+			in.scheduleGPUFault(node, idx)
+			return
+		}
+		in.gpuDown[key] = true
+		in.Target.FailGPU(now, node, idx)
+		in.record(now, KindGPU, node, idx, false)
+		in.Eng.After(outage, func(now sim.Time) {
+			in.gpuDown[key] = false
+			// A node crash while the device was out owns the restore.
+			if !in.nodeDown[node] {
+				in.Target.RestoreGPU(now, node, idx)
+			}
+			in.record(now, KindGPU, node, idx, true)
+			in.scheduleGPUFault(node, idx)
+		})
+	})
+}
+
+// scheduleTelemetryFault arms the next monitor dropout.
+func (in *Injector) scheduleTelemetryFault(node int) {
+	wait := in.expDur(in.Plan.Telemetry.MTTF)
+	outage := in.expDur(in.Plan.Telemetry.MTTR)
+	in.Eng.After(wait, func(now sim.Time) {
+		if in.teleDown[node] || in.nodeDown[node] {
+			in.scheduleTelemetryFault(node)
+			return
+		}
+		in.teleDown[node] = true
+		in.Target.SetTelemetry(now, node, true)
+		in.record(now, KindTelemetry, node, -1, false)
+		in.Eng.After(outage, func(now sim.Time) {
+			in.teleDown[node] = false
+			if !in.nodeDown[node] {
+				in.Target.SetTelemetry(now, node, false)
+			}
+			in.record(now, KindTelemetry, node, -1, true)
+			in.scheduleTelemetryFault(node)
+		})
+	})
+}
+
+// Downtime integrates per-node crash outage over [0, until] from the event
+// log: the summed node-down time, for availability accounting.
+func (in *Injector) Downtime(until sim.Time) sim.Time {
+	downSince := map[int]sim.Time{}
+	var total sim.Time
+	for _, e := range in.Events {
+		if e.Kind != KindNode || e.At > until {
+			continue
+		}
+		if !e.Up {
+			downSince[e.Node] = e.At
+		} else if at, ok := downSince[e.Node]; ok {
+			total += e.At - at
+			delete(downSince, e.Node)
+		}
+	}
+	for _, at := range downSince {
+		total += until - at
+	}
+	return total
+}
+
+// Availability returns the fraction of node-time healthy over [0, until].
+func (in *Injector) Availability(until sim.Time, nodes int) float64 {
+	if until <= 0 || nodes <= 0 {
+		return 1
+	}
+	return 1 - float64(in.Downtime(until))/float64(until)/float64(nodes)
+}

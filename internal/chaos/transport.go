@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// FlakyTransport wraps an http.RoundTripper with seeded fault injection for
+// the real networked stats path: requests fail with probability ErrRate and
+// surviving ones are delayed by Latency. It is the wire-level twin of
+// NetworkFault, used to exercise the remote aggregator's timeout/retry
+// machinery against a degraded network.
+type FlakyTransport struct {
+	// Base defaults to http.DefaultTransport.
+	Base http.RoundTripper
+	// ErrRate is the probability a request errors before reaching Base.
+	ErrRate float64
+	// Latency delays every forwarded request.
+	Latency time.Duration
+
+	// Seed initializes the drop RNG on first use (0 is a valid seed).
+	Seed int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	if t.rng == nil {
+		t.rng = rand.New(rand.NewSource(t.Seed))
+	}
+	drop := t.ErrRate > 0 && t.rng.Float64() < t.ErrRate
+	t.mu.Unlock()
+	if drop {
+		return nil, fmt.Errorf("chaos: injected network error for %s", req.URL.Host)
+	}
+	if t.Latency > 0 {
+		select {
+		case <-time.After(t.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

@@ -55,6 +55,7 @@ func DefaultConfig() Config {
 var (
 	ErrInsufficientMemory = errors.New("cluster: insufficient reservable memory")
 	ErrNotPlaced          = errors.New("cluster: container not placed on this GPU")
+	ErrGPUFailed          = errors.New("cluster: GPU is failed")
 )
 
 // Container is a pod's GPU-resident execution context.
@@ -109,6 +110,7 @@ type GPU struct {
 	containers []*Container
 	idleSince  sim.Time
 	asleep     bool
+	failed     bool
 
 	Obs   Observation
 	Meter energy.Meter
@@ -119,6 +121,39 @@ func (g *GPU) ID() string { return fmt.Sprintf("n%d/g%d", g.Node, g.Index) }
 
 // Asleep reports whether the device is parked in deep sleep.
 func (g *GPU) Asleep() bool { return g.asleep }
+
+// Failed reports whether the device is out with an injected fault.
+func (g *GPU) Failed() bool { return g.failed }
+
+// Fail takes the device out (an ECC-style fault or its node crashing):
+// every resident container is evicted and returned so the orchestrator can
+// requeue the pods, and the device refuses placements until Restore. Failing
+// an already-failed GPU returns nil.
+func (g *GPU) Fail(now sim.Time) []*Container {
+	if g.failed {
+		return nil
+	}
+	g.failed = true
+	g.asleep = false
+	evicted := append([]*Container(nil), g.containers...)
+	for _, c := range evicted {
+		c.ReservedMB = 0
+		c.gpu = nil
+	}
+	g.containers = g.containers[:0]
+	g.idleSince = now
+	return evicted
+}
+
+// Restore brings a failed device back empty and awake (a reboot resets the
+// idle clock, so deep sleep re-arms from now).
+func (g *GPU) Restore(now sim.Time) {
+	if !g.failed {
+		return
+	}
+	g.failed = false
+	g.idleSince = now
+}
 
 // Containers returns the resident containers (do not mutate).
 func (g *GPU) Containers() []*Container { return g.containers }
@@ -139,6 +174,9 @@ func (g *GPU) FreeReservableMB() float64 { return g.MemCapMB - g.ReservedMB() }
 // asleep. It fails when the reservation exceeds free reservable memory —
 // the device plugin's admission check.
 func (g *GPU) Place(now sim.Time, c *Container, reserveMB float64) error {
+	if g.failed {
+		return ErrGPUFailed
+	}
 	if reserveMB > g.FreeReservableMB()+1e-9 {
 		return ErrInsufficientMemory
 	}
@@ -258,6 +296,13 @@ func (c *Cluster) Tick(now sim.Time, dt sim.Time) TickResult {
 }
 
 func (g *GPU) tick(now sim.Time, dt sim.Time, res *TickResult) {
+	if g.failed {
+		// A dead device neither executes nor draws: zero observation so any
+		// stale consumer sees an empty GPU, zero watts on the meter.
+		g.Obs = Observation{}
+		g.Meter.Add(dt, 0)
+		return
+	}
 	if len(g.containers) == 0 {
 		if g.idleSince == 0 {
 			g.idleSince = now
@@ -386,6 +431,23 @@ func (g *GPU) tick(now sim.Time, dt sim.Time, res *TickResult) {
 		Containers:    len(g.containers),
 	}
 	g.Meter.Add(dt, g.Obs.PowerW)
+}
+
+// FailNode fails every device of one node and returns all evicted
+// containers in device order — a whole-node crash.
+func (c *Cluster) FailNode(now sim.Time, node int) []*Container {
+	var evicted []*Container
+	for _, g := range c.NodeGPUs(node) {
+		evicted = append(evicted, g.Fail(now)...)
+	}
+	return evicted
+}
+
+// RestoreNode reboots a crashed node: every failed device comes back empty.
+func (c *Cluster) RestoreNode(now sim.Time, node int) {
+	for _, g := range c.NodeGPUs(node) {
+		g.Restore(now)
+	}
 }
 
 // TotalEnergyJ returns the cluster's accumulated energy in joules.

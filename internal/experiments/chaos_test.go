@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"testing"
+
+	"kubeknots/internal/chaos"
+	"kubeknots/internal/scheduler"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// runFingerprint reduces a cluster run to the quantities every table is
+// built from, for byte-level equivalence checks between runs.
+type runFingerprint struct {
+	completed, evicted, crashes, drains, events int
+	energy                                      float64
+	util                                        [4]float64
+	qosPerKilo                                  float64
+}
+
+func fingerprint(r *ClusterRun) runFingerprint {
+	return runFingerprint{
+		completed:  len(r.Completed),
+		evicted:    len(r.Evicted),
+		crashes:    r.CrashEvents,
+		drains:     r.DrainEvents,
+		events:     r.Events.Total(),
+		energy:     r.EnergyHorizonJ,
+		util:       r.ClusterUtilPercentiles(),
+		qosPerKilo: r.QoS.PerKilo(),
+	}
+}
+
+// TestZeroPlanMatchesBaselineRun locks the PR's central contract: a
+// zero-fault chaos plan — including one parsed from "none", and even with
+// liveness bounds configured on a healthy cluster — reproduces the baseline
+// run exactly.
+func TestZeroPlanMatchesBaselineRun(t *testing.T) {
+	mix, err := workloads.MixByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClusterConfig{Horizon: 20 * sim.Second}
+	base := fingerprint(RunCluster(&scheduler.PP{}, mix, cfg))
+
+	parsed, err := chaos.ParsePlan("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := cfg
+	zero.Chaos = parsed
+	if got := fingerprint(RunCluster(&scheduler.PP{}, mix, zero)); got != base {
+		t.Fatalf("zero plan perturbed the run:\n got %+v\nwant %+v", got, base)
+	}
+
+	// Liveness configured but never triggered (healthy nodes heartbeat every
+	// 10 ms, far inside the bounds): still byte-identical.
+	live := cfg
+	live.StaleAfter = 100 * sim.Millisecond
+	live.DeadAfter = 500 * sim.Millisecond
+	if got := fingerprint(RunCluster(&scheduler.PP{}, mix, live)); got != base {
+		t.Fatalf("idle liveness bounds perturbed the run:\n got %+v\nwant %+v", got, base)
+	}
+}
+
+// TestChaosSeededRunsDeterministic: same plan, same seed → identical run;
+// a different chaos seed must shift the fault schedule and hence the run.
+func TestChaosSeededRunsDeterministic(t *testing.T) {
+	mix, err := workloads.MixByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClusterConfig{Horizon: 45 * sim.Second}
+	cfg.StaleAfter = 100 * sim.Millisecond
+	cfg.DeadAfter = 500 * sim.Millisecond
+	cfg.Chaos = chaos.Plan{Seed: 7, Node: chaos.FaultRate{
+		MTTF: 15 * sim.Second, MTTR: 3 * sim.Second}}
+
+	a := RunCluster(&scheduler.PP{}, mix, cfg)
+	b := RunCluster(&scheduler.PP{}, mix, cfg)
+	if len(a.Injector.Events) == 0 {
+		t.Fatal("plan injected no faults in 45 s at MTTF 15 s")
+	}
+	if fingerprint(a) != fingerprint(b) {
+		t.Fatalf("same seed, different runs:\n a %+v\n b %+v", fingerprint(a), fingerprint(b))
+	}
+	for i, e := range a.Injector.Events {
+		if b.Injector.Events[i] != e {
+			t.Fatalf("fault schedules diverge at event %d: %+v vs %+v",
+				i, e, b.Injector.Events[i])
+		}
+	}
+
+	other := cfg
+	other.Chaos.Seed = 8
+	c := RunCluster(&scheduler.PP{}, mix, other)
+	same := len(c.Injector.Events) == len(a.Injector.Events)
+	if same {
+		for i := range a.Injector.Events {
+			if a.Injector.Events[i] != c.Injector.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("chaos seed 7 and 8 produced identical fault schedules")
+	}
+}
+
+// TestChaosExperimentDeterministicAcrossPoolWidth extends the registry
+// determinism guarantee explicitly to the chaos family: a chaos-seeded
+// table renders bit-identically serial vs across the 8-worker sweep pool.
+func TestChaosExperimentDeterministicAcrossPoolWidth(t *testing.T) {
+	skipSlowUnderRace(t)
+	spec := fastSpec()
+	spec.Chaos.MTTF = 15 * sim.Second
+	spec.Chaos.MTTR = 3 * sim.Second
+	e, err := ExperimentByName("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer SetParallelism(0)
+	SetParallelism(1)
+	serial := render(t, e, spec)
+	SetParallelism(8)
+	if pooled := render(t, e, spec); pooled != serial {
+		t.Fatalf("chaos table differs between pool widths:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial, pooled)
+	}
+	// A different fault-schedule seed must change the table.
+	spec2 := spec
+	spec2.Chaos.Seed = 99
+	SetParallelism(1)
+	if render(t, e, spec2) == serial {
+		t.Fatal("chaos seed does not reach the fault schedule")
+	}
+}

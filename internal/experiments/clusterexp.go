@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"kubeknots/internal/chaos"
 	"kubeknots/internal/cluster"
 	"kubeknots/internal/k8s"
 	"kubeknots/internal/scheduler"
@@ -23,6 +24,17 @@ type ClusterConfig struct {
 	// MemCapMB overrides per-GPU memory (0 = the P100's 16 GB); the resize
 	// ablation uses small devices so reservations actually bind.
 	MemCapMB float64
+
+	// Chaos injects the given fault plan into the run. The zero value means
+	// no injector is even constructed, so baseline runs are byte-identical
+	// to a build without the chaos subsystem.
+	Chaos chaos.Plan
+	// StaleAfter / DeadAfter configure heartbeat-based liveness on the
+	// aggregator (0 = disabled, the always-healthy baseline).
+	StaleAfter sim.Time
+	DeadAfter  sim.Time
+	// MaxRestarts caps crash relaunches (0 = unlimited, the baseline).
+	MaxRestarts int
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -75,6 +87,8 @@ type ClusterRun struct {
 	// the paper measures power over the fixed observation window, so a
 	// scheduler that defers work (long queues) shows less in-window energy.
 	EnergyHorizonJ float64
+	// Injector is the fault injector driving the run (nil without chaos).
+	Injector *chaos.Injector
 }
 
 // RunCluster replays an app-mix against a simulated ten-node GPU cluster
@@ -97,10 +111,23 @@ func RunCluster(sched k8s.Scheduler, mix workloads.AppMix, cfg ClusterConfig) *C
 	}
 	cl := cluster.New(ccfg)
 	o := k8s.NewOrchestrator(eng, cl, sched, k8s.Config{
-		Tick:       10 * sim.Millisecond,
-		Heartbeat:  cfg.Heartbeat,
-		SchedEvery: cfg.SchedEvery,
+		Tick:        10 * sim.Millisecond,
+		Heartbeat:   cfg.Heartbeat,
+		SchedEvery:  cfg.SchedEvery,
+		StaleAfter:  cfg.StaleAfter,
+		DeadAfter:   cfg.DeadAfter,
+		MaxRestarts: cfg.MaxRestarts,
 	})
+	var inj *chaos.Injector
+	if !cfg.Chaos.Zero() {
+		var err error
+		inj, err = chaos.NewInjector(eng, cfg.Chaos, o)
+		if err != nil {
+			panic(err) // invalid plans are rejected at parse time
+		}
+		o.Start()
+		inj.Start()
+	}
 
 	scale := mix.ArrivalRateScale()
 	rng := eng.RNG()
@@ -123,7 +150,7 @@ func RunCluster(sched k8s.Scheduler, mix workloads.AppMix, cfg ClusterConfig) *C
 	// Run to the horizon, snapshot in-window energy, then drain in-flight
 	// work (bounded); utilization is reported only over the load window.
 	o.Run(cfg.Horizon)
-	run := &ClusterRun{Orchestrator: o, EnergyHorizonJ: cl.TotalEnergyJ()}
+	run := &ClusterRun{Orchestrator: o, EnergyHorizonJ: cl.TotalEnergyJ(), Injector: inj}
 	o.Run(cfg.Horizon + 2*sim.Minute)
 	keep := int(cfg.Horizon / o.Cfg.UtilSampleEvery)
 	for i := range o.NodeUtil {

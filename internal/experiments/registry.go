@@ -21,6 +21,8 @@ type Spec struct {
 	DL dlsim.Config
 	// Trace sizes the Alibaba-style synthetic trace for fig2.
 	Trace trace.Config
+	// Chaos parameterizes the fault-injection recovery experiment.
+	Chaos ChaosConfig
 }
 
 // DefaultSpec returns the CLI's default configuration: seed 1, paper-default
@@ -40,6 +42,7 @@ func (s Spec) WithSeed(seed int64) Spec {
 	s.Seed = seed
 	s.Cluster.Seed = seed
 	s.DL.Seed = seed
+	s.Chaos.Seed = seed
 	return s
 }
 
@@ -106,6 +109,7 @@ func Registry() []Experiment {
 		{"fig12a", tables(func(s Spec) *Table { return Fig12a(s.DL) })},
 		{"fig12b", tables(func(s Spec) *Table { return Fig12b(s.DL) })},
 		{"table4", tables(func(s Spec) *Table { return Table4(s.DL) })},
+		{"chaos", tables(func(s Spec) *Table { return ChaosTable(s) })},
 		{"ablations", func(s Spec) ([]*Table, error) {
 			return []*Table{
 				AblationCorrThreshold(s.Cluster),

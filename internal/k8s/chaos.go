@@ -1,0 +1,109 @@
+package k8s
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kubeknots/internal/chaos"
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/sim"
+)
+
+// This file makes the orchestrator a chaos.Target: node crashes, single-GPU
+// failures, telemetry dropouts, and stats-path degradation land here, and
+// recovery is the orchestrator's own machinery — drained pods are requeued
+// and rescheduled by whatever policy is plugged in, the aggregator's
+// liveness bounds (Config.StaleAfter/DeadAfter) decide how long a silent
+// node keeps receiving work.
+
+var _ chaos.Target = (*Orchestrator)(nil)
+
+// NodeCount implements chaos.Target.
+func (o *Orchestrator) NodeCount() int { return o.Cluster.Cfg.Nodes }
+
+// GPUCount implements chaos.Target.
+func (o *Orchestrator) GPUCount(node int) int { return len(o.Cluster.NodeGPUs(node)) }
+
+// nodeID names a node in event logs.
+func nodeID(node int) string { return fmt.Sprintf("node%d", node) }
+
+// FailNode crashes a whole node: every device fails (evicting resident
+// pods for rescheduling) and its telemetry stops.
+func (o *Orchestrator) FailNode(now sim.Time, node int) {
+	o.Events.Record(Event{At: now, Type: EventNodeDown, Node: nodeID(node)})
+	o.Monitor.SetNodeDown(node, true)
+	o.drain(now, o.Cluster.FailNode(now, node), "node failure")
+}
+
+// RestoreNode reboots a crashed node: devices come back empty and its
+// monitor resumes reporting.
+func (o *Orchestrator) RestoreNode(now sim.Time, node int) {
+	o.Cluster.RestoreNode(now, node)
+	o.Monitor.SetNodeDown(node, false)
+	o.Events.Record(Event{At: now, Type: EventNodeUp, Node: nodeID(node)})
+}
+
+// FailGPU fails one device, draining its resident pods.
+func (o *Orchestrator) FailGPU(now sim.Time, node, index int) {
+	g := o.Cluster.NodeGPUs(node)[index]
+	o.Events.Record(Event{At: now, Type: EventGPUDown, Node: g.ID()})
+	o.drain(now, g.Fail(now), "device failure")
+}
+
+// RestoreGPU brings a failed device back as an empty, schedulable GPU.
+func (o *Orchestrator) RestoreGPU(now sim.Time, node, index int) {
+	g := o.Cluster.NodeGPUs(node)[index]
+	g.Restore(now)
+	o.Events.Record(Event{At: now, Type: EventGPUUp, Node: g.ID()})
+}
+
+// SetTelemetry stops or resumes a node monitor without touching devices:
+// pods keep running, but the head node's view of the node goes stale.
+func (o *Orchestrator) SetTelemetry(now sim.Time, node int, down bool) {
+	o.Monitor.SetNodeDown(node, down)
+	detail := "down"
+	if !down {
+		detail = "up"
+	}
+	o.Events.Record(Event{At: now, Type: EventTelemetry, Node: nodeID(node), Detail: detail})
+}
+
+// SetNetwork applies stats-path degradation: each heartbeat is lost with
+// probability errRate and surviving samples arrive latency late. The loss
+// process uses its own seeded RNG so the engine's stream is untouched.
+func (o *Orchestrator) SetNetwork(now sim.Time, latency sim.Time, errRate float64, seed int64) {
+	o.netLatency = latency
+	o.netErrRate = errRate
+	if errRate > 0 {
+		o.netRNG = rand.New(rand.NewSource(seed))
+	} else {
+		o.netRNG = nil
+	}
+	o.Events.Record(Event{At: now, Type: EventNetwork,
+		Detail: fmt.Sprintf("latency=%v errors=%.2f", latency, errRate)})
+}
+
+// drain requeues pods whose containers were killed by a fault. Unlike a
+// capacity-violation crash this does not count toward the crash-loop cap:
+// the pod did nothing wrong. It restarts from scratch at the back of the
+// queue after the relaunch latency, and the scheduler places it on whatever
+// healthy capacity remains.
+func (o *Orchestrator) drain(now sim.Time, evicted []*cluster.Container, why string) {
+	for _, c := range evicted {
+		o.Profiler.Complete(c)
+		p := o.byContainer[c]
+		if p == nil {
+			continue
+		}
+		delete(o.byContainer, c)
+		p.container = nil
+		o.DrainEvents++
+		o.Events.Record(Event{At: now, Type: EventDrained, Pod: p.Name, Detail: why})
+		pod := p
+		o.Eng.After(o.Cfg.RelaunchDelay, func(at sim.Time) {
+			pod.Phase = PodPending
+			o.pending = append(o.pending, pod)
+			o.Events.Record(Event{At: at, Type: EventRelaunch, Pod: pod.Name})
+		})
+	}
+}

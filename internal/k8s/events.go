@@ -17,7 +17,15 @@ const (
 	EventRejected  EventType = "Rejected"  // bind refused (affinity/capacity)
 	EventCompleted EventType = "Completed" // ran to completion
 	EventCrashed   EventType = "Crashed"   // capacity violation, will relaunch
-	EventRelaunch  EventType = "Relaunch"  // re-queued after a crash
+	EventRelaunch  EventType = "Relaunch"  // re-queued after a crash or drain
+	EventEvicted   EventType = "Evicted"   // crash-loop cap hit; terminal
+	EventDrained   EventType = "Drained"   // killed by a node/device fault, will reschedule
+	EventNodeDown  EventType = "NodeDown"  // node crashed (chaos injection)
+	EventNodeUp    EventType = "NodeUp"    // node rebooted
+	EventGPUDown   EventType = "GPUDown"   // single device failed
+	EventGPUUp     EventType = "GPUUp"     // device restored
+	EventTelemetry EventType = "Telemetry" // node monitor dropout/recovery
+	EventNetwork   EventType = "Network"   // stats-path degradation changed
 )
 
 // Event is one recorded lifecycle transition.

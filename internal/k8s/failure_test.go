@@ -9,12 +9,12 @@ import (
 	"kubeknots/internal/workloads"
 )
 
-// chaos is a hostile scheduler that returns malformed and duplicate
+// hostile is a hostile scheduler that returns malformed and duplicate
 // decisions; the orchestrator must stay consistent regardless.
-type chaos struct{}
+type hostile struct{}
 
-func (chaos) Name() string { return "chaos" }
-func (chaos) Schedule(now sim.Time, pending []*Pod, snap *knots.Snapshot) []Decision {
+func (hostile) Name() string { return "hostile" }
+func (hostile) Schedule(now sim.Time, pending []*Pod, snap *knots.Snapshot) []Decision {
 	var out []Decision
 	g := snap.Stats[0].GPU
 	for _, p := range pending {
@@ -34,7 +34,7 @@ func TestOrchestratorSurvivesChaosScheduler(t *testing.T) {
 	cfg := cluster.DefaultConfig()
 	cfg.Nodes = 1
 	cl := cluster.New(cfg)
-	o := NewOrchestrator(eng, cl, chaos{}, Config{})
+	o := NewOrchestrator(eng, cl, hostile{}, Config{})
 	p1 := o.NewPod(workloads.RodiniaProfile(workloads.Pathfinder), nil)
 	p2 := o.NewPod(workloads.RodiniaProfile(workloads.Myocyte), nil)
 	o.Submit(0, p1)

@@ -28,6 +28,9 @@ const (
 	PodPending PodPhase = iota
 	PodRunning
 	PodSucceeded
+	// PodEvicted is terminal: the pod hit the crash-loop restart cap and is
+	// never requeued.
+	PodEvicted
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +40,8 @@ func (p PodPhase) String() string {
 		return "Pending"
 	case PodRunning:
 		return "Running"
+	case PodEvicted:
+		return "Evicted"
 	default:
 		return "Succeeded"
 	}
@@ -94,6 +99,21 @@ type Config struct {
 	SchedEvery      sim.Time // scheduling period (default = Tick)
 	RelaunchDelay   sim.Time // crash-to-requeue delay (default 2 s)
 	UtilSampleEvery sim.Time // node-utilization sampling (default 100 ms)
+
+	// MaxRestarts caps crash relaunches: a pod that crashes this many times
+	// is Evicted instead of requeued. 0 means unlimited (the paper's
+	// crash-and-relaunch loop, and the baseline behaviour).
+	MaxRestarts int
+	// BackoffFactor multiplies RelaunchDelay per successive crash of the same
+	// pod (crash-loop backoff). Values ≤ 1 keep the fixed delay.
+	BackoffFactor float64
+	// MaxRelaunchDelay caps the backed-off delay (default 30 s).
+	MaxRelaunchDelay sim.Time
+
+	// StaleAfter / DeadAfter configure heartbeat-based liveness on the
+	// aggregator (see knots.Aggregator); both default to 0 = disabled.
+	StaleAfter sim.Time
+	DeadAfter  sim.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.UtilSampleEvery <= 0 {
 		c.UtilSampleEvery = 100 * sim.Millisecond
+	}
+	if c.MaxRelaunchDelay <= 0 {
+		c.MaxRelaunchDelay = 30 * sim.Second
 	}
 	return c
 }
@@ -135,7 +158,19 @@ type Orchestrator struct {
 	pending     []*Pod
 	byContainer map[*cluster.Container]*Pod
 	Completed   []*Pod
+	// Evicted holds pods terminated by the crash-loop cap; they never
+	// complete and are excluded from throughput/QoS accounting.
+	Evicted     []*Pod
 	CrashEvents int
+	// DrainEvents counts pods killed by node/device faults and requeued.
+	DrainEvents int
+
+	// Injected stats-path degradation (see SetNetwork): heartbeats are lost
+	// with probability netErrRate and delivered netLatency late. netRNG is
+	// nil while the path is healthy, so the baseline draws nothing.
+	netRNG     *rand.Rand
+	netErrRate float64
+	netLatency sim.Time
 
 	// NodeUtil holds per-node mean GPU SM utilization samples collected
 	// every UtilSampleEvery — the raw data behind Figs. 6–8.
@@ -167,6 +202,8 @@ func NewOrchestrator(eng *sim.Engine, cl *cluster.Cluster, sched Scheduler, cfg 
 		NodeUtil:    make([][]float64, cl.Cfg.Nodes),
 		AwakeUtil:   make([][]float64, cl.Cfg.Nodes),
 	}
+	o.Agg.StaleAfter = cfg.StaleAfter
+	o.Agg.DeadAfter = cfg.DeadAfter
 	return o
 }
 
@@ -213,7 +250,7 @@ func (o *Orchestrator) Start() {
 	})
 	if o.Cfg.Heartbeat != o.Cfg.Tick {
 		o.Eng.Every(o.Cfg.Heartbeat, func(now sim.Time) bool {
-			o.Monitor.Sample(now)
+			o.heartbeat(now)
 			return true
 		})
 	}
@@ -268,21 +305,62 @@ func (o *Orchestrator) tick(now sim.Time) {
 		o.CrashEvents++
 		o.Events.Record(Event{At: now, Type: EventCrashed, Pod: p.Name,
 			Detail: "memory capacity violation"})
-		// Relaunch: back of the queue after the container restart latency,
-		// restarting execution from scratch.
+		if o.Cfg.MaxRestarts > 0 && p.Crashes >= o.Cfg.MaxRestarts {
+			// Crash-loop cap: terminal eviction instead of another relaunch.
+			p.Phase = PodEvicted
+			p.FinishedAt = now
+			o.Evicted = append(o.Evicted, p)
+			o.Events.Record(Event{At: now, Type: EventEvicted, Pod: p.Name,
+				Detail: fmt.Sprintf("crash-loop: %d restarts", p.Crashes)})
+			continue
+		}
+		// Relaunch: back of the queue after the container restart latency
+		// (backed off per successive crash when configured), restarting
+		// execution from scratch.
 		pod := p
-		o.Eng.After(o.Cfg.RelaunchDelay, func(at sim.Time) {
+		o.Eng.After(o.relaunchDelay(p.Crashes), func(at sim.Time) {
 			pod.Phase = PodPending
 			o.pending = append(o.pending, pod)
 			o.Events.Record(Event{At: at, Type: EventRelaunch, Pod: pod.Name})
 		})
 	}
 	if o.Cfg.Heartbeat == o.Cfg.Tick {
-		o.Monitor.Sample(now)
+		o.heartbeat(now)
 	}
 	if o.Cfg.SchedEvery == o.Cfg.Tick {
 		o.runScheduler(now)
 	}
+}
+
+// heartbeat samples the monitor, subject to any injected stats-path fault:
+// lossy paths drop whole heartbeats, latency delivers samples late (the
+// reading keeps its origin timestamp, so the head node's view ages by the
+// delay). With a healthy path this is exactly Monitor.Sample.
+func (o *Orchestrator) heartbeat(now sim.Time) {
+	if o.netRNG != nil && o.netRNG.Float64() < o.netErrRate {
+		return // heartbeat lost on the wire
+	}
+	if o.netLatency > 0 {
+		o.Eng.After(o.netLatency, func(sim.Time) { o.Monitor.Sample(now) })
+		return
+	}
+	o.Monitor.Sample(now)
+}
+
+// relaunchDelay returns the requeue delay after the pod's n-th crash,
+// applying exponential crash-loop backoff when configured.
+func (o *Orchestrator) relaunchDelay(crashes int) sim.Time {
+	d := o.Cfg.RelaunchDelay
+	if o.Cfg.BackoffFactor <= 1 {
+		return d
+	}
+	for i := 1; i < crashes; i++ {
+		d = sim.Time(float64(d) * o.Cfg.BackoffFactor)
+		if d >= o.Cfg.MaxRelaunchDelay {
+			return o.Cfg.MaxRelaunchDelay
+		}
+	}
+	return d
 }
 
 func (o *Orchestrator) runScheduler(now sim.Time) {

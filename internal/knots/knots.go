@@ -9,6 +9,7 @@ package knots
 
 import (
 	"fmt"
+	"sync"
 
 	"kubeknots/internal/cluster"
 	"kubeknots/internal/sim"
@@ -38,12 +39,24 @@ func seriesName(g *cluster.GPU, metric string) string {
 type Monitor struct {
 	Cluster *cluster.Cluster
 	dbs     map[int]*tsdb.DB
+
+	// mu guards the liveness state below; the sampling DBs lock themselves.
+	mu         sync.RWMutex
+	down       map[int]bool
+	lastSample map[int]sim.Time
+	lastObs    map[*cluster.GPU]cluster.Observation
 }
 
 // NewMonitor creates a monitor with one node-local DB per node; capacity is
 // the per-series ring size (0 = tsdb.DefaultCapacity).
 func NewMonitor(cl *cluster.Cluster, capacity int) *Monitor {
-	m := &Monitor{Cluster: cl, dbs: make(map[int]*tsdb.DB)}
+	m := &Monitor{
+		Cluster:    cl,
+		dbs:        make(map[int]*tsdb.DB),
+		down:       make(map[int]bool),
+		lastSample: make(map[int]sim.Time),
+		lastObs:    make(map[*cluster.GPU]cluster.Observation),
+	}
 	for _, g := range cl.GPUs() {
 		if m.dbs[g.Node] == nil {
 			m.dbs[g.Node] = tsdb.New(capacity)
@@ -53,9 +66,15 @@ func NewMonitor(cl *cluster.Cluster, capacity int) *Monitor {
 }
 
 // Sample records every GPU's current Observation into its node database.
-// Call once per heartbeat.
+// Call once per heartbeat. Nodes marked down (telemetry dropout or crash)
+// are skipped, so their databases — and the head node's view — go stale.
 func (m *Monitor) Sample(now sim.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for _, g := range m.Cluster.GPUs() {
+		if m.down[g.Node] {
+			continue
+		}
 		db := m.dbs[g.Node]
 		o := g.Obs
 		db.Append(seriesName(g, MetricSM), now, o.SMPct)
@@ -63,7 +82,45 @@ func (m *Monitor) Sample(now sim.Time) {
 		db.Append(seriesName(g, MetricPower), now, o.PowerW)
 		db.Append(seriesName(g, MetricTx), now, o.TxMBps)
 		db.Append(seriesName(g, MetricRx), now, o.RxMBps)
+		m.lastSample[g.Node] = now
+		m.lastObs[g] = o
 	}
+}
+
+// SetNodeDown marks one node's monitor down (true) or back up (false).
+// While down the node is not sampled and its NodeServer answers 503.
+func (m *Monitor) SetNodeDown(node int, down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if down {
+		m.down[node] = true
+	} else {
+		delete(m.down, node)
+	}
+}
+
+// NodeDown reports whether a node's monitor is marked down.
+func (m *Monitor) NodeDown(node int) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.down[node]
+}
+
+// LastSample returns when a node last reported, and whether it ever has.
+func (m *Monitor) LastSample(node int) (sim.Time, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	at, ok := m.lastSample[node]
+	return at, ok
+}
+
+// LastObs returns a device's last sampled observation — what a stale head
+// node still believes about it.
+func (m *Monitor) LastObs(g *cluster.GPU) (cluster.Observation, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	o, ok := m.lastObs[g]
+	return o, ok
 }
 
 // NodeDB exposes a node's time-series database.
@@ -90,12 +147,19 @@ type GPUStat struct {
 	MemSeries []float64
 	SMSeries  []float64
 	BWSeries  []float64
+	// Stale marks telemetry older than the aggregator's StaleAfter bound:
+	// Obs is the last sample the node delivered, not live state. Schedulers
+	// must not trust correlation or forecasts built on a rotten window.
+	Stale bool
 }
 
 // Snapshot is the cluster-wide utilization view at one heartbeat.
 type Snapshot struct {
 	At    sim.Time
 	Stats []GPUStat // node-major stable order
+	// DeadNodes lists nodes excluded from Stats because they missed the
+	// aggregator's liveness deadline (no heartbeat within DeadAfter).
+	DeadNodes []int
 }
 
 // Active returns the stats of GPUs that are awake (the paper's scheduler
@@ -121,6 +185,14 @@ type Aggregator struct {
 	// (default 64) — the paper's "sliding window consists of few data
 	// points", which also keeps per-round scheduling cost flat.
 	MaxPoints int
+	// StaleAfter, when positive, marks a node's stats Stale once its last
+	// heartbeat is older than this (degraded-mode scheduling input).
+	StaleAfter sim.Time
+	// DeadAfter, when positive, excludes a node from snapshots entirely once
+	// it has been silent this long — heartbeat-based liveness (typically
+	// K × heartbeat). 0 disables liveness, preserving the always-healthy
+	// baseline byte-for-byte.
+	DeadAfter sim.Time
 }
 
 // DefaultWindow is the paper's five-second scheduling window.
@@ -153,22 +225,60 @@ func (a *Aggregator) series(g *cluster.GPU, metric string, now, w sim.Time) []fl
 	return out
 }
 
+// age returns how long a node has been silent. Never-sampled nodes count
+// from the start of the run, so a node that is down from t=0 still ages out.
+func (a *Aggregator) age(node int, now sim.Time) sim.Time {
+	last, ok := a.Monitor.LastSample(node)
+	if !ok {
+		last = 0
+	}
+	return now - last
+}
+
 // Snapshot queries every node database for the trailing window and returns
-// the cluster view.
+// the cluster view. Failed devices are never candidates; with liveness
+// configured, silent nodes' stats go Stale and then drop out entirely, so
+// one dead worker blinds the scheduler to that worker only — never to the
+// surviving cluster.
 func (a *Aggregator) Snapshot(now sim.Time) *Snapshot {
 	w := a.Window
 	if w <= 0 {
 		w = DefaultWindow
 	}
 	snap := &Snapshot{At: now}
+	deadSeen := make(map[int]bool)
 	for _, g := range a.Monitor.Cluster.GPUs() {
+		// Liveness first: a crashed node (whose devices are also failed) must
+		// still be reported dead, not silently skipped.
+		age := a.age(g.Node, now)
+		if a.DeadAfter > 0 && age > a.DeadAfter {
+			if !deadSeen[g.Node] {
+				deadSeen[g.Node] = true
+				snap.DeadNodes = append(snap.DeadNodes, g.Node)
+			}
+			continue
+		}
+		if g.Failed() {
+			continue
+		}
+		stale := a.StaleAfter > 0 && age > a.StaleAfter
+		obs := g.Obs
+		if stale {
+			// The head node only knows what the node last reported.
+			if last, ok := a.Monitor.LastObs(g); ok {
+				obs = last
+			}
+		}
 		st := GPUStat{
-			GPU:              g,
-			Obs:              g.Obs,
+			GPU: g,
+			Obs: obs,
+			// Reservations are head-node binding state, known even when the
+			// node's telemetry is not.
 			FreeReservableMB: g.FreeReservableMB(),
 			Resident:         append([]*cluster.Container(nil), g.Containers()...),
 			MemSeries:        a.series(g, MetricMem, now, w),
 			SMSeries:         a.series(g, MetricSM, now, w),
+			Stale:            stale,
 		}
 		tx := a.series(g, MetricTx, now, w)
 		rx := a.series(g, MetricRx, now, w)

@@ -1,11 +1,14 @@
 package knots
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"kubeknots/internal/sim"
 )
@@ -39,12 +42,18 @@ type WireWindow struct {
 }
 
 // NodeStats is a head-node view of one worker: latest observations plus
-// trailing windows for every device on the node.
+// trailing windows for every device on the node. Stale and Missing are
+// head-node annotations, never sent by workers: a Stale entry is the last
+// successful fetch served from cache after the worker stopped answering; a
+// Missing entry is a worker that has never answered (Node is -1).
 type NodeStats struct {
 	Node    int               `json:"node"`
 	At      int64             `json:"at_ms"`
 	Devices []WireObservation `json:"devices"`
 	Windows []WireWindow      `json:"windows"`
+	Stale   bool              `json:"stale,omitempty"`
+	Missing bool              `json:"missing,omitempty"`
+	Err     string            `json:"err,omitempty"`
 }
 
 // NodeServer exposes one node's monitor over HTTP:
@@ -64,6 +73,11 @@ type NodeServer struct {
 func (s *NodeServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/stats" {
 		http.NotFound(w, r)
+		return
+	}
+	if s.Monitor.NodeDown(s.Node) {
+		// Telemetry dropout: the monitor daemon is not answering.
+		http.Error(w, "knots: node monitor down", http.StatusServiceUnavailable)
 		return
 	}
 	now, err := strconv.ParseInt(r.URL.Query().Get("now"), 10, 64)
@@ -111,69 +125,158 @@ func (s *NodeServer) snapshot(now, window sim.Time) NodeStats {
 	return out
 }
 
+// Remote-fetch defaults: every attempt is deadline-bounded (no more untimed
+// http.DefaultClient), transient errors are retried with jittered
+// exponential backoff, and one dead worker degrades only its own entry.
+const (
+	DefaultFetchTimeout = 5 * time.Second
+	DefaultFetchRetries = 2
+	DefaultFetchBackoff = 50 * time.Millisecond
+)
+
 // RemoteAggregator is the head-node side: it fans a heartbeat query out to
 // every worker endpoint and merges the responses.
 type RemoteAggregator struct {
 	// Endpoints are worker base URLs (e.g. "http://worker-3:8089").
 	Endpoints []string
-	// Client defaults to http.DefaultClient.
+	// Client defaults to a plain client; every attempt is bounded by Timeout
+	// through its request context either way.
 	Client *http.Client
 	// Window defaults to the paper's five seconds.
 	Window sim.Time
+	// Timeout bounds each attempt (default DefaultFetchTimeout).
+	Timeout time.Duration
+	// Retries is the number of re-attempts after a failed query
+	// (default DefaultFetchRetries; negative disables retrying).
+	Retries int
+	// Backoff is the base delay before the first retry, doubled per attempt
+	// with up to 50% added jitter to avoid retry stampedes across workers
+	// (default DefaultFetchBackoff).
+	Backoff time.Duration
+
+	mu       sync.Mutex
+	lastGood map[int]NodeStats
 }
 
-// Fetch queries every worker in parallel and returns their stats in
-// endpoint order. A worker error aborts the whole heartbeat: the scheduler
-// must not act on a partial cluster view.
+// Fetch queries every worker in parallel, retrying transient failures, and
+// returns one entry per endpoint in endpoint order. A worker that stops
+// answering degrades to its last successful stats marked Stale (or Missing
+// if it never answered); the surviving workers' stats stay live, so the
+// scheduler keeps a partial cluster view instead of going blind. Fetch
+// returns an error only when every worker failed — the head node truly has
+// nothing to act on.
 func (ra *RemoteAggregator) Fetch(now sim.Time) ([]NodeStats, error) {
 	client := ra.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = &http.Client{}
 	}
 	window := ra.Window
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	type result struct {
-		i     int
-		stats NodeStats
-		err   error
+	timeout := ra.Timeout
+	if timeout <= 0 {
+		timeout = DefaultFetchTimeout
 	}
-	ch := make(chan result, len(ra.Endpoints))
+	retries := ra.Retries
+	if retries == 0 {
+		retries = DefaultFetchRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := ra.Backoff
+	if backoff <= 0 {
+		backoff = DefaultFetchBackoff
+	}
+
+	out := make([]NodeStats, len(ra.Endpoints))
+	var wg sync.WaitGroup
 	for i, ep := range ra.Endpoints {
+		wg.Add(1)
 		go func(i int, ep string) {
+			defer wg.Done()
 			url := fmt.Sprintf("%s/stats?now=%d&window=%d", ep, int64(now), int64(window))
-			resp, err := client.Get(url)
-			if err != nil {
-				ch <- result{i: i, err: fmt.Errorf("knots: query %s: %w", ep, err)}
+			st, err := fetchNode(client, url, timeout, retries, backoff)
+			if err == nil {
+				out[i] = st
+				ra.mu.Lock()
+				if ra.lastGood == nil {
+					ra.lastGood = make(map[int]NodeStats)
+				}
+				ra.lastGood[i] = st
+				ra.mu.Unlock()
 				return
 			}
-			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				ch <- result{i: i, err: fmt.Errorf("knots: query %s: HTTP %d", ep, resp.StatusCode)}
+			ra.mu.Lock()
+			cached, ok := ra.lastGood[i]
+			ra.mu.Unlock()
+			if ok {
+				cached.Stale = true
+				cached.Err = err.Error()
+				out[i] = cached
 				return
 			}
-			var st NodeStats
-			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-				ch <- result{i: i, err: fmt.Errorf("knots: decode %s: %w", ep, err)}
-				return
-			}
-			ch <- result{i: i, stats: st}
+			out[i] = NodeStats{Node: -1, Missing: true, Err: err.Error()}
 		}(i, ep)
 	}
-	out := make([]NodeStats, len(ra.Endpoints))
-	for range ra.Endpoints {
-		r := <-ch
-		if r.err != nil {
-			return nil, r.err
+	wg.Wait()
+
+	live := 0
+	for _, st := range out {
+		if !st.Missing && !st.Stale {
+			live++
 		}
-		out[r.i] = r.stats
+	}
+	if len(ra.Endpoints) > 0 && live == 0 {
+		return out, fmt.Errorf("knots: all %d workers unreachable", len(ra.Endpoints))
 	}
 	return out, nil
 }
 
+// fetchNode runs the per-worker attempt loop.
+func fetchNode(client *http.Client, url string, timeout time.Duration, retries int, backoff time.Duration) (NodeStats, error) {
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			d := backoff << (attempt - 1)
+			d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+			time.Sleep(d)
+		}
+		st, err := fetchOnce(client, url, timeout)
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+	}
+	return NodeStats{}, lastErr
+}
+
+// fetchOnce performs one deadline-bounded stats query.
+func fetchOnce(client *http.Client, url string, timeout time.Duration) (NodeStats, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return NodeStats{}, fmt.Errorf("knots: query %s: %w", url, err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return NodeStats{}, fmt.Errorf("knots: query %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return NodeStats{}, fmt.Errorf("knots: query %s: HTTP %d", url, resp.StatusCode)
+	}
+	var st NodeStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return NodeStats{}, fmt.Errorf("knots: decode %s: %w", url, err)
+	}
+	return st, nil
+}
+
 // TotalFreeMB sums free reservable memory across a fetched cluster view —
-// the quantity Algorithm 1 sorts nodes by.
+// the quantity Algorithm 1 sorts nodes by. Missing workers carry no devices
+// and contribute nothing.
 func TotalFreeMB(stats []NodeStats) float64 {
 	var total float64
 	for _, ns := range stats {

@@ -3,7 +3,9 @@ package knots
 import (
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"kubeknots/internal/cluster"
 	"kubeknots/internal/sim"
@@ -101,13 +103,133 @@ func TestNodeServerValidation(t *testing.T) {
 	}
 }
 
-func TestRemoteAggregatorPartialFailureAborts(t *testing.T) {
-	_, _, ra, closeAll := remoteRig(t, 2)
+// fastRetry makes the test aggregator's failure path quick: one retry, tight
+// timeout and backoff.
+func fastRetry(ra *RemoteAggregator) {
+	ra.Timeout = 2 * time.Second
+	ra.Retries = 1
+	ra.Backoff = time.Millisecond
+}
+
+func TestRemoteAggregatorPartialFailureKeepsSurvivors(t *testing.T) {
+	_, mon, ra, closeAll := remoteRig(t, 2)
 	defer closeAll()
-	// Add a dead endpoint: the heartbeat must fail as a whole.
+	fastRetry(ra)
+	mon.Sample(0)
+	// A worker that never answered: its entry is Missing, the survivors'
+	// stats stay live, and the heartbeat as a whole succeeds.
 	ra.Endpoints = append(ra.Endpoints, "http://127.0.0.1:1") // nothing listens
+	stats, err := ra.Fetch(sim.Second)
+	if err != nil {
+		t.Fatalf("partial view must not abort: %v", err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d entries, want one per endpoint", len(stats))
+	}
+	if stats[0].Missing || stats[1].Missing {
+		t.Fatal("live workers marked missing")
+	}
+	if stats[0].Node != 0 || stats[1].Node != 1 {
+		t.Fatal("endpoint order not preserved")
+	}
+	if !stats[2].Missing || stats[2].Err == "" || stats[2].Node != -1 {
+		t.Fatalf("dead worker entry = %+v, want Missing with error", stats[2])
+	}
+}
+
+func TestRemoteAggregatorServesStaleFromCache(t *testing.T) {
+	cl, mon, _, closeAll := remoteRig(t, 1)
+	defer closeAll()
+	mon.Sample(0)
+	var down atomic.Bool
+	inner := &NodeServer{Monitor: mon, Node: 0}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "dead", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	ra := &RemoteAggregator{Endpoints: []string{srv.URL}}
+	fastRetry(ra)
+
+	first, err := ra.Fetch(sim.Second)
+	if err != nil || first[0].Stale || first[0].Missing {
+		t.Fatalf("healthy fetch = %+v, %v", first[0], err)
+	}
+	down.Store(true)
+	second, err := ra.Fetch(2 * sim.Second)
+	if err == nil {
+		t.Fatal("all workers stale must surface as an error")
+	}
+	if !second[0].Stale || second[0].Missing {
+		t.Fatalf("outage entry = %+v, want Stale cache hit", second[0])
+	}
+	if len(second[0].Devices) != len(cl.NodeGPUs(0)) {
+		t.Fatal("stale entry lost the cached device view")
+	}
+	down.Store(false)
+	third, err := ra.Fetch(3 * sim.Second)
+	if err != nil || third[0].Stale {
+		t.Fatalf("revived worker still stale: %+v, %v", third[0], err)
+	}
+}
+
+func TestRemoteAggregatorAllDeadErrors(t *testing.T) {
+	ra := &RemoteAggregator{Endpoints: []string{"http://127.0.0.1:1"}}
+	fastRetry(ra)
+	stats, err := ra.Fetch(sim.Second)
+	if err == nil {
+		t.Fatal("fully-blind heartbeat should error")
+	}
+	if len(stats) != 1 || !stats[0].Missing {
+		t.Fatalf("stats = %+v, want the missing entry alongside the error", stats)
+	}
+}
+
+func TestRemoteAggregatorAttemptTimeout(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select { // hang until the test ends
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+	ra := &RemoteAggregator{Endpoints: []string{srv.URL}, Timeout: 50 * time.Millisecond, Retries: -1}
+	start := time.Now()
 	if _, err := ra.Fetch(sim.Second); err == nil {
-		t.Fatal("dead worker should abort the heartbeat")
+		t.Fatal("hung worker should time out")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, deadline not enforced", elapsed)
+	}
+}
+
+func TestRemoteAggregatorRetriesTransientFailure(t *testing.T) {
+	_, mon, _, closeAll := remoteRig(t, 1)
+	defer closeAll()
+	mon.Sample(0)
+	var calls atomic.Int64
+	inner := &NodeServer{Monitor: mon, Node: 0}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 { // first attempt fails, retry succeeds
+			http.Error(w, "flaky", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	ra := &RemoteAggregator{Endpoints: []string{srv.URL}}
+	fastRetry(ra)
+	stats, err := ra.Fetch(sim.Second)
+	if err != nil || stats[0].Missing || stats[0].Stale {
+		t.Fatalf("retry did not recover: %+v, %v", stats[0], err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (fail + retry)", calls.Load())
 	}
 }
 
@@ -117,6 +239,7 @@ func TestRemoteAggregatorBadBody(t *testing.T) {
 	}))
 	defer srv.Close()
 	ra := &RemoteAggregator{Endpoints: []string{srv.URL}}
+	fastRetry(ra)
 	if _, err := ra.Fetch(sim.Second); err == nil {
 		t.Fatal("garbage body should error")
 	}
@@ -125,7 +248,32 @@ func TestRemoteAggregatorBadBody(t *testing.T) {
 	}))
 	defer srv2.Close()
 	ra2 := &RemoteAggregator{Endpoints: []string{srv2.URL}}
+	fastRetry(ra2)
 	if _, err := ra2.Fetch(sim.Second); err == nil {
 		t.Fatal("HTTP 500 should error")
+	}
+}
+
+func TestNodeServerAnswers503WhileTelemetryDown(t *testing.T) {
+	_, mon, ra, closeAll := remoteRig(t, 1)
+	defer closeAll()
+	mon.Sample(0)
+	mon.SetNodeDown(0, true)
+	resp, err := http.Get(ra.Endpoints[0] + "/stats?now=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("down monitor: HTTP %d, want 503", resp.StatusCode)
+	}
+	mon.SetNodeDown(0, false)
+	resp, err = http.Get(ra.Endpoints[0] + "/stats?now=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restored monitor: HTTP %d, want 200", resp.StatusCode)
 	}
 }

@@ -1,0 +1,120 @@
+package scheduler
+
+import (
+	"testing"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/knots"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// markStale flags one node's stats stale in a snapshot, as the aggregator
+// does when the node misses its StaleAfter deadline.
+func markStale(snap *knots.Snapshot, node int) {
+	for i := range snap.Stats {
+		if snap.Stats[i].GPU.Node == node {
+			snap.Stats[i].Stale = true
+		}
+	}
+}
+
+func staleOf(ds []k8s.Decision, snap *knots.Snapshot) map[*cluster.GPU]bool {
+	stale := make(map[*cluster.GPU]bool)
+	for _, st := range snap.Stats {
+		stale[st.GPU] = st.Stale
+	}
+	_ = ds
+	return stale
+}
+
+func TestCBPPrefersFreshNodesWhenSomeAreStale(t *testing.T) {
+	r := newRig(3)
+	snap := r.warm(sim.Second)
+	markStale(snap, 0)
+	stale := staleOf(nil, snap)
+	var pods []*k8s.Pod
+	for i := 0; i < 2; i++ {
+		pods = append(pods, r.pod(workloads.RodiniaProfile(workloads.KMeans)))
+	}
+	c := &CBP{}
+	ds := c.Schedule(snap.At, pods, snap)
+	if len(ds) != 2 {
+		t.Fatalf("decisions = %d, want 2", len(ds))
+	}
+	for _, d := range ds {
+		if stale[d.GPU] {
+			t.Fatalf("pod %s placed on stale node %d with fresh capacity open",
+				d.Pod.Name, d.GPU.Node)
+		}
+	}
+}
+
+func TestCBPStaleFallbackIsExclusiveAndPeakSized(t *testing.T) {
+	// Every node stale: CBP must degrade to Uniform-style placement — one
+	// pod per device, full-peak reservation, no harvesting, no co-location.
+	r := newRig(2)
+	snap := r.warm(sim.Second)
+	markStale(snap, 0)
+	markStale(snap, 1)
+	var pods []*k8s.Pod
+	for i := 0; i < 3; i++ {
+		pods = append(pods, r.pod(workloads.RodiniaProfile(workloads.KMeans)))
+	}
+	c := &CBP{}
+	ds := c.Schedule(snap.At, pods, snap)
+	if len(ds) != 2 {
+		t.Fatalf("decisions = %d, want 2 (one per stale device, third waits)", len(ds))
+	}
+	seen := map[*cluster.GPU]bool{}
+	peak := pods[0].Profile.PeakMemMB()
+	for _, d := range ds {
+		if seen[d.GPU] {
+			t.Fatal("degraded mode co-located on a stale node")
+		}
+		seen[d.GPU] = true
+		if d.ReserveMB < peak {
+			t.Fatalf("degraded reserve = %v, want ≥ peak %v (no harvesting)",
+				d.ReserveMB, peak)
+		}
+	}
+	// The same degraded reservation must exceed the harvested one.
+	if harvested := c.ReserveFor(pods[0]); ds[0].ReserveMB <= harvested {
+		t.Fatalf("degraded reserve %v not more conservative than harvested %v",
+			ds[0].ReserveMB, harvested)
+	}
+}
+
+func TestCBPStaleSkipsOccupiedNodes(t *testing.T) {
+	// A stale node with known residents is untouchable — the head node can't
+	// see what those residents are doing now.
+	r := newRig(1)
+	r.place(r.cl.GPUs()[0], workloads.LUD, 1000)
+	snap := r.warm(sim.Second)
+	markStale(snap, 0)
+	pods := []*k8s.Pod{r.pod(workloads.RodiniaProfile(workloads.KMeans))}
+	c := &CBP{}
+	if ds := c.Schedule(snap.At, pods, snap); len(ds) != 0 {
+		t.Fatalf("decisions = %d, want 0 (occupied stale node)", len(ds))
+	}
+}
+
+func TestPPStaleSkipsForecastPath(t *testing.T) {
+	// PP's forecast path must not run on stale windows: an occupied stale
+	// node stays off-limits even though AR(1) on its (cached) series might
+	// admit the pod.
+	r := newRig(2)
+	r.place(r.cl.GPUs()[0], workloads.LUD, 1000)
+	snap := r.warm(sim.Second)
+	markStale(snap, 0)
+	pods := []*k8s.Pod{r.pod(workloads.RodiniaProfile(workloads.KMeans))}
+	p := &PP{}
+	ds := p.Schedule(snap.At, pods, snap)
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(ds))
+	}
+	if ds[0].GPU.Node != 1 {
+		t.Fatalf("pod landed on node %d, want fresh node 1", ds[0].GPU.Node)
+	}
+}

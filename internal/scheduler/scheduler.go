@@ -262,6 +262,35 @@ func (c *CBP) ReserveFor(pod *k8s.Pod) float64 {
 	return pod.Profile.PeakMemMB() * lcm
 }
 
+// staleAdmit is degraded-mode admission (fault tolerance, not in the
+// paper): when a node's telemetry is stale the correlation gate and
+// forecasts would read a rotten window, so CBP/PP fall back to
+// Uniform-style conservatism on that node — only a device with no known
+// residents and no in-round claim is acceptable, reserved at the pod's
+// full peak footprint (no harvesting). Fresh nodes keep the aggressive
+// path, so one silent monitor degrades one node, not the cluster.
+func (c *CBP) staleAdmit(pod *k8s.Pod, st knots.GPUStat, pl *planner) (float64, bool) {
+	g := st.GPU
+	if pl.conts[g] > 0 || pl.claimed[g] || len(st.Resident) > 0 {
+		return 0, false
+	}
+	_, _, lcm, _ := c.params()
+	reserve := pod.Profile.PeakMemMB()
+	if pod.Class == workloads.LatencyCritical {
+		reserve *= lcm
+	}
+	if reserve > g.MemCapMB {
+		reserve = g.MemCapMB
+	}
+	if pl.free[g] < reserve {
+		return 0, false
+	}
+	if !k8s.FitsAffinity(pod, g, st.Resident) {
+		return 0, false
+	}
+	return reserve, true
+}
+
 // corrOK reports whether the pod may co-locate on the node per the
 // correlation gate: the pod's memory behaviour over its *next* scheduling
 // window (the first five seconds of its profile, what it will do if placed
@@ -329,6 +358,9 @@ func candidates(snap *knots.Snapshot, pl *planner) []knots.GPUStat {
 		if ai != aj {
 			return !ai // awake first
 		}
+		if stats[i].Stale != stats[j].Stale {
+			return !stats[i].Stale // stale-telemetry nodes are a last resort
+		}
 		return pl.free[stats[i].GPU] > pl.free[stats[j].GPU]
 	})
 	return stats
@@ -351,6 +383,14 @@ func (c *CBP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) [
 		peakSM := pod.Profile.PeakSMPct()
 		for _, st := range candidates(snap, pl) {
 			g := st.GPU
+			if st.Stale {
+				if r, ok := c.staleAdmit(pod, st, pl); ok {
+					out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: r})
+					pl.commit(g, r, peakSM)
+					break
+				}
+				continue
+			}
 			if pl.free[g] < reserve {
 				continue
 			}
@@ -407,6 +447,16 @@ func (p *PP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []
 		peakSM := pod.Profile.PeakSMPct()
 		for _, st := range candidates(snap, pl) {
 			g := st.GPU
+			if st.Stale {
+				// Degraded mode: no correlation, no forecast — a rotten window
+				// licenses neither. Conservative exclusive placement only.
+				if r, ok := p.staleAdmit(pod, st, pl); ok {
+					out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: r})
+					pl.commit(g, r, peakSM)
+					break
+				}
+				continue
+			}
 			if pl.free[g] < reserve {
 				continue
 			}
