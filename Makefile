@@ -1,0 +1,42 @@
+# Kube-Knots reproduction — common developer entry points.
+#
+# The bench target regenerates BENCH_baseline.json: every benchmark runs once
+# (-benchtime 1x) and cmd/benchjson folds the text output into sorted JSON
+# with ns/op, B/op, allocs/op and the per-figure headline metrics. Commit the
+# refreshed file when a change is expected to move a baseline.
+
+GO ?= go
+
+.PHONY: all build test race vet bench determinism clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem | $(GO) run ./cmd/benchjson > BENCH_baseline.json
+	@echo wrote BENCH_baseline.json
+
+# Byte-identical experiment output with observability enabled vs disabled,
+# and across pool widths: the tentpole's determinism guarantee, checkable
+# locally before CI.
+determinism:
+	$(GO) test ./internal/experiments/ -run 'TestTracingDeterminism|TestTracedExportsStable' -count=1
+	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 fig9 > /tmp/kk-plain.txt
+	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 8 \
+		-trace-out /tmp/kk-decisions.jsonl -timeline-out /tmp/kk-timeline.json fig9 > /tmp/kk-traced.txt
+	diff /tmp/kk-plain.txt /tmp/kk-traced.txt
+	@echo determinism: table output identical with tracing on/off across -parallel 1 vs 8
+
+clean:
+	rm -f /tmp/kk-plain.txt /tmp/kk-traced.txt /tmp/kk-decisions.jsonl /tmp/kk-timeline.json

@@ -10,17 +10,31 @@
 //	curl :8088/pods/j1
 //	curl :8088/nodes
 //	curl :8088/qos
+//	curl :8088/metrics        # Prometheus text exposition
+//	curl :8088/debug/vars     # expvar JSON
+//	curl :8088/debug/pprof/   # runtime profiles
+//
+// SIGINT/SIGTERM shut the server down gracefully, draining in-flight
+// requests before exiting.
 package main
 
 import (
+	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"kubeknots/internal/api"
 	"kubeknots/internal/cluster"
 	"kubeknots/internal/experiments"
 	"kubeknots/internal/k8s"
+	"kubeknots/internal/obs"
 	"kubeknots/internal/sim"
 )
 
@@ -30,6 +44,7 @@ var (
 	sched  = flag.String("scheduler", "pp", "scheduler: uniform | resag | cbp | pp")
 	hetero = flag.Bool("hetero", false, "use the P100/V100/M40/K80 heterogeneous pool")
 	seed   = flag.Int64("seed", 1, "deterministic seed")
+	drain  = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 )
 
 func main() {
@@ -48,6 +63,37 @@ func main() {
 	}
 	orch := k8s.NewOrchestrator(sim.NewEngine(*seed), cl, s, k8s.Config{})
 	srv := api.NewServer(orch)
+
+	// Wrap the API handler in an outer mux carrying the observability
+	// endpoints; the control-plane routes stay untouched under "/".
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/metrics", obs.PromHandler(obs.Default()))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	hsrv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hsrv.ListenAndServe() }()
 	log.Printf("apiserver: %d nodes, %s scheduler, listening on %s", *nodes, s.Name(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("apiserver: shutting down (drain %s)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hsrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("apiserver: shutdown: %v", err)
+		}
+	}
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: kubeknots
+cpu: Intel(R) Xeon(R)
+BenchmarkFig9-8                 	       1	1234567890 ns/op	        85.00 PP-mix1-p90-util	51234567 B/op	  423456 allocs/op
+BenchmarkSpearman-8             	  501883	      2329 ns/op	    4096 B/op	       3 allocs/op
+BenchmarkAR1Forecast            	  902210	      1321 ns/op
+PASS
+ok  	kubeknots	95.123s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	// Sorted by name, GOMAXPROCS suffix stripped.
+	if got[0].Name != "BenchmarkAR1Forecast" || got[1].Name != "BenchmarkFig9" || got[2].Name != "BenchmarkSpearman" {
+		t.Fatalf("names = %q %q %q", got[0].Name, got[1].Name, got[2].Name)
+	}
+	fig9 := got[1]
+	if fig9.Iterations != 1 || fig9.NsPerOp != 1234567890 || fig9.BytesPerOp != 51234567 || fig9.AllocsPerOp != 423456 {
+		t.Fatalf("fig9 = %+v", fig9)
+	}
+	if v := fig9.Metrics["PP-mix1-p90-util"]; v != 85 {
+		t.Fatalf("custom metric = %v, want 85", v)
+	}
+	sp := got[2]
+	if sp.Iterations != 501883 || sp.NsPerOp != 2329 || len(sp.Metrics) != 0 {
+		t.Fatalf("spearman = %+v", sp)
+	}
+}
+
+func TestParseBenchRejectsMalformedValue(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkX-4 10 abc ns/op\n"))
+	if err == nil {
+		t.Fatal("want error for non-numeric value")
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFig9-8":       "BenchmarkFig9",
+		"BenchmarkFig9":         "BenchmarkFig9",
+		"BenchmarkFig10a-16":    "BenchmarkFig10a",
+		"BenchmarkAR1-Forecast": "BenchmarkAR1-Forecast",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

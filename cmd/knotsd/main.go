@@ -4,24 +4,35 @@
 // them over HTTP the way the paper's head-node aggregator queries worker
 // nodes:
 //
-//	GET /metrics         latest five-metric sample (JSON)
+//	GET /metrics         Prometheus text exposition (registry + live gauges)
+//	GET /metrics.json    latest five-metric sample (JSON)
 //	GET /window?ms=5000  the trailing window of every metric (JSON)
+//	GET /debug/vars      expvar JSON
+//	GET /debug/pprof/    runtime profiles
 //
-// The simulation advances in real time scaled by -speed.
+// The simulation advances in real time scaled by -speed. SIGINT/SIGTERM
+// shut the server down gracefully, draining in-flight requests.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os/signal"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"kubeknots/internal/cluster"
 	"kubeknots/internal/knots"
+	"kubeknots/internal/obs"
 	"kubeknots/internal/sim"
 	"kubeknots/internal/workloads"
 )
@@ -30,6 +41,23 @@ var (
 	addr      = flag.String("addr", ":8089", "listen address")
 	heartbeat = flag.Duration("heartbeat", 10*time.Millisecond, "sampling period (simulated)")
 	speed     = flag.Float64("speed", 10, "simulated seconds per wall second")
+	drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+)
+
+// Live node gauges mirroring the NVML metrics the monitor samples; they sit
+// beside the knots_* counters in the same registry so one /metrics scrape
+// carries both the event counters and the current device state.
+var (
+	gSimTime = obs.Default().Gauge("knotsd_sim_time_ms",
+		"Current simulated time on the node (ms).")
+	gSMUtil = obs.Default().GaugeVec("knotsd_gpu_sm_util_pct",
+		"Latest sampled SM utilization per device (percent).", "gpu")
+	gMemUsed = obs.Default().GaugeVec("knotsd_gpu_mem_used_mb",
+		"Latest sampled device memory in use (MB).", "gpu")
+	gPower = obs.Default().GaugeVec("knotsd_gpu_power_w",
+		"Latest sampled board power draw (watts).", "gpu")
+	gContainers = obs.Default().GaugeVec("knotsd_gpu_containers",
+		"Containers currently resident on the device.", "gpu")
 )
 
 type daemon struct {
@@ -63,9 +91,17 @@ func (d *daemon) step(dt sim.Time) {
 		d.mon.Sample(d.now)
 		d.now += hb
 	}
+	gSimTime.Set(float64(d.now))
+	for _, g := range d.cl.GPUs() {
+		id := g.ID()
+		gSMUtil.With(id).Set(g.Obs.SMPct)
+		gMemUsed.With(id).Set(g.Obs.MemUsedMB)
+		gPower.With(id).Set(g.Obs.PowerW)
+		gContainers.With(id).Set(float64(g.Obs.Containers))
+	}
 }
 
-func (d *daemon) metrics(w http.ResponseWriter, _ *http.Request) {
+func (d *daemon) metricsJSON(w http.ResponseWriter, _ *http.Request) {
 	d.mu.Lock()
 	obs := d.cl.GPUs()[0].Obs
 	now := d.now
@@ -103,6 +139,17 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// debugMux mounts expvar and pprof on mux under /debug/. Registering the
+// pprof handlers explicitly keeps the daemon off http.DefaultServeMux.
+func debugMux(mux *http.ServeMux) {
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 func main() {
 	flag.Parse()
 	cfg := cluster.DefaultConfig()
@@ -110,15 +157,43 @@ func main() {
 	cl := cluster.New(cfg)
 	d := &daemon{cl: cl, mon: knots.NewMonitor(cl, 1<<18)}
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	go func() {
-		const wallTick = 100 * time.Millisecond
-		for range time.Tick(wallTick) {
-			d.step(sim.Time(float64(wallTick.Milliseconds()) * *speed))
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				d.step(sim.Time(100 * *speed))
+			}
 		}
 	}()
 
-	http.HandleFunc("/metrics", d.metrics)
-	http.HandleFunc("/window", d.window)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.PromHandler(obs.Default()))
+	mux.HandleFunc("/metrics.json", d.metricsJSON)
+	mux.HandleFunc("/window", d.window)
+	debugMux(mux)
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("knotsd: simulated P100 node on %s (x%.0f time)", *addr, *speed)
-	log.Fatal(http.ListenAndServe(*addr, nil))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("knotsd: shutting down (drain %s)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("knotsd: shutdown: %v", err)
+		}
+	}
 }

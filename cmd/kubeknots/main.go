@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -28,6 +29,7 @@ import (
 
 	"kubeknots/internal/dlsim"
 	"kubeknots/internal/experiments"
+	"kubeknots/internal/obs"
 	"kubeknots/internal/sim"
 	"kubeknots/internal/sweep"
 	"kubeknots/internal/trace"
@@ -46,6 +48,9 @@ var (
 	chaosSeed = flag.Int64("chaos-seed", 0, "fault-schedule seed for the chaos experiment (0 = follow -seed)")
 	mttf      = flag.Duration("mttf", 90*time.Second, "per-node mean time to failure for the chaos experiment")
 	mttr      = flag.Duration("mttr", 10*time.Second, "per-node mean time to repair for the chaos experiment")
+
+	traceOut    = flag.String("trace-out", "", "write per-pod scheduling decision audit records (JSONL) to this file")
+	timelineOut = flag.String("timeline-out", "", "write a Chrome trace_event timeline (open in chrome://tracing or Perfetto) to this file")
 )
 
 // emit renders a table in the selected format.
@@ -113,6 +118,11 @@ func main() {
 	}
 	base.Chaos.MTTF = sim.Time(mttf.Milliseconds())
 	base.Chaos.MTTR = sim.Time(mttr.Milliseconds())
+	var collector *obs.Collector
+	if *traceOut != "" || *timelineOut != "" {
+		collector = obs.NewCollector()
+		base.Cluster.Obs = collector
+	}
 
 	// Resolve every name before launching anything so a typo still exits 2
 	// with no partial output.
@@ -191,6 +201,36 @@ func main() {
 			}
 		}
 	}
+
+	// Observability exports after all tables: runs merged in key order, so
+	// the files are byte-identical at any -parallel value.
+	if collector != nil {
+		if *traceOut != "" {
+			if err := writeFileWith(*traceOut, collector.WriteDecisionLog); err != nil {
+				fmt.Fprintf(os.Stderr, "kubeknots: -trace-out: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *timelineOut != "" {
+			if err := writeFileWith(*timelineOut, collector.WriteTimeline); err != nil {
+				fmt.Fprintf(os.Stderr, "kubeknots: -timeline-out: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeFileWith streams one export into path.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func usage() {

@@ -169,6 +169,7 @@ func AblationLearnedProfiles(cfg ClusterConfig) *Table {
 	t.AddRow("static-profiles", f1(ps[0]), f1(o.QoS.PerKilo()),
 		fmt.Sprintf("%d", o.CrashEvents))
 	learned := &scheduler.PP{CBP: scheduler.CBP{Learned: warm.Profiler}}
+	cfg.RunKey = "ablation-learned/learned"
 	o2 := RunCluster(learned, mix, cfg)
 	ps2 := o2.ClusterUtilPercentiles()
 	t.AddRow("learned-profiles", f1(ps2[0]), f1(o2.QoS.PerKilo()),

@@ -6,6 +6,7 @@ import (
 	"kubeknots/internal/chaos"
 	"kubeknots/internal/cluster"
 	"kubeknots/internal/k8s"
+	"kubeknots/internal/obs"
 	"kubeknots/internal/scheduler"
 	"kubeknots/internal/sim"
 	"kubeknots/internal/trace"
@@ -35,6 +36,15 @@ type ClusterConfig struct {
 	DeadAfter  sim.Time
 	// MaxRestarts caps crash relaunches (0 = unlimited, the baseline).
 	MaxRestarts int
+
+	// Obs, when set, collects this run's observability artifacts — the
+	// per-pod decision audit (CBP/PP) and the lifecycle timeline — under
+	// RunKey. Collection only observes: results and engine fingerprints are
+	// byte-identical with Obs set or nil.
+	Obs *obs.Collector
+	// RunKey names the run inside the collector (grids stamp their grid key;
+	// "" falls back to scheduler/mix). RunCluster appends "/seed=N".
+	RunKey string
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -110,14 +120,25 @@ func RunCluster(sched k8s.Scheduler, mix workloads.AppMix, cfg ClusterConfig) *C
 		ccfg.NoDeepSleep = true
 	}
 	cl := cluster.New(ccfg)
-	o := k8s.NewOrchestrator(eng, cl, sched, k8s.Config{
+	kcfg := k8s.Config{
 		Tick:        10 * sim.Millisecond,
 		Heartbeat:   cfg.Heartbeat,
 		SchedEvery:  cfg.SchedEvery,
 		StaleAfter:  cfg.StaleAfter,
 		DeadAfter:   cfg.DeadAfter,
 		MaxRestarts: cfg.MaxRestarts,
-	})
+	}
+	var tracer *obs.BufTracer
+	if cfg.Obs != nil {
+		// Retain the whole run's events for the timeline export; ring capacity
+		// never influences behaviour, only retention.
+		kcfg.EventCapacity = 1 << 16
+		if dt, ok := sched.(obs.DecisionTraceable); ok {
+			tracer = obs.NewBufTracer()
+			dt.SetDecisionTracer(tracer)
+		}
+	}
+	o := k8s.NewOrchestrator(eng, cl, sched, kcfg)
 	var inj *chaos.Injector
 	if !cfg.Chaos.Zero() {
 		var err error
@@ -161,6 +182,20 @@ func RunCluster(sched k8s.Scheduler, mix workloads.AppMix, cfg ClusterConfig) *C
 			o.AwakeUtil[i] = o.AwakeUtil[i][:keep]
 		}
 	}
+	if cfg.Obs != nil {
+		key := cfg.RunKey
+		if key == "" {
+			key = fmt.Sprintf("%s/%s", sched.Name(), mix.Name())
+		}
+		art := obs.RunArtifacts{
+			Key:      fmt.Sprintf("%s/seed=%d", key, cfg.Seed),
+			Timeline: k8s.TimelineFromEvents(o.Events.All()),
+		}
+		if tracer != nil {
+			art.Decisions = tracer.Records()
+		}
+		cfg.Obs.Add(art)
+	}
 	return run
 }
 
@@ -184,6 +219,7 @@ func Fig6(mixID int, cfg ClusterConfig) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.RunKey = fmt.Sprintf("fig6-%d/%s", mixID, mix.Name())
 	o := RunCluster(&scheduler.ResAg{}, mix, cfg)
 	return perNodeTable(fmt.Sprintf("fig6-%d", mixID),
 		fmt.Sprintf("Per-node GPU utilization under Res-Ag, %s", mix.Name()), o), nil
@@ -196,6 +232,7 @@ func Fig8(mixID int, cfg ClusterConfig) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.RunKey = fmt.Sprintf("fig8-%d/%s", mixID, mix.Name())
 	o := RunCluster(&scheduler.PP{}, mix, cfg)
 	return perNodeTable(fmt.Sprintf("fig8-%d", mixID),
 		fmt.Sprintf("Per-node GPU utilization under PP, %s", mix.Name()), o), nil
@@ -349,6 +386,7 @@ func Fig11b(cfg ClusterConfig) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.RunKey = "fig11b"
 	o := RunCluster(&scheduler.PP{}, mix, cfg)
 	pw := o.PairwiseLoadCOV()
 	header := []string{"node"}

@@ -54,6 +54,7 @@ func runClusterGrid(points []clusterPoint) []*ClusterRun {
 	runs, err := sweep.Map(context.Background(), points, Parallelism(),
 		func(_ int, p clusterPoint) string { return p.Key },
 		func(_ context.Context, p clusterPoint) (*ClusterRun, error) {
+			p.Cfg.RunKey = p.Key // unique grid key → deterministic artifact merge
 			return RunCluster(p.Sched, p.Mix, p.Cfg), nil
 		})
 	if err != nil {

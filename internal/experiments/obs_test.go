@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"kubeknots/internal/obs"
+	"kubeknots/internal/scheduler"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// TestTracingDeterminism locks the tentpole's hard constraint: attaching the
+// full observability stack (decision tracer + timeline collection) must not
+// perturb a run — fingerprints are identical with tracing on or off — and the
+// collected artifacts themselves must be non-trivial.
+func TestTracingDeterminism(t *testing.T) {
+	mix, err := workloads.MixByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClusterConfig{Horizon: 20 * sim.Second}
+	base := fingerprint(RunCluster(&scheduler.PP{}, mix, cfg))
+
+	traced := cfg
+	traced.Obs = obs.NewCollector()
+	traced.RunKey = "determinism-check"
+	if got := fingerprint(RunCluster(&scheduler.PP{}, mix, traced)); got != base {
+		t.Fatalf("tracing perturbed the run:\n got %+v\nwant %+v", got, base)
+	}
+
+	runs := traced.Obs.Runs()
+	if len(runs) != 1 || runs[0].Key != "determinism-check/seed=1" {
+		t.Fatalf("collector runs = %+v", runs)
+	}
+	if len(runs[0].Decisions) == 0 {
+		t.Fatal("PP run produced no decision records")
+	}
+	if runs[0].Timeline == nil || len(runs[0].Timeline.Events) == 0 {
+		t.Fatal("run produced no timeline events")
+	}
+}
+
+// TestTracedExportsStableUnderParallelism: a grid-shaped experiment with a
+// collector attached writes byte-identical decision logs and timelines at
+// parallelism 1 and 8 — the per-run keys, not worker scheduling, order the
+// merged files.
+func TestTracedExportsStableUnderParallelism(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+
+	export := func(par int) (string, string) {
+		SetParallelism(par)
+		cfg := ClusterConfig{Horizon: 5 * sim.Second, Obs: obs.NewCollector()}
+		Fig9(cfg)
+		var dec, tl bytes.Buffer
+		if err := cfg.Obs.WriteDecisionLog(&dec); err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Obs.WriteTimeline(&tl); err != nil {
+			t.Fatal(err)
+		}
+		return dec.String(), tl.String()
+	}
+
+	dec1, tl1 := export(1)
+	dec8, tl8 := export(8)
+	if dec1 != dec8 {
+		t.Error("decision log differs between -parallel 1 and 8")
+	}
+	if tl1 != tl8 {
+		t.Error("timeline differs between -parallel 1 and 8")
+	}
+	if len(dec1) == 0 || len(tl1) == 0 {
+		t.Fatal("exports are empty; test is vacuous")
+	}
+	// Every fig9 grid point must have contributed artifacts (9 points: 3 mixes
+	// × {PP, CBP, Res-Ag}).
+	recs, err := obs.ReadDecisionJSONL(bytes.NewReader([]byte(dec1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, r := range recs {
+		keys[r.Run] = true
+	}
+	// Only CBP and PP implement decision tracing (6 of the 9 points).
+	if len(keys) != 6 {
+		t.Errorf("decision log covers %d runs, want 6 (CBP+PP across 3 mixes): %v", len(keys), keys)
+	}
+}

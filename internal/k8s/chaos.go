@@ -98,6 +98,7 @@ func (o *Orchestrator) drain(now sim.Time, evicted []*cluster.Container, why str
 		delete(o.byContainer, c)
 		p.container = nil
 		o.DrainEvents++
+		o.om.drains.Inc()
 		o.Events.Record(Event{At: now, Type: EventDrained, Pod: p.Name, Detail: why})
 		pod := p
 		o.Eng.After(o.Cfg.RelaunchDelay, func(at sim.Time) {

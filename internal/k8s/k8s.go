@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"kubeknots/internal/cluster"
 	"kubeknots/internal/knots"
@@ -114,6 +115,11 @@ type Config struct {
 	// aggregator (see knots.Aggregator); both default to 0 = disabled.
 	StaleAfter sim.Time
 	DeadAfter  sim.Time
+
+	// EventCapacity sizes the lifecycle event ring (0 = DefaultEventCapacity).
+	// Raise it when a full run's events feed a timeline export; capacity only
+	// bounds retention, never behaviour.
+	EventCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -182,6 +188,7 @@ type Orchestrator struct {
 
 	podSeq  int
 	started bool
+	om      *orchMetrics
 }
 
 // NewOrchestrator assembles an orchestrator over eng and cl using sched.
@@ -196,8 +203,9 @@ func NewOrchestrator(eng *sim.Engine, cl *cluster.Cluster, sched Scheduler, cfg 
 		Profiler:    knots.NewProfiler(),
 		Sched:       sched,
 		QoS:         &qos.Tracker{},
-		Events:      NewEventLog(0),
+		Events:      NewEventLog(cfg.EventCapacity),
 		Cfg:         cfg,
+		om:          newOrchMetrics(sched.Name()),
 		byContainer: make(map[*cluster.Container]*Pod),
 		NodeUtil:    make([][]float64, cl.Cfg.Nodes),
 		AwakeUtil:   make([][]float64, cl.Cfg.Nodes),
@@ -288,6 +296,7 @@ func (o *Orchestrator) tick(now sim.Time) {
 		p.Phase = PodSucceeded
 		p.FinishedAt = now
 		o.Completed = append(o.Completed, p)
+		o.om.completions.Inc()
 		o.Events.Record(Event{At: now, Type: EventCompleted, Pod: p.Name})
 		if p.Class == workloads.LatencyCritical {
 			o.QoS.Record(now - p.SubmitAt)
@@ -303,6 +312,7 @@ func (o *Orchestrator) tick(now sim.Time) {
 		p.container = nil
 		p.Crashes++
 		o.CrashEvents++
+		o.om.oomKills.Inc()
 		o.Events.Record(Event{At: now, Type: EventCrashed, Pod: p.Name,
 			Detail: "memory capacity violation"})
 		if o.Cfg.MaxRestarts > 0 && p.Crashes >= o.Cfg.MaxRestarts {
@@ -310,6 +320,7 @@ func (o *Orchestrator) tick(now sim.Time) {
 			p.Phase = PodEvicted
 			p.FinishedAt = now
 			o.Evicted = append(o.Evicted, p)
+			o.om.evictions.Inc()
 			o.Events.Record(Event{At: now, Type: EventEvicted, Pod: p.Name,
 				Detail: fmt.Sprintf("crash-loop: %d restarts", p.Crashes)})
 			continue
@@ -321,6 +332,7 @@ func (o *Orchestrator) tick(now sim.Time) {
 		o.Eng.After(o.relaunchDelay(p.Crashes), func(at sim.Time) {
 			pod.Phase = PodPending
 			o.pending = append(o.pending, pod)
+			o.om.restarts.Inc()
 			o.Events.Record(Event{At: at, Type: EventRelaunch, Pod: pod.Name})
 		})
 	}
@@ -372,7 +384,12 @@ func (o *Orchestrator) runScheduler(now sim.Time) {
 	// stable so equal-priority pods keep arrival order.
 	queue := append([]*Pod(nil), o.pending...)
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Priority > queue[j].Priority })
+	// Wall-clock latency is harness telemetry (sweep.Result.Wall convention):
+	// it never enters sim state, so determinism is unaffected.
+	start := time.Now()
 	decisions := o.Sched.Schedule(now, queue, snap)
+	o.om.decisionSeconds.Observe(time.Since(start).Seconds())
+	defer func() { o.om.queueDepth.Set(float64(len(o.pending))) }()
 	if len(decisions) == 0 {
 		return
 	}
@@ -384,6 +401,7 @@ func (o *Orchestrator) runScheduler(now sim.Time) {
 		// Affinity is enforced at binding like an admission webhook, even if
 		// a scheduler ignored it.
 		if !FitsAffinity(d.Pod, d.GPU, d.GPU.Containers()) {
+			o.om.rejectAffinity.Inc()
 			o.Events.Record(Event{At: now, Type: EventRejected, Pod: d.Pod.Name,
 				Node: d.GPU.ID(), Detail: "affinity"})
 			continue
@@ -398,12 +416,14 @@ func (o *Orchestrator) runScheduler(now sim.Time) {
 			Labels: d.Pod.Labels,
 		}
 		if err := d.GPU.Place(now, c, d.ReserveMB); err != nil {
+			o.om.rejectBind.Inc()
 			o.Events.Record(Event{At: now, Type: EventRejected, Pod: d.Pod.Name,
 				Node: d.GPU.ID(), Detail: err.Error()})
 			continue // stale decision; pod stays queued
 		}
 		d.Pod.container = c
 		d.Pod.Phase = PodRunning
+		o.om.placements.Inc()
 		o.Events.Record(Event{At: now, Type: EventScheduled, Pod: d.Pod.Name, Node: d.GPU.ID()})
 		if d.Pod.ScheduleAt < 0 {
 			d.Pod.ScheduleAt = now

@@ -1,0 +1,58 @@
+package k8s
+
+import "kubeknots/internal/obs"
+
+// Labelled families, registered once at package init; each orchestrator
+// caches its scheduler's children so the hot loop never touches the family
+// map. All of it is harness telemetry: nothing here feeds back into
+// scheduling, so instrumented and bare runs stay byte-identical.
+var (
+	mPlacements = obs.Default().CounterVec("k8s_placements_total",
+		"Pods bound to a device.", "scheduler")
+	mRejections = obs.Default().CounterVec("k8s_rejections_total",
+		"Binding refusals at admission.", "scheduler", "reason")
+	mQueueDepth = obs.Default().GaugeVec("k8s_queue_depth",
+		"Pending pods after the latest scheduling round.", "scheduler")
+	mDecisionSeconds = obs.Default().HistogramVec("k8s_decision_seconds",
+		"Wall-clock latency of one scheduling round (harness telemetry).",
+		obs.LatencyBuckets, "scheduler")
+	mCompletions = obs.Default().CounterVec("k8s_completions_total",
+		"Pods that ran to completion.", "scheduler")
+	mOOMKills = obs.Default().CounterVec("k8s_oom_kills_total",
+		"Containers killed for GPU memory capacity violations.", "scheduler")
+	mRestarts = obs.Default().CounterVec("k8s_restarts_total",
+		"Crashed pods requeued for relaunch.", "scheduler")
+	mEvictions = obs.Default().CounterVec("k8s_evictions_total",
+		"Pods terminally evicted by the crash-loop cap.", "scheduler")
+	mDrains = obs.Default().CounterVec("k8s_drains_total",
+		"Pods killed by node/device faults and requeued.", "scheduler")
+)
+
+// orchMetrics holds one orchestrator's pre-resolved metric children.
+type orchMetrics struct {
+	placements      *obs.Counter
+	rejectAffinity  *obs.Counter
+	rejectBind      *obs.Counter
+	queueDepth      *obs.Gauge
+	decisionSeconds *obs.Histogram
+	completions     *obs.Counter
+	oomKills        *obs.Counter
+	restarts        *obs.Counter
+	evictions       *obs.Counter
+	drains          *obs.Counter
+}
+
+func newOrchMetrics(scheduler string) *orchMetrics {
+	return &orchMetrics{
+		placements:      mPlacements.With(scheduler),
+		rejectAffinity:  mRejections.With(scheduler, "affinity"),
+		rejectBind:      mRejections.With(scheduler, "bind"),
+		queueDepth:      mQueueDepth.With(scheduler),
+		decisionSeconds: mDecisionSeconds.With(scheduler),
+		completions:     mCompletions.With(scheduler),
+		oomKills:        mOOMKills.With(scheduler),
+		restarts:        mRestarts.With(scheduler),
+		evictions:       mEvictions.With(scheduler),
+		drains:          mDrains.With(scheduler),
+	}
+}

@@ -1,0 +1,102 @@
+package k8s
+
+import (
+	"sort"
+
+	"kubeknots/internal/obs"
+)
+
+// TimelineFromEvents renders a run's lifecycle event log as a Chrome
+// trace_event timeline: thread 0 is the pending queue, every device that
+// appears in the log gets its own thread (sorted by id, so the assignment is
+// deterministic), pod executions become duration slices from Scheduled to
+// Completed/Crashed/Drained, and everything else — submissions, rejections,
+// chaos injections — becomes an instant on its track. Open it in
+// chrome://tracing or Perfetto.
+func TimelineFromEvents(evs []Event) *obs.Timeline {
+	tl := &obs.Timeline{}
+
+	// Deterministic track assignment: queue first, then devices sorted by id.
+	nodeSet := make(map[string]bool)
+	for _, ev := range evs {
+		if ev.Node != "" {
+			nodeSet[ev.Node] = true
+		}
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	tids := make(map[string]int, len(nodes))
+	tl.ThreadName(0, "queue")
+	for i, n := range nodes {
+		tids[n] = i + 1
+		tl.ThreadName(i+1, n)
+	}
+
+	// open tracks each running pod's slice-in-progress.
+	type openSlice struct {
+		start int64 // µs
+		tid   int
+		node  string
+	}
+	open := make(map[string]openSlice)
+	var maxTS int64
+
+	closeSlice := func(pod, end string, ts int64) bool {
+		os, ok := open[pod]
+		if !ok {
+			return false
+		}
+		delete(open, pod)
+		tl.Slice(pod, end, os.start, ts-os.start, os.tid, map[string]any{"node": os.node})
+		return true
+	}
+
+	for _, ev := range evs {
+		ts := obs.MSToUS(int64(ev.At))
+		if ts > maxTS {
+			maxTS = ts
+		}
+		switch ev.Type {
+		case EventScheduled:
+			open[ev.Pod] = openSlice{start: ts, tid: tids[ev.Node], node: ev.Node}
+		case EventCompleted, EventCrashed, EventDrained:
+			if !closeSlice(ev.Pod, string(ev.Type), ts) {
+				// The opening Scheduled event fell off the ring; keep at least
+				// an instant so the termination stays visible.
+				tl.Instant(string(ev.Type)+" "+ev.Pod, "lifecycle", ts, 0, nil)
+			}
+		case EventSubmitted, EventRelaunch, EventEvicted:
+			var args map[string]any
+			if ev.Detail != "" {
+				args = map[string]any{"detail": ev.Detail}
+			}
+			tl.Instant(string(ev.Type)+" "+ev.Pod, "queue", ts, 0, args)
+		case EventRejected:
+			tl.Instant("Rejected "+ev.Pod, "reject", ts, tids[ev.Node],
+				map[string]any{"detail": ev.Detail})
+		case EventNodeDown, EventNodeUp, EventGPUDown, EventGPUUp, EventTelemetry, EventNetwork:
+			args := map[string]any{}
+			if ev.Detail != "" {
+				args["detail"] = ev.Detail
+			}
+			tl.Instant(string(ev.Type), "chaos", ts, tids[ev.Node], args)
+		default:
+			tl.Instant(string(ev.Type)+" "+ev.Pod, "other", ts, 0, nil)
+		}
+	}
+
+	// Close still-running pods at the last observed timestamp so their slices
+	// render instead of vanishing.
+	running := make([]string, 0, len(open))
+	for pod := range open {
+		running = append(running, pod)
+	}
+	sort.Strings(running)
+	for _, pod := range running {
+		closeSlice(pod, "running", maxTS)
+	}
+	return tl
+}

@@ -1,0 +1,108 @@
+package k8s
+
+import (
+	"bytes"
+	"testing"
+
+	"kubeknots/internal/obs"
+)
+
+func timelineEvents() []Event {
+	return []Event{
+		{At: 10, Type: EventSubmitted, Pod: "kmeans-1"},
+		{At: 10, Type: EventSubmitted, Pod: "lud-2"},
+		{At: 20, Type: EventRejected, Pod: "lud-2", Node: "n1/g0", Detail: "affinity"},
+		{At: 30, Type: EventScheduled, Pod: "kmeans-1", Node: "n0/g0"},
+		{At: 40, Type: EventScheduled, Pod: "lud-2", Node: "n1/g0"},
+		{At: 120, Type: EventNodeDown, Node: "n1/g0"},
+		{At: 120, Type: EventDrained, Pod: "lud-2", Detail: "node crash"},
+		{At: 300, Type: EventCompleted, Pod: "kmeans-1"},
+		{At: 350, Type: EventScheduled, Pod: "bfs-3", Node: "n0/g0"}, // never finishes
+	}
+}
+
+func TestTimelineFromEvents(t *testing.T) {
+	tl := TimelineFromEvents(timelineEvents())
+
+	byName := func(name, ph string) *obs.TimelineEvent {
+		for i := range tl.Events {
+			if tl.Events[i].Name == name && tl.Events[i].Ph == ph {
+				return &tl.Events[i]
+			}
+		}
+		return nil
+	}
+
+	// Device threads are named deterministically: queue=0, then sorted ids.
+	queueMeta, n0, n1 := byName("thread_name", obs.PhaseMetadata), 1, 2
+	if queueMeta == nil || queueMeta.Args["name"] != "queue" || queueMeta.TID != 0 {
+		t.Fatalf("first thread must be the queue: %+v", queueMeta)
+	}
+
+	// kmeans-1 ran 30→300 ms on n0/g0.
+	sl := byName("kmeans-1", obs.PhaseSlice)
+	if sl == nil {
+		t.Fatal("missing kmeans-1 slice")
+	}
+	if sl.TS != obs.MSToUS(30) || sl.Dur != obs.MSToUS(270) || sl.TID != n0 || sl.Cat != "Completed" {
+		t.Errorf("kmeans-1 slice = %+v", sl)
+	}
+	if sl.Args["node"] != "n0/g0" {
+		t.Errorf("kmeans-1 slice node = %v", sl.Args["node"])
+	}
+
+	// lud-2 was drained at 120 ms on n1/g0.
+	dr := byName("lud-2", obs.PhaseSlice)
+	if dr == nil || dr.Cat != "Drained" || dr.TID != n1 || dr.Dur != obs.MSToUS(80) {
+		t.Errorf("lud-2 slice = %+v", dr)
+	}
+
+	// bfs-3 never terminated: closed at the max timestamp as "running".
+	run := byName("bfs-3", obs.PhaseSlice)
+	if run == nil || run.Cat != "running" || run.TS != obs.MSToUS(350) || run.Dur != 0 {
+		t.Errorf("bfs-3 slice = %+v", run)
+	}
+
+	if in := byName("NodeDown", obs.PhaseInstant); in == nil || in.TID != n1 || in.Cat != "chaos" {
+		t.Errorf("NodeDown instant = %+v", in)
+	}
+	if in := byName("Rejected lud-2", obs.PhaseInstant); in == nil || in.Args["detail"] != "affinity" {
+		t.Errorf("rejection instant = %+v", in)
+	}
+	if in := byName("Submitted kmeans-1", obs.PhaseInstant); in == nil || in.TID != 0 {
+		t.Errorf("submit instant = %+v", in)
+	}
+}
+
+// TestTimelineFromEventsDeterministic: identical event logs must encode to
+// identical bytes — the property the sweep-wide merged export depends on.
+func TestTimelineFromEventsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := TimelineFromEvents(timelineEvents()).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := TimelineFromEvents(timelineEvents()).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("timeline encoding differs across identical inputs")
+	}
+}
+
+// TestTimelineTruncatedRing: a Completed event whose Scheduled opener was
+// evicted from the ring degrades to an instant, not a panic or a lost event.
+func TestTimelineTruncatedRing(t *testing.T) {
+	tl := TimelineFromEvents([]Event{{At: 50, Type: EventCompleted, Pod: "orphan-1"}})
+	found := false
+	for _, ev := range tl.Events {
+		if ev.Ph == obs.PhaseInstant && ev.Name == "Completed orphan-1" {
+			found = true
+		}
+		if ev.Ph == obs.PhaseSlice {
+			t.Errorf("unexpected slice: %+v", ev)
+		}
+	}
+	if !found {
+		t.Error("orphaned completion must surface as an instant")
+	}
+}

@@ -71,6 +71,7 @@ func NewMonitor(cl *cluster.Cluster, capacity int) *Monitor {
 func (m *Monitor) Sample(now sim.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	mHeartbeats.Inc()
 	for _, g := range m.Cluster.GPUs() {
 		if m.down[g.Node] {
 			continue
@@ -84,6 +85,7 @@ func (m *Monitor) Sample(now sim.Time) {
 		db.Append(seriesName(g, MetricRx), now, o.RxMBps)
 		m.lastSample[g.Node] = now
 		m.lastObs[g] = o
+		mGPUSamples.Inc()
 	}
 }
 
@@ -193,6 +195,11 @@ type Aggregator struct {
 	// K × heartbeat). 0 disables liveness, preserving the always-healthy
 	// baseline byte-for-byte.
 	DeadAfter sim.Time
+
+	// prevStale/prevDead remember each node's liveness state from the last
+	// snapshot so boundary crossings count once, not once per heartbeat.
+	prevStale map[int]bool
+	prevDead  map[int]bool
 }
 
 // DefaultWindow is the paper's five-second scheduling window.
@@ -247,6 +254,7 @@ func (a *Aggregator) Snapshot(now sim.Time) *Snapshot {
 	}
 	snap := &Snapshot{At: now}
 	deadSeen := make(map[int]bool)
+	staleSeen := make(map[int]bool)
 	for _, g := range a.Monitor.Cluster.GPUs() {
 		// Liveness first: a crashed node (whose devices are also failed) must
 		// still be reported dead, not silently skipped.
@@ -262,6 +270,9 @@ func (a *Aggregator) Snapshot(now sim.Time) *Snapshot {
 			continue
 		}
 		stale := a.StaleAfter > 0 && age > a.StaleAfter
+		if stale {
+			staleSeen[g.Node] = true
+		}
 		obs := g.Obs
 		if stale {
 			// The head node only knows what the node last reported.
@@ -291,5 +302,18 @@ func (a *Aggregator) Snapshot(now sim.Time) *Snapshot {
 		}
 		snap.Stats = append(snap.Stats, st)
 	}
+	// Count liveness boundary crossings (fresh→stale, live→dead) exactly
+	// once per transition. Pure telemetry: the snapshot itself is unchanged.
+	for node := range staleSeen {
+		if !a.prevStale[node] {
+			mStaleTransitions.Inc()
+		}
+	}
+	for node := range deadSeen {
+		if !a.prevDead[node] {
+			mDeadTransitions.Inc()
+		}
+	}
+	a.prevStale, a.prevDead = staleSeen, deadSeen
 	return snap
 }

@@ -3,6 +3,7 @@ package knots
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -238,16 +239,22 @@ func fetchNode(client *http.Client, url string, timeout time.Duration, retries i
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
+			mFetchRetries.Inc()
 			d := backoff << (attempt - 1)
 			d += time.Duration(rand.Int63n(int64(d)/2 + 1))
 			time.Sleep(d)
 		}
 		st, err := fetchOnce(client, url, timeout)
 		if err == nil {
+			mFetches.With("ok").Inc()
 			return st, nil
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			mFetchTimeouts.Inc()
 		}
 		lastErr = err
 	}
+	mFetches.With("error").Inc()
 	return NodeStats{}, lastErr
 }
 

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// RunArtifacts bundles the observability output of one simulation run.
+type RunArtifacts struct {
+	// Key identifies the run (e.g. "fig9/App-Mix-1/PP/seed=2"). Callers must
+	// keep keys unique within a sweep so merged exports are deterministic.
+	Key string
+	// Decisions is the run's placement audit log in emission order.
+	Decisions []DecisionRecord
+	// Timeline is the run's lifecycle timeline (may be nil).
+	Timeline *Timeline
+}
+
+// Collector gathers per-run artifacts from a (possibly parallel) sweep and
+// exports them deterministically: runs are merged sorted by key, so the
+// written files are byte-identical at any pool width.
+type Collector struct {
+	mu   sync.Mutex
+	runs []RunArtifacts
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add records one run's artifacts. Safe for concurrent use.
+func (c *Collector) Add(a RunArtifacts) {
+	c.mu.Lock()
+	c.runs = append(c.runs, a)
+	c.mu.Unlock()
+}
+
+// Runs returns a copy of the collected artifacts sorted by key.
+func (c *Collector) Runs() []RunArtifacts {
+	c.mu.Lock()
+	out := append([]RunArtifacts(nil), c.runs...)
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Len returns the number of collected runs.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.runs)
+}
+
+// WriteDecisionLog writes every run's decision records as one JSONL stream,
+// runs in key order, each record stamped with its run key.
+func (c *Collector) WriteDecisionLog(w io.Writer) error {
+	var all []DecisionRecord
+	for _, run := range c.Runs() {
+		for _, rec := range run.Decisions {
+			rec.Run = run.Key
+			all = append(all, rec)
+		}
+	}
+	return WriteDecisionJSONL(w, all)
+}
+
+// WriteTimeline merges every run's timeline into one trace_event file: each
+// run becomes its own process (pid = 1 + sorted-key index, named after the
+// key), so Perfetto shows runs side by side.
+func (c *Collector) WriteTimeline(w io.Writer) error {
+	var events []TimelineEvent
+	for i, run := range c.Runs() {
+		if run.Timeline == nil {
+			continue
+		}
+		pid := i + 1
+		events = append(events, TimelineEvent{
+			Name: "process_name", Ph: PhaseMetadata, PID: pid,
+			Args: map[string]any{"name": run.Key},
+		})
+		for _, ev := range run.Timeline.Events {
+			ev.PID = pid
+			events = append(events, ev)
+		}
+	}
+	return writeTimelineFile(w, events)
+}
+
+// PromHandler serves a registry in Prometheus text exposition format.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition: family and sample
+// ordering, histogram cumulative buckets, label escaping, float formatting.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "Registered first, sorted last.").Add(3)
+	c := r.CounterVec("aa_requests_total", "Requests by verb.", "verb")
+	c.With("get").Add(2)
+	c.With("delete").Inc()
+	g := r.Gauge("queue_depth", "Pending pods.")
+	g.Set(7.5)
+	h := r.Histogram("latency_seconds", "Decision latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.02)
+	h.Observe(5)
+	e := r.GaugeVec("escape_check", "Has \"quotes\" and\nnewline.", "path")
+	e.With(`C:\tmp "x"`).Set(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# HELP aa_requests_total Requests by verb.
+# TYPE aa_requests_total counter
+aa_requests_total{verb="delete"} 1
+aa_requests_total{verb="get"} 2
+# HELP escape_check Has "quotes" and\nnewline.
+# TYPE escape_check gauge
+escape_check{path="C:\\tmp \"x\""} 1
+# HELP latency_seconds Decision latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.001"} 1
+latency_seconds_bucket{le="0.01"} 1
+latency_seconds_bucket{le="0.1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 5.0205
+latency_seconds_count 3
+# HELP queue_depth Pending pods.
+# TYPE queue_depth gauge
+queue_depth 7.5
+# HELP zz_last_total Registered first, sorted last.
+# TYPE zz_last_total counter
+zz_last_total 3
+`
+	if got := b.String(); got != golden {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// lintPrometheus is a minimal validity check of the text format: every
+// non-comment line is "name{labels} value" with balanced quotes, and every
+// sample is preceded by a TYPE line for its family.
+func lintPrometheus(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatalf("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample without value: %q", line)
+		}
+		series := line[:sp]
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unbalanced label braces: %q", line)
+			}
+			name = series[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				if _, ok := typed[strings.TrimSuffix(name, suf)]; ok {
+					base = strings.TrimSuffix(name, suf)
+				}
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("sample %q has no TYPE line", name)
+		}
+	}
+}
+
+func TestPrometheusLint(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("a_total", "A.", "x").With("v").Inc()
+	r.HistogramVec("h_seconds", "H.", []float64{1, 2}, "x").With("v").Observe(1.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lintPrometheus(t, b.String())
+}
+
+func TestSnapshotHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 10})
+	for _, v := range []float64{0.5, 0.7, 5, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Samples) != 1 {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+	s := snap[0].Samples[0]
+	wantCum := []uint64{2, 3, 4}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d: got %d want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if s.Count != 4 || s.Sum != 106.2 {
+		t.Errorf("sum/count: %v/%v", s.Sum, s.Count)
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	c.Add(2)
+	c.Add(-5) // dropped
+	if got := c.Value(); got != 2 {
+		t.Errorf("counter = %v, want 2", got)
+	}
+}
+
+func TestReRegisterReturnsSameFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "x")
+	b := r.Counter("same_total", "x")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 2 {
+		t.Errorf("re-registered counter not shared: %v vs %v", a.Value(), b.Value())
+	}
+}
+
+func TestSchemaConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on type conflict")
+		}
+	}()
+	r.Gauge("c_total", "x")
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c_total", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on label arity mismatch")
+		}
+	}()
+	v.With("only-one")
+}
+
+// TestRegistryRace hammers every instrument kind from many goroutines while
+// concurrent expositions and snapshots run — the -race stress test of
+// registry updates during a sweep.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("ops_total", "Ops.", "worker")
+	gv := r.GaugeVec("depth", "Depth.", "worker")
+	hv := r.HistogramVec("wall_seconds", "Wall.", []float64{0.01, 0.1, 1}, "worker")
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("w%d", w)
+			c, g, h := cv.With(id), gv.With(id), hv.With(id)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%100) / 100)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	for w := 0; w < workers; w++ {
+		id := fmt.Sprintf("w%d", w)
+		if got := cv.With(id).Value(); got != iters {
+			t.Errorf("worker %s counter = %v, want %d", id, got, iters)
+		}
+		if got := hv.With(id).Count(); got != iters {
+			t.Errorf("worker %s histogram count = %d, want %d", id, got, iters)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func buildTimeline() *Timeline {
+	tl := &Timeline{}
+	tl.ProcessName("fig9/PP/seed=1")
+	tl.ThreadName(0, "queue")
+	tl.ThreadName(1, "n0/g0")
+	tl.Instant("submit kmeans-1", "queue", MSToUS(10), 0, nil)
+	tl.Slice("kmeans-1", "batch", MSToUS(30), MSToUS(250), 1, map[string]any{"node": "n0/g0"})
+	tl.Instant("NodeDown", "chaos", MSToUS(120), 1, map[string]any{"detail": "crash"})
+	tl.Counter("queue_depth", MSToUS(100), 0, map[string]any{"pending": 4})
+	return tl
+}
+
+func TestTimelineWriteJSONRoundTrip(t *testing.T) {
+	tl := buildTimeline()
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Envelope shape Chrome/Perfetto accept.
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := env["traceEvents"]; !ok {
+		t.Fatal("missing traceEvents")
+	}
+	got, err := ReadTimelineJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tl.Events) {
+		t.Fatalf("got %d events, want %d", len(got), len(tl.Events))
+	}
+	if got[5].Name != "NodeDown" || got[5].Ph != PhaseInstant || got[5].TS != 120000 {
+		t.Errorf("event 5 = %+v", got[5])
+	}
+	// Deterministic output: encoding the same timeline twice is identical.
+	var again bytes.Buffer
+	if err := tl.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("timeline encoding is not deterministic")
+	}
+}
+
+func TestCollectorSortsRunsAndStampsKeys(t *testing.T) {
+	c := NewCollector()
+	c.Add(RunArtifacts{Key: "b-run", Decisions: []DecisionRecord{{Pod: "p2"}}, Timeline: buildTimeline()})
+	c.Add(RunArtifacts{Key: "a-run", Decisions: []DecisionRecord{{Pod: "p1"}}, Timeline: buildTimeline()})
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	runs := c.Runs()
+	if runs[0].Key != "a-run" || runs[1].Key != "b-run" {
+		t.Fatalf("runs not sorted: %v, %v", runs[0].Key, runs[1].Key)
+	}
+
+	var log bytes.Buffer
+	if err := c.WriteDecisionLog(&log); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadDecisionJSONL(bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Run != "a-run" || recs[0].Pod != "p1" || recs[1].Run != "b-run" {
+		t.Errorf("decision log order/stamp wrong: %+v", recs)
+	}
+
+	var tlBuf bytes.Buffer
+	if err := c.WriteTimeline(&tlBuf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTimelineJSON(bytes.NewReader(tlBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First event of each run block is its process_name metadata.
+	if evs[0].PID != 1 || !reflect.DeepEqual(evs[0].Args, map[string]any{"name": "a-run"}) {
+		t.Errorf("first process meta = %+v", evs[0])
+	}
+	half := len(evs) / 2
+	if evs[half].PID != 2 || !reflect.DeepEqual(evs[half].Args, map[string]any{"name": "b-run"}) {
+		t.Errorf("second process meta = %+v", evs[half])
+	}
+	for i, ev := range evs {
+		want := 1
+		if i >= half {
+			want = 2
+		}
+		if ev.PID != want {
+			t.Errorf("event %d pid = %d, want %d", i, ev.PID, want)
+		}
+	}
+}
+
+func TestCollectorEmptyTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewCollector().WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTimelineJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Errorf("expected empty traceEvents, got %d", len(evs))
+	}
+}

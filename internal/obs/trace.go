@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Candidate outcomes recorded in a scheduling decision trace. The reject
+// reasons mirror the gates of Algorithm 1 in order: capacity, SM ceiling,
+// SLO admission, affinity, the Spearman correlation gate, and the two ways
+// the forecast fallback can refuse.
+const (
+	OutcomePlaced         = "placed"                     // candidate accepted on the normal path
+	OutcomePlacedForecast = "placed-forecast"            // correlation failed, AR(1) forecast admitted
+	OutcomePlacedStale    = "placed-stale-exclusive"     // degraded mode: exclusive full-peak placement
+	RejectStaleExclusive  = "stale-requires-exclusive"   // stale node already occupied or claimed
+	RejectFreeMem         = "insufficient-free-memory"   // reservation exceeds planned free memory
+	RejectSMCap           = "sm-ceiling"                 // batch SM demand over the co-location cap
+	RejectSLO             = "slo-risk"                   // predicted LC completion outside the SLO margin
+	RejectAffinity        = "affinity"                   // pod affinity rules exclude the device
+	RejectCorrelation     = "correlated-peaks"           // Spearman ρ at or above the threshold
+	RejectNoTrend         = "forecast-no-trend"          // series too short or autocorrelation ≤ 0
+	RejectForecastShort   = "forecast-insufficient-free" // predicted free memory below the pod's peak
+)
+
+// CandidateTrace is one node considered for one pod, with the exact gate
+// that accepted or rejected it.
+type CandidateTrace struct {
+	GPU       string  `json:"gpu"`
+	FreeMB    float64 `json:"free_mb"`
+	PlannedSM float64 `json:"planned_sm"`
+	Stale     bool    `json:"stale,omitempty"`
+	Outcome   string  `json:"outcome"`
+	// Rho is the Spearman correlation of the pod's upcoming memory series
+	// against the node window, when the gate computed one.
+	Rho *float64 `json:"rho,omitempty"`
+	// ForecastMB is the AR(1) prediction Ŷ of next-interval node memory,
+	// when the forecast path ran.
+	ForecastMB *float64 `json:"forecast_mb,omitempty"`
+	// ForecastFreeMB is capacity − Ŷ, the free memory the forecast promises.
+	ForecastFreeMB *float64 `json:"forecast_free_mb,omitempty"`
+}
+
+// DecisionRecord is the per-pod placement audit record: every candidate the
+// scheduler considered and why each was taken or skipped.
+type DecisionRecord struct {
+	// Run labels the simulation run (experiment key + seed); stamped by the
+	// Collector when runs are merged.
+	Run string `json:"run,omitempty"`
+	// At is the simulated decision time in milliseconds.
+	At        int64  `json:"at_ms"`
+	Scheduler string `json:"scheduler"`
+	Pod       string `json:"pod"`
+	Class     string `json:"class"`
+	// ReserveMB is the harvested reservation the scheduler computed.
+	ReserveMB float64 `json:"reserve_mb"`
+	// PeakSMPct is the pod's peak SM demand from its profile.
+	PeakSMPct float64 `json:"peak_sm_pct"`
+	Placed    bool    `json:"placed"`
+	// GPU is the chosen device ("" when the pod stayed queued).
+	GPU        string           `json:"gpu,omitempty"`
+	Candidates []CandidateTrace `json:"candidates,omitempty"`
+}
+
+// Tracer receives placement audit records. Implementations must be safe for
+// use from the single simulation goroutine that owns the run; the JSONL and
+// buffer tracers are additionally safe for concurrent use so one sink can
+// serve a parallel sweep.
+type Tracer interface {
+	Trace(rec DecisionRecord)
+}
+
+// nopTracer drops every record.
+type nopTracer struct{}
+
+func (nopTracer) Trace(DecisionRecord) {}
+
+// Nop is the default no-op tracer.
+var Nop Tracer = nopTracer{}
+
+// DecisionTraceable is implemented by schedulers that can emit placement
+// audit records.
+type DecisionTraceable interface {
+	SetDecisionTracer(Tracer)
+}
+
+// JSONLTracer writes one JSON object per line. Safe for concurrent use;
+// each record is written atomically.
+type JSONLTracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONLTracer wraps w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return &JSONLTracer{w: w} }
+
+// Trace implements Tracer.
+func (t *JSONLTracer) Trace(rec DecisionRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.err = err
+		return
+	}
+	b = append(b, '\n')
+	_, t.err = t.w.Write(b)
+}
+
+// Err returns the first write or encode error, if any.
+func (t *JSONLTracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// WriteDecisionJSONL renders records as JSONL.
+func WriteDecisionJSONL(w io.Writer, recs []DecisionRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDecisionJSONL parses a JSONL decision log (the inverse of
+// WriteDecisionJSONL / JSONLTracer), skipping blank lines.
+func ReadDecisionJSONL(r io.Reader) ([]DecisionRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []DecisionRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec DecisionRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("obs: decision log line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: decision log: %w", err)
+	}
+	return out, nil
+}
+
+// BufTracer accumulates records in memory, preserving emission order. Safe
+// for concurrent use (each simulation run normally owns its own buffer).
+type BufTracer struct {
+	mu   sync.Mutex
+	recs []DecisionRecord
+}
+
+// NewBufTracer returns an empty buffer tracer.
+func NewBufTracer() *BufTracer { return &BufTracer{} }
+
+// Trace implements Tracer.
+func (t *BufTracer) Trace(rec DecisionRecord) {
+	t.mu.Lock()
+	t.recs = append(t.recs, rec)
+	t.mu.Unlock()
+}
+
+// Records returns a copy of the accumulated records.
+func (t *BufTracer) Records() []DecisionRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]DecisionRecord(nil), t.recs...)
+}
+
+// Len returns the number of buffered records.
+func (t *BufTracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.recs)
+}

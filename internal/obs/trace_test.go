@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func f64(v float64) *float64 { return &v }
+
+func sampleRecords() []DecisionRecord {
+	return []DecisionRecord{
+		{
+			At: 1230, Scheduler: "PP", Pod: "kmeans-7", Class: "batch",
+			ReserveMB: 2048, PeakSMPct: 35, Placed: true, GPU: "n2/g0",
+			Candidates: []CandidateTrace{
+				{GPU: "n0/g0", FreeMB: 100, PlannedSM: 90, Outcome: RejectFreeMem},
+				{GPU: "n1/g0", FreeMB: 9000, PlannedSM: 10, Outcome: RejectCorrelation, Rho: f64(0.83)},
+				{GPU: "n2/g0", FreeMB: 8000, PlannedSM: 20, Outcome: OutcomePlacedForecast,
+					Rho: f64(0.62), ForecastMB: f64(5100.5), ForecastFreeMB: f64(11283.5)},
+			},
+		},
+		{
+			At: 1240, Scheduler: "CBP", Pod: "resnet50-q-12", Class: "latency-critical",
+			ReserveMB: 512, PeakSMPct: 55, Placed: false,
+			Candidates: []CandidateTrace{
+				{GPU: "n0/g0", FreeMB: 400, PlannedSM: 95, Outcome: RejectSLO},
+				{GPU: "n3/g0", FreeMB: 0, PlannedSM: 0, Stale: true, Outcome: RejectStaleExclusive},
+			},
+		},
+	}
+}
+
+// TestJSONLRoundTrip: emit → parse → re-emit must be byte-identical.
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var first bytes.Buffer
+	if err := WriteDecisionJSONL(&first, recs); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadDecisionJSONL(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, recs) {
+		t.Fatalf("parsed records differ:\n got %+v\nwant %+v", parsed, recs)
+	}
+	var second bytes.Buffer
+	if err := WriteDecisionJSONL(&second, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("re-emitted JSONL differs:\n first %q\nsecond %q", first.String(), second.String())
+	}
+	if lines := strings.Count(first.String(), "\n"); lines != len(recs) {
+		t.Errorf("got %d lines, want %d", lines, len(recs))
+	}
+}
+
+func TestJSONLTracerMatchesWriter(t *testing.T) {
+	recs := sampleRecords()
+	var streamed bytes.Buffer
+	tr := NewJSONLTracer(&streamed)
+	for _, rec := range recs {
+		tr.Trace(rec)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var batch bytes.Buffer
+	if err := WriteDecisionJSONL(&batch, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), batch.Bytes()) {
+		t.Errorf("streamed and batch JSONL differ:\n%q\nvs\n%q", streamed.String(), batch.String())
+	}
+}
+
+func TestReadDecisionJSONLSkipsBlanksAndReportsErrors(t *testing.T) {
+	got, err := ReadDecisionJSONL(strings.NewReader("\n{\"pod\":\"a\",\"at_ms\":1,\"scheduler\":\"PP\",\"class\":\"batch\",\"reserve_mb\":0,\"peak_sm_pct\":0,\"placed\":false}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Pod != "a" {
+		t.Fatalf("got %+v", got)
+	}
+	if _, err := ReadDecisionJSONL(strings.NewReader("not-json\n")); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestBufTracer(t *testing.T) {
+	b := NewBufTracer()
+	for _, rec := range sampleRecords() {
+		b.Trace(rec)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	recs := b.Records()
+	recs[0].Pod = "mutated"
+	if b.Records()[0].Pod == "mutated" {
+		t.Error("Records must return a copy")
+	}
+}
+
+func TestNopTracer(t *testing.T) {
+	Nop.Trace(DecisionRecord{Pod: "x"}) // must not panic
+}

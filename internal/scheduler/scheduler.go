@@ -29,10 +29,62 @@ import (
 	"kubeknots/internal/k8s"
 	"kubeknots/internal/knots"
 	"kubeknots/internal/metrics"
+	"kubeknots/internal/obs"
 	"kubeknots/internal/qos"
 	"kubeknots/internal/sim"
 	"kubeknots/internal/workloads"
 )
+
+// audit accumulates one pod's placement audit record while the candidate
+// loop runs. A nil *audit (tracing off) makes every step a no-op, so the
+// scheduling hot path pays one pointer check per gate — and, critically,
+// tracing can never alter a decision: the audit only observes values the
+// scheduler already computed.
+type audit struct{ rec obs.DecisionRecord }
+
+// newAudit returns nil when no tracer is attached.
+func newAudit(tr obs.Tracer, now sim.Time, schedName string, pod *k8s.Pod, reserveMB, peakSM float64) *audit {
+	if tr == nil {
+		return nil
+	}
+	return &audit{rec: obs.DecisionRecord{
+		At:        int64(now),
+		Scheduler: schedName,
+		Pod:       pod.Name,
+		Class:     pod.Class.String(),
+		ReserveMB: reserveMB,
+		PeakSMPct: peakSM,
+	}}
+}
+
+// step records one candidate-node gate outcome.
+func (a *audit) step(ct obs.CandidateTrace) {
+	if a == nil {
+		return
+	}
+	a.rec.Candidates = append(a.rec.Candidates, ct)
+}
+
+// emit finalizes and sends the record (placed == the pod got a device).
+func (a *audit) emit(tr obs.Tracer, g *cluster.GPU) {
+	if a == nil {
+		return
+	}
+	if g != nil {
+		a.rec.Placed = true
+		a.rec.GPU = g.ID()
+	}
+	tr.Trace(a.rec)
+}
+
+// optFloat boxes a computed value (Spearman ρ, forecast) for an optional
+// trace field; !ok yields nil, meaning "not evaluated".
+func optFloat(v float64, ok bool) *float64 {
+	if !ok {
+		return nil
+	}
+	return &v
+}
 
 // resample stretches or shrinks xs to exactly n samples by nearest-index
 // lookup, so profile series can be correlated against live node windows of
@@ -183,9 +235,15 @@ type CBP struct {
 	// learned percentiles and early-window series once an image has
 	// completed runs, falling back to the static profile before that.
 	Learned *knots.Profiler
+	// Trace, when set, receives a per-pod placement audit record for every
+	// scheduling attempt (nil = no tracing, zero overhead).
+	Trace obs.Tracer
 
 	profCache map[string][]float64
 }
+
+// SetDecisionTracer implements obs.DecisionTraceable.
+func (c *CBP) SetDecisionTracer(t obs.Tracer) { c.Trace = t }
 
 // Name implements k8s.Scheduler.
 func (c *CBP) Name() string { return "CBP" }
@@ -300,20 +358,28 @@ func (c *CBP) staleAdmit(pod *k8s.Pod, st knots.GPUStat, pl *planner) (float64, 
 // enough structure to correlate; latency-critical pods are co-located after
 // harvesting (Section IV-C).
 func (c *CBP) corrOK(pod *k8s.Pod, st knots.GPUStat) bool {
+	_, _, ok := c.corrCheck(pod, st)
+	return ok
+}
+
+// corrCheck is corrOK with the computed ρ exposed for decision tracing:
+// computed reports whether a correlation was actually evaluated (batch pod,
+// enough node history), and ok whether the gate passes.
+func (c *CBP) corrCheck(pod *k8s.Pod, st knots.GPUStat) (rho float64, computed, ok bool) {
 	corrTh, _, _, _ := c.params()
 	if pod.Class != workloads.Batch {
-		return true
+		return 0, false, true
 	}
 	node := st.MemSeries
 	if len(node) < 8 || metrics.Variance(node) == 0 {
-		return true // empty or flat node: nothing to correlate against
+		return 0, false, true // empty or flat node: nothing to correlate against
 	}
 	prof := resample(c.upcomingMemSeries(pod.Profile), len(node))
 	rho, err := metrics.SpearmanRho(prof, node)
 	if err != nil {
-		return true
+		return 0, false, true
 	}
-	return rho < corrTh
+	return rho, true, rho < corrTh
 }
 
 // upcomingMemSeries returns (and caches) the first DefaultWindow of a
@@ -381,35 +447,50 @@ func (c *CBP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) [
 	for _, pod := range order {
 		reserve := c.ReserveFor(pod)
 		peakSM := pod.Profile.PeakSMPct()
+		rec := newAudit(c.Trace, now, "CBP", pod, reserve, peakSM)
+		var placed *cluster.GPU
 		for _, st := range candidates(snap, pl) {
 			g := st.GPU
+			free, planned := pl.free[g], pl.sm[g]
 			if st.Stale {
 				if r, ok := c.staleAdmit(pod, st, pl); ok {
+					rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Stale: true, Outcome: obs.OutcomePlacedStale})
 					out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: r})
 					pl.commit(g, r, peakSM)
+					placed = g
 					break
 				}
+				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Stale: true, Outcome: obs.RejectStaleExclusive})
 				continue
 			}
-			if pl.free[g] < reserve {
+			if free < reserve {
+				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectFreeMem})
 				continue
 			}
-			if pod.Class == workloads.Batch && pl.sm[g]+peakSM > maxSM {
+			if pod.Class == workloads.Batch && planned+peakSM > maxSM {
+				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectSMCap})
 				continue
 			}
-			if pod.Class == workloads.LatencyCritical && !c.lcFits(pod, pl.sm[g]) {
+			if pod.Class == workloads.LatencyCritical && !c.lcFits(pod, planned) {
+				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectSLO})
 				continue
 			}
 			if !k8s.FitsAffinity(pod, g, st.Resident) {
+				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectAffinity})
 				continue
 			}
-			if !c.corrOK(pod, st) {
+			rho, computed, ok := c.corrCheck(pod, st)
+			if !ok {
+				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectCorrelation, Rho: optFloat(rho, computed)})
 				continue
 			}
+			rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.OutcomePlaced, Rho: optFloat(rho, computed)})
 			out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
 			pl.commit(g, reserve, peakSM)
+			placed = g
 			break
 		}
+		rec.emit(c.Trace, placed)
 	}
 	return out
 }
@@ -445,45 +526,67 @@ func (p *PP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []
 	for _, pod := range order {
 		reserve := p.ReserveFor(pod)
 		peakSM := pod.Profile.PeakSMPct()
+		rec := newAudit(p.Trace, now, "PP", pod, reserve, peakSM)
+		var placed *cluster.GPU
 		for _, st := range candidates(snap, pl) {
 			g := st.GPU
+			free, planned := pl.free[g], pl.sm[g]
 			if st.Stale {
 				// Degraded mode: no correlation, no forecast — a rotten window
 				// licenses neither. Conservative exclusive placement only.
 				if r, ok := p.staleAdmit(pod, st, pl); ok {
+					rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Stale: true, Outcome: obs.OutcomePlacedStale})
 					out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: r})
 					pl.commit(g, r, peakSM)
+					placed = g
 					break
 				}
+				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Stale: true, Outcome: obs.RejectStaleExclusive})
 				continue
 			}
-			if pl.free[g] < reserve {
+			if free < reserve {
+				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectFreeMem})
 				continue
 			}
-			if pod.Class == workloads.Batch && pl.sm[g]+peakSM > maxSM {
+			if pod.Class == workloads.Batch && planned+peakSM > maxSM {
+				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectSMCap})
 				continue
 			}
-			if pod.Class == workloads.LatencyCritical && !p.lcFits(pod, pl.sm[g]) {
+			if pod.Class == workloads.LatencyCritical && !p.lcFits(pod, planned) {
+				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectSLO})
 				continue
 			}
 			if !k8s.FitsAffinity(pod, g, st.Resident) {
+				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectAffinity})
 				continue
 			}
-			if p.corrOK(pod, st) {
+			rho, rhoComputed, ok := p.corrCheck(pod, st)
+			if ok {
 				// Algorithm 1: Can_Co-locate → Ship_Container.
+				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.OutcomePlaced, Rho: optFloat(rho, rhoComputed)})
 				out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
 				pl.commit(g, reserve, peakSM)
+				placed = g
 				break
 			}
 			// Correlation gate failed: try the forecast path. A positive
 			// autocorrelation on the node's memory series licenses an AR(1)
 			// forecast; ship if predicted free memory covers the pod's peak.
-			if p.forecastAdmits(st, pod.Profile.PeakMemMB()) {
+			pred, predComputed, admit, outcome := p.forecastCheck(st, pod.Profile.PeakMemMB())
+			ct := obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: outcome, Rho: optFloat(rho, rhoComputed)}
+			if predComputed {
+				ct.ForecastMB = optFloat(pred, true)
+				ct.ForecastFreeMB = optFloat(st.GPU.MemCapMB-pred, true)
+			}
+			rec.step(ct)
+			if admit {
 				out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
 				pl.commit(g, reserve, peakSM)
+				placed = g
 				break
 			}
 		}
+		rec.emit(p.Trace, placed)
 	}
 	return out
 }
@@ -491,13 +594,22 @@ func (p *PP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []
 // forecastAdmits implements the else-branch of Algorithm 1's SCHEDULE
 // procedure.
 func (p *PP) forecastAdmits(st knots.GPUStat, needMB float64) bool {
+	_, _, admit, _ := p.forecastCheck(st, needMB)
+	return admit
+}
+
+// forecastCheck is forecastAdmits with the forecast exposed for decision
+// tracing: computed reports whether a prediction was actually produced
+// (enough history, positive trend, model fit), and outcome names the
+// Algorithm-1 branch taken.
+func (p *PP) forecastCheck(st knots.GPUStat, needMB float64) (pred float64, computed, admit bool, outcome string) {
 	series := st.MemSeries
 	if len(series) < 8 {
-		return false
+		return 0, false, false, obs.RejectNoTrend
 	}
 	r1, err := metrics.AutoCorrelation(series, 1)
 	if err != nil || r1 <= 0 {
-		return false // trendless or too-short series: cannot forecast
+		return 0, false, false, obs.RejectNoTrend // trendless or too-short series: cannot forecast
 	}
 	var m forecast.Model
 	if p.NewModel != nil {
@@ -506,8 +618,11 @@ func (p *PP) forecastAdmits(st knots.GPUStat, needMB float64) bool {
 		m = &forecast.AR1{}
 	}
 	if err := m.Fit(series); err != nil {
-		return false
+		return 0, false, false, obs.RejectNoTrend
 	}
-	pred := forecast.Clamp(m.Predict(), 0, st.GPU.MemCapMB)
-	return st.GPU.MemCapMB-pred >= needMB
+	pred = forecast.Clamp(m.Predict(), 0, st.GPU.MemCapMB)
+	if st.GPU.MemCapMB-pred >= needMB {
+		return pred, true, true, obs.OutcomePlacedForecast
+	}
+	return pred, true, false, obs.RejectForecastShort
 }

@@ -1,0 +1,175 @@
+package scheduler
+
+import (
+	"reflect"
+	"testing"
+
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/obs"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+var (
+	_ obs.DecisionTraceable = (*CBP)(nil)
+	_ obs.DecisionTraceable = (*PP)(nil)
+)
+
+func TestCBPTraceRecordsCorrelationRejection(t *testing.T) {
+	// Node 0 runs kmeans with a tiny reserve so it sorts first (most free
+	// memory) yet correlates with the incoming kmeans pod; node 1 runs an
+	// uncorrelated myocyte. The audit must show the correlated-peaks
+	// rejection — with its ρ — before the placement on node 1.
+	r := newRig(2)
+	r.place(r.cl.GPUs()[0], workloads.KMeans, 500)
+	r.place(r.cl.GPUs()[1], workloads.Myocyte, 3000)
+	snap := r.warm(6 * sim.Second)
+	var c CBP
+	buf := obs.NewBufTracer()
+	c.SetDecisionTracer(buf)
+	pod := r.pod(workloads.RodiniaProfile(workloads.KMeans))
+	ds := c.Schedule(snap.At, []*k8s.Pod{pod}, snap)
+	if len(ds) != 1 || ds[0].GPU != r.cl.GPUs()[1] {
+		t.Fatalf("unexpected decisions: %+v", ds)
+	}
+	recs := buf.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Scheduler != "CBP" || rec.Pod != pod.Name || !rec.Placed || rec.GPU != r.cl.GPUs()[1].ID() {
+		t.Fatalf("record header wrong: %+v", rec)
+	}
+	if rec.At != int64(snap.At) {
+		t.Errorf("record at = %d, want %d", rec.At, int64(snap.At))
+	}
+	if rec.Class != "batch" || rec.ReserveMB <= 0 {
+		t.Errorf("class/reserve wrong: %+v", rec)
+	}
+	var sawCorr, sawPlaced bool
+	for _, ct := range rec.Candidates {
+		switch ct.Outcome {
+		case obs.RejectCorrelation:
+			sawCorr = true
+			if ct.Rho == nil || *ct.Rho < 0.5 {
+				t.Errorf("correlation rejection must carry ρ ≥ threshold: %+v", ct)
+			}
+			if ct.GPU != r.cl.GPUs()[0].ID() {
+				t.Errorf("rejection on wrong device: %+v", ct)
+			}
+		case obs.OutcomePlaced:
+			sawPlaced = true
+			if ct.GPU != rec.GPU {
+				t.Errorf("placed candidate %q != record GPU %q", ct.GPU, rec.GPU)
+			}
+			if ct.FreeMB <= 0 {
+				t.Errorf("placed candidate should record pre-commit free memory: %+v", ct)
+			}
+		}
+	}
+	if !sawCorr || !sawPlaced {
+		t.Fatalf("want correlated-peaks rejection and a placement, got %+v", rec.Candidates)
+	}
+}
+
+func TestPPTraceRecordsForecastPath(t *testing.T) {
+	// Same scenario as TestPPForecastAdmitsWhenCorrGateFails: correlation
+	// refuses the only node, the forecast admits — the audit must show the
+	// forecast branch with Ŷ and predicted free memory populated.
+	r := newRig(1)
+	r.place(r.cl.GPUs()[0], workloads.KMeans, 3000)
+	snap := r.warm(6 * sim.Second)
+	p := PP{CBP: CBP{MaxSM: 300}}
+	buf := obs.NewBufTracer()
+	p.SetDecisionTracer(buf)
+	pod := r.pod(workloads.RodiniaProfile(workloads.KMeans))
+	ds := p.Schedule(snap.At, []*k8s.Pod{pod}, snap)
+	if len(ds) != 1 {
+		t.Fatal("PP's forecast path should admit the pod")
+	}
+	recs := buf.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Scheduler != "PP" || !rec.Placed {
+		t.Fatalf("record header wrong: %+v", rec)
+	}
+	last := rec.Candidates[len(rec.Candidates)-1]
+	if last.Outcome != obs.OutcomePlacedForecast {
+		t.Fatalf("final candidate outcome = %q, want %q", last.Outcome, obs.OutcomePlacedForecast)
+	}
+	if last.Rho == nil || *last.Rho < 0.5 {
+		t.Errorf("forecast branch should record the failing ρ: %+v", last)
+	}
+	if last.ForecastMB == nil || last.ForecastFreeMB == nil {
+		t.Fatalf("forecast branch must carry Ŷ and predicted free: %+v", last)
+	}
+	if *last.ForecastFreeMB < pod.Profile.PeakMemMB() {
+		t.Errorf("admitted forecast free %v below peak need %v",
+			*last.ForecastFreeMB, pod.Profile.PeakMemMB())
+	}
+}
+
+func TestPPTraceUnplacedPod(t *testing.T) {
+	// Memory-tight single node (TestPPForecastRefusesWhenMemoryTight shape is
+	// heavy to rebuild; instead saturate free memory via a huge reserve): the
+	// record must be emitted with Placed=false and only rejections.
+	r := newRig(1)
+	r.place(r.cl.GPUs()[0], workloads.KMeans, workloads.GPUMemMB-100)
+	snap := r.warm(6 * sim.Second)
+	var p PP
+	buf := obs.NewBufTracer()
+	p.SetDecisionTracer(buf)
+	pod := r.pod(workloads.RodiniaProfile(workloads.MummerGPU))
+	if ds := p.Schedule(snap.At, []*k8s.Pod{pod}, snap); len(ds) != 0 {
+		t.Fatalf("expected refusal, got %+v", ds)
+	}
+	recs := buf.Records()
+	if len(recs) != 1 || recs[0].Placed || recs[0].GPU != "" {
+		t.Fatalf("want one unplaced record, got %+v", recs)
+	}
+	for _, ct := range recs[0].Candidates {
+		switch ct.Outcome {
+		case obs.OutcomePlaced, obs.OutcomePlacedForecast, obs.OutcomePlacedStale:
+			t.Fatalf("unplaced pod has a placement outcome: %+v", ct)
+		}
+	}
+}
+
+// TestTracingDoesNotAlterDecisions is the determinism guard at the scheduler
+// level: the same snapshot and queue must yield identical decisions with and
+// without a tracer attached.
+func TestTracingDoesNotAlterDecisions(t *testing.T) {
+	r := newRig(3)
+	r.place(r.cl.GPUs()[0], workloads.KMeans, 3000)
+	r.place(r.cl.GPUs()[1], workloads.Leukocyte, 3000)
+	snap := r.warm(6 * sim.Second)
+	pods := []*k8s.Pod{
+		r.pod(workloads.RodiniaProfile(workloads.KMeans)),
+		r.pod(workloads.RodiniaProfile(workloads.LUD)),
+		r.pod(workloads.Inference(workloads.Face).QueryProfile(1, false)),
+		r.pod(workloads.RodiniaProfile(workloads.MummerGPU)),
+	}
+	type key struct {
+		pod     string
+		gpu     string
+		reserve float64
+	}
+	run := func(tr obs.Tracer) []key {
+		p := PP{CBP: CBP{Trace: tr}}
+		var out []key
+		for _, d := range p.Schedule(snap.At, pods, snap) {
+			out = append(out, key{d.Pod.Name, d.GPU.ID(), d.ReserveMB})
+		}
+		return out
+	}
+	plain := run(nil)
+	traced := run(obs.NewBufTracer())
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("tracing changed decisions:\nplain  %+v\ntraced %+v", plain, traced)
+	}
+	if len(plain) == 0 {
+		t.Fatal("scenario placed nothing; test is vacuous")
+	}
+}

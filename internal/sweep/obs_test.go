@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"kubeknots/internal/obs"
+)
+
+// TestSweepRegistryRace drives a parallel sweep whose jobs hammer the
+// process-wide registry while concurrent expositions render it — the -race
+// stress test for metric updates during a sweep.
+func TestSweepRegistryRace(t *testing.T) {
+	cv := obs.Default().CounterVec("sweep_test_ops_total", "Race-test ops.", "job")
+	hv := obs.Default().HistogramVec("sweep_test_wall_seconds", "Race-test wall.",
+		obs.WallBuckets, "job")
+
+	const jobs, iters = 16, 500
+	js := make([]Job[int], jobs)
+	keys := []string{"a", "b", "c", "d"}
+	for i := range js {
+		key := keys[i%len(keys)]
+		js[i] = Job[int]{Key: key, Run: func(ctx context.Context) (int, error) {
+			c, h := cv.With(key), hv.With(key)
+			for n := 0; n < iters; n++ {
+				c.Inc()
+				h.Observe(0.001 * float64(n%10))
+			}
+			return iters, nil
+		}}
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := obs.Default().WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	results := Run(context.Background(), js, Options[int]{Parallel: 8})
+	close(stop)
+	<-done
+
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %s: %v", r.Key, r.Err)
+		}
+	}
+	var total float64
+	for _, key := range keys {
+		total += cv.With(key).Value()
+	}
+	if want := float64(jobs * iters); total != want {
+		t.Errorf("total ops = %v, want %v", total, want)
+	}
+}

@@ -23,6 +23,22 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"kubeknots/internal/obs"
+)
+
+// Pool telemetry on the default registry: job throughput, panic isolation
+// hits, and where a sweep spent the machine (wall time and allocation per
+// job). Never part of experiment output.
+var (
+	mJobs = obs.Default().CounterVec("sweep_jobs_total",
+		"Sweep jobs finished, by outcome.", "outcome")
+	mPanics = obs.Default().Counter("sweep_panics_total",
+		"Jobs that panicked and were captured as their result error.")
+	mJobWall = obs.Default().Histogram("sweep_job_wall_seconds",
+		"Per-job wall-clock execution time.", obs.WallBuckets)
+	mJobAlloc = obs.Default().Histogram("sweep_job_alloc_bytes",
+		"Approximate per-job heap allocation.", obs.BytesBuckets)
 )
 
 // Job is one unit of a sweep: a stable key (used in stats output and error
@@ -163,7 +179,15 @@ func runOne[T any](ctx context.Context, job Job[T], worker int) (res Result[T]) 
 			stack := make([]byte, 64<<10)
 			stack = stack[:runtime.Stack(stack, false)]
 			res.Err = &PanicError{Key: job.Key, Value: r, Stack: stack}
+			mPanics.Inc()
 		}
+		outcome := "ok"
+		if res.Err != nil {
+			outcome = "error"
+		}
+		mJobs.With(outcome).Inc()
+		mJobWall.Observe(res.Wall.Seconds())
+		mJobAlloc.Observe(float64(res.AllocBytes))
 	}()
 	res.Value, res.Err = job.Run(ctx)
 	return res
