@@ -13,13 +13,16 @@ import (
 	"strings"
 	"testing"
 
+	"kubeknots/internal/cluster"
 	"kubeknots/internal/dlsim"
 	"kubeknots/internal/experiments"
 	"kubeknots/internal/forecast"
+	"kubeknots/internal/knots"
 	"kubeknots/internal/metrics"
 	"kubeknots/internal/scheduler"
 	"kubeknots/internal/sim"
 	tracepkg "kubeknots/internal/trace"
+	"kubeknots/internal/tsdb"
 	"kubeknots/internal/workloads"
 )
 
@@ -257,5 +260,49 @@ func BenchmarkAblationLearnedProfiles(b *testing.B) {
 func BenchmarkAblationSLOFraction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.AblationSLOFraction(benchClusterCfg(), 0.8, 1.0)
+	}
+}
+
+func BenchmarkCBPScheduleRound(b *testing.B) {
+	mix, _ := workloads.MixByID(1)
+	for i := 0; i < b.N; i++ {
+		experiments.RunCluster(&scheduler.CBP{}, mix, experiments.ClusterConfig{
+			Horizon: 15 * sim.Second,
+		})
+	}
+}
+
+func BenchmarkAggregatorSnapshot(b *testing.B) {
+	cl := cluster.New(cluster.DefaultConfig())
+	mon := knots.NewMonitor(cl, 0)
+	// Warm every series with a window of heartbeats so Snapshot walks real
+	// data, then measure the per-round extraction alone.
+	for hb := 0; hb < 100; hb++ {
+		mon.Sample(sim.Time(hb) * 100 * sim.Millisecond)
+	}
+	agg := knots.NewAggregator(mon)
+	now := 100 * 100 * sim.Millisecond
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		agg.Snapshot(now)
+	}
+}
+
+func BenchmarkTSDBWindowRead(b *testing.B) {
+	db := tsdb.New(0)
+	for i := 0; i < 5000; i++ {
+		db.Append("m", sim.Time(i)*sim.Millisecond, float64(i%97))
+	}
+	var vals []float64
+	var pts []tsdb.Point
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vals = db.ValuesInto(vals[:0], "m", 0, 5*sim.Second)
+		pts = db.DownsampleInto(pts[:0], "m", 0, 5*sim.Second, 100*sim.Millisecond)
+	}
+	if len(vals) == 0 || len(pts) == 0 {
+		b.Fatal("benchmark read nothing")
 	}
 }

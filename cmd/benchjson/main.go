@@ -7,11 +7,19 @@
 // (ns/op, B/op, allocs/op) and every custom b.ReportMetric value under
 // "metrics". Results are sorted by name and carry no timestamps or host
 // details, so re-running on the same machine produces a minimal diff.
+//
+// With -baseline, benchjson instead diffs the fresh run against a committed
+// baseline and exits non-zero when ns/op or allocs/op regresses by more than
+// -threshold (a fraction; 0.25 = 25%):
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem |
+//	    benchjson -baseline BENCH_baseline.json -threshold 0.25 -match Schedule,Ablation
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -92,7 +100,95 @@ func trimProcSuffix(name string) string {
 	return name[:i]
 }
 
+// delta is one benchmark's fresh-vs-baseline comparison on a single measure.
+type delta struct {
+	Name    string
+	Measure string
+	Base    float64
+	Fresh   float64
+	Ratio   float64 // fresh/base − 1; positive = regression
+}
+
+// compare diffs fresh results against the baseline on ns/op and allocs/op.
+// Only names containing one of the match substrings are compared (all names
+// when match is empty); benchmarks missing from either side are skipped, so
+// adding or retiring a benchmark never fails the gate. A zero baseline value
+// is skipped too — there is no meaningful ratio against zero.
+func compare(base, fresh []Result, match []string) []delta {
+	byName := make(map[string]Result, len(base))
+	for _, r := range base {
+		byName[r.Name] = r
+	}
+	var out []delta
+	for _, f := range fresh {
+		if !matches(f.Name, match) {
+			continue
+		}
+		b, ok := byName[f.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 {
+			out = append(out, delta{f.Name, "ns/op", b.NsPerOp, f.NsPerOp, f.NsPerOp/b.NsPerOp - 1})
+		}
+		if b.AllocsPerOp > 0 {
+			out = append(out, delta{f.Name, "allocs/op", b.AllocsPerOp, f.AllocsPerOp, f.AllocsPerOp/b.AllocsPerOp - 1})
+		}
+	}
+	return out
+}
+
+func matches(name string, match []string) bool {
+	if len(match) == 0 {
+		return true
+	}
+	for _, m := range match {
+		if strings.Contains(name, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// runDiff prints the comparison table to w and reports whether any measure
+// regressed past threshold.
+func runDiff(w io.Writer, base, fresh []Result, match []string, threshold float64) bool {
+	deltas := compare(base, fresh, match)
+	var failed bool
+	for _, d := range deltas {
+		mark := " "
+		if d.Ratio > threshold {
+			mark = "!"
+			failed = true
+		}
+		fmt.Fprintf(w, "%s %-44s %-9s %14.1f -> %14.1f  %+7.1f%%\n",
+			mark, d.Name, d.Measure, d.Base, d.Fresh, d.Ratio*100)
+	}
+	if len(deltas) == 0 {
+		fmt.Fprintln(w, "benchjson: no overlapping benchmarks to compare")
+	}
+	return failed
+}
+
+func readBaseline(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Result
+	if err := json.NewDecoder(f).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
 func main() {
+	baseline := flag.String("baseline", "", "baseline JSON to diff against instead of emitting JSON")
+	threshold := flag.Float64("threshold", 0.25, "max allowed fractional regression in ns/op or allocs/op")
+	match := flag.String("match", "", "comma-separated substrings selecting which benchmarks to gate (empty = all)")
+	flag.Parse()
+
 	results, err := parseBench(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -102,6 +198,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var sel []string
+		if *match != "" {
+			sel = strings.Split(*match, ",")
+		}
+		if runDiff(os.Stdout, base, results, sel, *threshold) {
+			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.0f%% threshold\n", *threshold*100)
+			os.Exit(1)
+		}
+		return
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {

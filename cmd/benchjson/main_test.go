@@ -61,3 +61,63 @@ func TestTrimProcSuffix(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 200, AllocsPerOp: 10},
+		{Name: "BenchmarkRetired", NsPerOp: 50},
+	}
+	fresh := []Result{
+		{Name: "BenchmarkA", NsPerOp: 110, AllocsPerOp: 2000}, // allocs doubled
+		{Name: "BenchmarkB", NsPerOp: 190, AllocsPerOp: 10},
+		{Name: "BenchmarkNew", NsPerOp: 5}, // not in baseline: skipped
+	}
+	deltas := compare(base, fresh, nil)
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4: %+v", len(deltas), deltas)
+	}
+	var worst delta
+	for _, d := range deltas {
+		if d.Ratio > worst.Ratio {
+			worst = d
+		}
+	}
+	if worst.Name != "BenchmarkA" || worst.Measure != "allocs/op" || worst.Ratio != 1.0 {
+		t.Fatalf("worst delta = %+v", worst)
+	}
+}
+
+func TestCompareMatchFilter(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkPPScheduleRound", NsPerOp: 100},
+		{Name: "BenchmarkFig9", NsPerOp: 100},
+	}
+	fresh := []Result{
+		{Name: "BenchmarkPPScheduleRound", NsPerOp: 500},
+		{Name: "BenchmarkFig9", NsPerOp: 500},
+	}
+	deltas := compare(base, fresh, []string{"ScheduleRound"})
+	if len(deltas) != 1 || deltas[0].Name != "BenchmarkPPScheduleRound" {
+		t.Fatalf("match filter leaked: %+v", deltas)
+	}
+}
+
+func TestRunDiffThreshold(t *testing.T) {
+	base := []Result{{Name: "BenchmarkA", NsPerOp: 100}}
+	var sb strings.Builder
+	if runDiff(&sb, base, []Result{{Name: "BenchmarkA", NsPerOp: 120}}, nil, 0.25) {
+		t.Fatal("20% slower must pass a 25% threshold")
+	}
+	sb.Reset()
+	if !runDiff(&sb, base, []Result{{Name: "BenchmarkA", NsPerOp: 130}}, nil, 0.25) {
+		t.Fatal("30% slower must fail a 25% threshold")
+	}
+	if !strings.Contains(sb.String(), "!") {
+		t.Fatalf("regressed row should be marked: %q", sb.String())
+	}
+	// Improvements never fail, no matter how large.
+	if runDiff(&sb, base, []Result{{Name: "BenchmarkA", NsPerOp: 1}}, nil, 0.25) {
+		t.Fatal("speedup must never fail the gate")
+	}
+}

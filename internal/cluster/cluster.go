@@ -265,15 +265,21 @@ func New(cfg Config) *Cluster {
 // GPUs returns all devices in node-major order.
 func (c *Cluster) GPUs() []*GPU { return c.gpus }
 
-// NodeGPUs returns the devices of one node.
+// NodeGPUs returns the devices of one node. Construction lays devices out
+// node-major with a fixed per-node count, so this is a capacity-capped
+// sub-slice of the device list — called every utilization sample, it must
+// not allocate.
 func (c *Cluster) NodeGPUs(node int) []*GPU {
-	var out []*GPU
-	for _, g := range c.gpus {
-		if g.Node == node {
-			out = append(out, g)
-		}
+	per := c.Cfg.GPUsPerNode
+	lo := node * per
+	if node < 0 || per <= 0 || lo >= len(c.gpus) {
+		return nil
 	}
-	return out
+	hi := lo + per
+	if hi > len(c.gpus) {
+		hi = len(c.gpus)
+	}
+	return c.gpus[lo:hi:hi]
 }
 
 // TickResult reports container state changes produced by one tick.

@@ -134,15 +134,27 @@ func (m *TheilSen) Fit(y []float64) error {
 		}
 	}
 	sort.Float64s(slopes)
-	m.b = slopes[len(slopes)/2]
+	m.b = median(slopes)
 	inters := make([]float64, len(y))
 	for i, v := range y {
 		inters[i] = v - m.b*float64(i)
 	}
 	sort.Float64s(inters)
-	m.a = inters[len(inters)/2]
+	m.a = median(inters)
 	m.n = len(y)
 	return nil
+}
+
+// median returns the median of an already-sorted, non-empty slice, averaging
+// the two middle elements for even lengths. Taking sorted[n/2] alone — the
+// upper middle element — would bias the Theil–Sen fit whenever the window
+// yields an even number of pairwise slopes.
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
 // Predict implements Model.

@@ -75,6 +75,44 @@ func TestTheilSenExactLine(t *testing.T) {
 	}
 }
 
+func TestTheilSenEvenMedian(t *testing.T) {
+	// Four points give C(4,2) = 6 pairwise slopes — an even count, where the
+	// median must average the two middle elements instead of taking the upper
+	// one. Series {0,1,2,9} → slopes {1,1,3,1,4,7}, sorted {1,1,1,3,4,7}:
+	// median (1+3)/2 = 2, where the old upper-element pick returned 3.
+	// Intercepts with b=2 are {0,−1,−2,3}, sorted {−2,−1,0,3}: median −0.5.
+	var m TheilSen
+	if err := m.Fit([]float64{0, 1, 2, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if m.b != 2 {
+		t.Fatalf("even-count slope median = %v, want 2 (upper-element bias)", m.b)
+	}
+	if m.a != -0.5 {
+		t.Fatalf("even-count intercept median = %v, want -0.5", m.a)
+	}
+	// Odd count stays the exact middle element: 3 points, 3 slopes.
+	// Series {0, 1, 10} → slopes {1, 9, 5}, sorted {1, 5, 9}, median 5.
+	if err := m.Fit([]float64{0, 1, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if m.b != 5 {
+		t.Fatalf("odd-count slope median = %v, want 5", m.b)
+	}
+}
+
+func TestMedianBothParities(t *testing.T) {
+	if got := median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+	if got := median([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("odd median = %v, want 2", got)
+	}
+	if got := median([]float64{7}); got != 7 {
+		t.Fatalf("single-element median = %v, want 7", got)
+	}
+}
+
 func TestTheilSenRobustToOutlier(t *testing.T) {
 	y := linearSeries(21, 0, 1)
 	y[10] = 500 // single wild outlier

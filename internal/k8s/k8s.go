@@ -77,11 +77,20 @@ type Pod struct {
 // Running reports whether the pod currently has a GPU-resident container.
 func (p *Pod) Running() bool { return p.container != nil }
 
-// Decision is one placement order from a scheduler.
+// Decision is one placement order from a scheduler, or — when Reject is
+// set — a terminal rejection of a pod the policy has determined can never be
+// placed (e.g. a request exceeding every device's capacity). Rejected pods
+// leave the queue permanently and are counted under the rejection-reason
+// metric instead of being truncated to fit and OOM-killed later.
 type Decision struct {
 	Pod       *Pod
 	GPU       *cluster.GPU
 	ReserveMB float64
+
+	// Reject marks the pod unschedulable; GPU and ReserveMB are ignored.
+	Reject bool
+	// Reason explains the rejection for events and metrics.
+	Reason string
 }
 
 // Scheduler is the cluster-level placement policy plug-in.
@@ -189,6 +198,10 @@ type Orchestrator struct {
 	podSeq  int
 	started bool
 	om      *orchMetrics
+
+	// schedQueue is the reusable priority-sorted copy of the pending queue
+	// handed to the scheduler each round (hot-path scratch, see runScheduler).
+	schedQueue []*Pod
 }
 
 // NewOrchestrator assembles an orchestrator over eng and cl using sched.
@@ -381,8 +394,11 @@ func (o *Orchestrator) runScheduler(now sim.Time) {
 	}
 	snap := o.Agg.Snapshot(now)
 	// Priority ordering: higher first, FIFO within a class. The sort is
-	// stable so equal-priority pods keep arrival order.
-	queue := append([]*Pod(nil), o.pending...)
+	// stable so equal-priority pods keep arrival order. The queue copy is a
+	// per-orchestrator scratch slice: the scheduler may reorder it, but it is
+	// dead once Schedule returns.
+	queue := append(o.schedQueue[:0], o.pending...)
+	o.schedQueue = queue
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Priority > queue[j].Priority })
 	// Wall-clock latency is harness telemetry (sweep.Result.Wall convention):
 	// it never enters sim state, so determinism is unaffected.
@@ -395,7 +411,23 @@ func (o *Orchestrator) runScheduler(now sim.Time) {
 	}
 	placed := make(map[*Pod]bool, len(decisions))
 	for _, d := range decisions {
-		if d.Pod == nil || d.GPU == nil || d.Pod.Phase != PodPending || placed[d.Pod] {
+		if d.Pod == nil || d.Pod.Phase != PodPending || placed[d.Pod] {
+			continue
+		}
+		if d.Reject {
+			// Terminal rejection: the policy proved the pod can never fit any
+			// device, so requeueing would spin forever and placing it anyway
+			// (the old truncate-to-capacity behaviour) guaranteed an OOM kill.
+			d.Pod.Phase = PodEvicted
+			d.Pod.FinishedAt = now
+			o.Evicted = append(o.Evicted, d.Pod)
+			o.om.rejectUnschedulable.Inc()
+			o.Events.Record(Event{At: now, Type: EventRejected, Pod: d.Pod.Name,
+				Detail: d.Reason})
+			placed[d.Pod] = true // drop from the pending queue below
+			continue
+		}
+		if d.GPU == nil {
 			continue
 		}
 		// Affinity is enforced at binding like an admission webhook, even if

@@ -108,6 +108,51 @@ func TestQueueingWhenFull(t *testing.T) {
 	}
 }
 
+// rejector terminally rejects every pod it is shown.
+type rejector struct{}
+
+func (rejector) Name() string { return "rejector" }
+func (rejector) Schedule(now sim.Time, pending []*Pod, snap *knots.Snapshot) []Decision {
+	out := make([]Decision, 0, len(pending))
+	for _, p := range pending {
+		out = append(out, Decision{Pod: p, Reject: true, Reason: "request exceeds every device's capacity"})
+	}
+	return out
+}
+
+func TestRejectDecisionEvictsTerminally(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cl := cluster.New(cfg)
+	o := NewOrchestrator(eng, cl, rejector{}, Config{})
+	p := o.NewPod(workloads.RodiniaProfile(workloads.Pathfinder), nil)
+	o.Submit(0, p)
+	o.Run(sim.Second)
+	if p.Phase != PodEvicted {
+		t.Fatalf("rejected pod phase = %v, want Evicted", p.Phase)
+	}
+	if o.PendingLen() != 0 {
+		t.Fatal("rejected pod must leave the pending queue")
+	}
+	if len(o.Evicted) != 1 || len(o.Completed) != 0 {
+		t.Fatalf("eviction bookkeeping wrong: evicted=%d completed=%d",
+			len(o.Evicted), len(o.Completed))
+	}
+	var sawReject bool
+	for _, e := range o.Events.All() {
+		if e.Type == EventRejected && e.Pod == p.Name {
+			sawReject = true
+			if e.Detail == "" {
+				t.Fatal("rejection event must carry the reason")
+			}
+		}
+	}
+	if !sawReject {
+		t.Fatal("no rejection event recorded")
+	}
+}
+
 func TestCrashRelaunch(t *testing.T) {
 	eng := sim.NewEngine(1)
 	cfg := cluster.DefaultConfig()

@@ -30,9 +30,10 @@ var (
 
 // orchMetrics holds one orchestrator's pre-resolved metric children.
 type orchMetrics struct {
-	placements      *obs.Counter
-	rejectAffinity  *obs.Counter
-	rejectBind      *obs.Counter
+	placements          *obs.Counter
+	rejectAffinity      *obs.Counter
+	rejectBind          *obs.Counter
+	rejectUnschedulable *obs.Counter
 	queueDepth      *obs.Gauge
 	decisionSeconds *obs.Histogram
 	completions     *obs.Counter
@@ -44,9 +45,10 @@ type orchMetrics struct {
 
 func newOrchMetrics(scheduler string) *orchMetrics {
 	return &orchMetrics{
-		placements:      mPlacements.With(scheduler),
-		rejectAffinity:  mRejections.With(scheduler, "affinity"),
-		rejectBind:      mRejections.With(scheduler, "bind"),
+		placements:          mPlacements.With(scheduler),
+		rejectAffinity:      mRejections.With(scheduler, "affinity"),
+		rejectBind:          mRejections.With(scheduler, "bind"),
+		rejectUnschedulable: mRejections.With(scheduler, "unschedulable"),
 		queueDepth:      mQueueDepth.With(scheduler),
 		decisionSeconds: mDecisionSeconds.With(scheduler),
 		completions:     mCompletions.With(scheduler),

@@ -33,12 +33,47 @@ func seriesName(g *cluster.GPU, metric string) string {
 	return fmt.Sprintf("g%d/%s", g.Index, metric)
 }
 
+// gpuKeys holds one device's five pre-formatted series keys. Formatting them
+// on every heartbeat (5 × fmt.Sprintf per GPU) was the single largest
+// allocation source in a scheduling round; the monitor builds this table once
+// at construction instead.
+type gpuKeys struct {
+	sm, mem, power, tx, rx string
+}
+
+func newGPUKeys(g *cluster.GPU) *gpuKeys {
+	return &gpuKeys{
+		sm:    seriesName(g, MetricSM),
+		mem:   seriesName(g, MetricMem),
+		power: seriesName(g, MetricPower),
+		tx:    seriesName(g, MetricTx),
+		rx:    seriesName(g, MetricRx),
+	}
+}
+
+func (k *gpuKeys) key(metric string) string {
+	switch metric {
+	case MetricSM:
+		return k.sm
+	case MetricMem:
+		return k.mem
+	case MetricPower:
+		return k.power
+	case MetricTx:
+		return k.tx
+	case MetricRx:
+		return k.rx
+	}
+	return ""
+}
+
 // Monitor is the per-node sampling daemon (one logical instance serves the
 // whole simulated cluster, holding one DB per node as the paper holds one
 // InfluxDB per worker).
 type Monitor struct {
 	Cluster *cluster.Cluster
 	dbs     map[int]*tsdb.DB
+	keys    map[*cluster.GPU]*gpuKeys // pre-formatted series names
 
 	// mu guards the liveness state below; the sampling DBs lock themselves.
 	mu         sync.RWMutex
@@ -53,6 +88,7 @@ func NewMonitor(cl *cluster.Cluster, capacity int) *Monitor {
 	m := &Monitor{
 		Cluster:    cl,
 		dbs:        make(map[int]*tsdb.DB),
+		keys:       make(map[*cluster.GPU]*gpuKeys),
 		down:       make(map[int]bool),
 		lastSample: make(map[int]sim.Time),
 		lastObs:    make(map[*cluster.GPU]cluster.Observation),
@@ -61,8 +97,20 @@ func NewMonitor(cl *cluster.Cluster, capacity int) *Monitor {
 		if m.dbs[g.Node] == nil {
 			m.dbs[g.Node] = tsdb.New(capacity)
 		}
+		m.keys[g] = newGPUKeys(g)
 	}
 	return m
+}
+
+// seriesKey returns the cached series name for a device metric, formatting
+// fresh only for devices unknown at construction (there are none in practice).
+func (m *Monitor) seriesKey(g *cluster.GPU, metric string) string {
+	if k := m.keys[g]; k != nil {
+		if s := k.key(metric); s != "" {
+			return s
+		}
+	}
+	return seriesName(g, metric)
 }
 
 // Sample records every GPU's current Observation into its node database.
@@ -78,11 +126,16 @@ func (m *Monitor) Sample(now sim.Time) {
 		}
 		db := m.dbs[g.Node]
 		o := g.Obs
-		db.Append(seriesName(g, MetricSM), now, o.SMPct)
-		db.Append(seriesName(g, MetricMem), now, o.MemUsedMB)
-		db.Append(seriesName(g, MetricPower), now, o.PowerW)
-		db.Append(seriesName(g, MetricTx), now, o.TxMBps)
-		db.Append(seriesName(g, MetricRx), now, o.RxMBps)
+		// keys is immutable after construction, so lock-free reads are safe.
+		k := m.keys[g]
+		if k == nil {
+			k = newGPUKeys(g)
+		}
+		db.Append(k.sm, now, o.SMPct)
+		db.Append(k.mem, now, o.MemUsedMB)
+		db.Append(k.power, now, o.PowerW)
+		db.Append(k.tx, now, o.TxMBps)
+		db.Append(k.rx, now, o.RxMBps)
 		m.lastSample[g.Node] = now
 		m.lastObs[g] = o
 		mGPUSamples.Inc()
@@ -134,7 +187,7 @@ func (m *Monitor) Series(g *cluster.GPU, metric string, now, window sim.Time) []
 	if db == nil {
 		return nil
 	}
-	return db.Values(seriesName(g, metric), now-window, now)
+	return db.Values(m.seriesKey(g, metric), now-window, now)
 }
 
 // GPUStat is the aggregator's per-device view handed to schedulers.
@@ -198,8 +251,20 @@ type Aggregator struct {
 
 	// prevStale/prevDead remember each node's liveness state from the last
 	// snapshot so boundary crossings count once, not once per heartbeat.
+	// curStale/curDead are the double-buffered working sets, swapped with
+	// prev* at the end of every snapshot instead of reallocated.
 	prevStale map[int]bool
 	prevDead  map[int]bool
+	curStale  map[int]bool
+	curDead   map[int]bool
+
+	// Snapshot arenas (see Snapshot): per-heartbeat cluster views are carved
+	// out of these reused backing slices instead of fresh allocations.
+	stats []GPUStat
+	dead  []int
+	vals  []float64
+	conts []*cluster.Container
+	pts   []tsdb.Point
 }
 
 // DefaultWindow is the paper's five-second scheduling window.
@@ -215,6 +280,20 @@ func NewAggregator(m *Monitor) *Aggregator {
 
 // series returns the (possibly downsampled) trailing window of one metric.
 func (a *Aggregator) series(g *cluster.GPU, metric string, now, w sim.Time) []float64 {
+	start := len(a.vals)
+	a.seriesInto(g, metric, now, w)
+	out := make([]float64, len(a.vals)-start)
+	copy(out, a.vals[start:])
+	a.vals = a.vals[:start]
+	return out
+}
+
+// seriesInto appends the (possibly downsampled) trailing window of one metric
+// onto the aggregator's value arena and returns the appended sub-slice,
+// capacity-capped so later arena growth cannot be clobbered through it. The
+// sub-slice is valid until the next Snapshot call.
+func (a *Aggregator) seriesInto(g *cluster.GPU, metric string, now, w sim.Time) []float64 {
+	start := len(a.vals)
 	db := a.Monitor.NodeDB(g.Node)
 	if db == nil {
 		return nil
@@ -224,12 +303,14 @@ func (a *Aggregator) series(g *cluster.GPU, metric string, now, w sim.Time) []fl
 		maxPts = DefaultMaxPoints
 	}
 	bucket := w / sim.Time(maxPts)
-	pts := db.Downsample(seriesName(g, metric), now-w, now, bucket)
-	out := make([]float64, len(pts))
-	for i, p := range pts {
-		out[i] = p.Value
+	a.pts = db.DownsampleInto(a.pts[:0], a.Monitor.seriesKey(g, metric), now-w, now, bucket)
+	for _, p := range a.pts {
+		a.vals = append(a.vals, p.Value)
 	}
-	return out
+	if len(a.vals) == start {
+		return nil
+	}
+	return a.vals[start:len(a.vals):len(a.vals)]
 }
 
 // age returns how long a node has been silent. Never-sampled nodes count
@@ -247,14 +328,26 @@ func (a *Aggregator) age(node int, now sim.Time) sim.Time {
 // configured, silent nodes' stats go Stale and then drop out entirely, so
 // one dead worker blinds the scheduler to that worker only — never to the
 // surviving cluster.
+//
+// The returned snapshot's slices (Stats, DeadNodes, each stat's Resident and
+// metric series) are carved out of per-aggregator arenas and remain valid
+// only until the next Snapshot call on the same aggregator. Every current
+// consumer — a scheduling round, a stats handler render — finishes with one
+// snapshot before requesting the next; callers needing longer retention must
+// copy. This keeps the per-heartbeat aggregation allocation-free once the
+// arenas are warm.
 func (a *Aggregator) Snapshot(now sim.Time) *Snapshot {
 	w := a.Window
 	if w <= 0 {
 		w = DefaultWindow
 	}
 	snap := &Snapshot{At: now}
-	deadSeen := make(map[int]bool)
-	staleSeen := make(map[int]bool)
+	a.stats = a.stats[:0]
+	a.dead = a.dead[:0]
+	a.vals = a.vals[:0]
+	a.conts = a.conts[:0]
+	deadSeen := clearNodeSet(a.curDead)
+	staleSeen := clearNodeSet(a.curStale)
 	for _, g := range a.Monitor.Cluster.GPUs() {
 		// Liveness first: a crashed node (whose devices are also failed) must
 		// still be reported dead, not silently skipped.
@@ -262,7 +355,7 @@ func (a *Aggregator) Snapshot(now sim.Time) *Snapshot {
 		if a.DeadAfter > 0 && age > a.DeadAfter {
 			if !deadSeen[g.Node] {
 				deadSeen[g.Node] = true
-				snap.DeadNodes = append(snap.DeadNodes, g.Node)
+				a.dead = append(a.dead, g.Node)
 			}
 			continue
 		}
@@ -280,27 +373,36 @@ func (a *Aggregator) Snapshot(now sim.Time) *Snapshot {
 				obs = last
 			}
 		}
+		res0 := len(a.conts)
+		a.conts = append(a.conts, g.Containers()...)
 		st := GPUStat{
 			GPU: g,
 			Obs: obs,
 			// Reservations are head-node binding state, known even when the
 			// node's telemetry is not.
 			FreeReservableMB: g.FreeReservableMB(),
-			Resident:         append([]*cluster.Container(nil), g.Containers()...),
-			MemSeries:        a.series(g, MetricMem, now, w),
-			SMSeries:         a.series(g, MetricSM, now, w),
+			Resident:         a.conts[res0:len(a.conts):len(a.conts)],
+			MemSeries:        a.seriesInto(g, MetricMem, now, w),
+			SMSeries:         a.seriesInto(g, MetricSM, now, w),
 			Stale:            stale,
 		}
-		tx := a.series(g, MetricTx, now, w)
-		rx := a.series(g, MetricRx, now, w)
+		tx := a.seriesInto(g, MetricTx, now, w)
+		rx := a.seriesInto(g, MetricRx, now, w)
 		if len(tx) == len(rx) {
-			bw := make([]float64, len(tx))
+			bw0 := len(a.vals)
 			for i := range tx {
-				bw[i] = tx[i] + rx[i]
+				a.vals = append(a.vals, tx[i]+rx[i])
 			}
-			st.BWSeries = bw
+			if len(a.vals) > bw0 {
+				st.BWSeries = a.vals[bw0:len(a.vals):len(a.vals)]
+			}
 		}
-		snap.Stats = append(snap.Stats, st)
+		a.stats = append(a.stats, st)
+	}
+	snap.Stats = a.stats
+	snap.DeadNodes = a.dead[:len(a.dead):len(a.dead)]
+	if len(snap.DeadNodes) == 0 {
+		snap.DeadNodes = nil
 	}
 	// Count liveness boundary crossings (fresh→stale, live→dead) exactly
 	// once per transition. Pure telemetry: the snapshot itself is unchanged.
@@ -314,6 +416,20 @@ func (a *Aggregator) Snapshot(now sim.Time) *Snapshot {
 			mDeadTransitions.Inc()
 		}
 	}
-	a.prevStale, a.prevDead = staleSeen, deadSeen
+	// Swap the double buffers: current becomes previous, and the old previous
+	// is cleared on its next turn as the working set.
+	a.curStale, a.prevStale = a.prevStale, staleSeen
+	a.curDead, a.prevDead = a.prevDead, deadSeen
 	return snap
+}
+
+// clearNodeSet empties (or creates) a reusable node-ID set.
+func clearNodeSet(m map[int]bool) map[int]bool {
+	if m == nil {
+		return make(map[int]bool)
+	}
+	for k := range m {
+		delete(m, k)
+	}
+	return m
 }

@@ -175,13 +175,38 @@ func Pearson(x, y []float64) (float64, error) {
 // ranks assigns average ranks (1-based) to xs, resolving ties by averaging,
 // which keeps SpearmanRho exact in the presence of equal utilization samples.
 func ranks(xs []float64) []float64 {
+	r, _ := ranksInto(make([]float64, 0, len(xs)), make([]int, 0, len(xs)), xs)
+	return r
+}
+
+// rankSorter sorts an index permutation by its value slice. It implements
+// sort.Interface directly (rather than closing over the slices with
+// sort.Slice) so that ranking with a reused scratch buffer performs zero
+// allocations.
+type rankSorter struct {
+	xs  []float64
+	idx []int
+}
+
+func (s *rankSorter) Len() int           { return len(s.idx) }
+func (s *rankSorter) Less(a, b int) bool { return s.xs[s.idx[a]] < s.xs[s.idx[b]] }
+func (s *rankSorter) Swap(a, b int)      { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// ranksInto assigns average ranks of xs into r (resized from r[:0]), using idx
+// as index scratch. It returns the rank slice and the (possibly regrown)
+// index scratch.
+func ranksInto(r []float64, idx []int, xs []float64) ([]float64, []int) {
 	n := len(xs)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	idx = idx[:0]
+	for i := 0; i < n; i++ {
+		idx = append(idx, i)
 	}
-	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
-	r := make([]float64, n)
+	s := rankSorter{xs: xs, idx: idx}
+	sort.Sort(&s)
+	r = r[:0]
+	for i := 0; i < n; i++ {
+		r = append(r, 0)
+	}
 	for i := 0; i < n; {
 		j := i
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
@@ -193,7 +218,30 @@ func ranks(xs []float64) []float64 {
 		}
 		i = j + 1
 	}
-	return r
+	return r, idx
+}
+
+// SpearmanScratch holds reusable buffers for repeated Spearman computations on
+// a single goroutine (e.g. a scheduler's correlation gate evaluated for every
+// pod×device pair in a round). The zero value is ready to use. Not safe for
+// concurrent use.
+type SpearmanScratch struct {
+	rx, ry []float64
+	idx    []int
+}
+
+// Rho is SpearmanRho computed with the scratch's reusable buffers: after
+// warm-up it performs no allocations. Results are identical to SpearmanRho.
+func (s *SpearmanScratch) Rho(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("metrics: series length mismatch")
+	}
+	if len(x) < 2 {
+		return 0, ErrInsufficientData
+	}
+	s.rx, s.idx = ranksInto(s.rx, s.idx, x)
+	s.ry, s.idx = ranksInto(s.ry, s.idx, y)
+	return Pearson(s.rx, s.ry)
 }
 
 // SpearmanRho returns Spearman's rank correlation between x and y

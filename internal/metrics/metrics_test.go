@@ -376,3 +376,45 @@ func TestMinMax(t *testing.T) {
 		t.Fatalf("Max/Min = %v/%v", Max(xs), Min(xs))
 	}
 }
+
+func TestSpearmanScratchMatchesSpearmanRho(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s SpearmanScratch
+	// Reuse the same scratch across lengths and tie patterns: results must be
+	// bit-identical to the allocating path every time.
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(8)) // small domain forces ties
+			y[i] = rng.NormFloat64()
+		}
+		want, wantErr := SpearmanRho(x, y)
+		got, gotErr := s.Rho(x, y)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, wantErr, gotErr)
+		}
+		if wantErr == nil && got != want {
+			t.Fatalf("trial %d: scratch rho %v != %v", trial, got, want)
+		}
+	}
+}
+
+func TestSpearmanScratchErrors(t *testing.T) {
+	var s SpearmanScratch
+	if _, err := s.Rho([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := s.Rho([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single sample must error")
+	}
+	if _, err := s.Rho([]float64{5, 5, 5}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("zero variance must error")
+	}
+	// The scratch must still work after error paths.
+	rho, err := s.Rho([]float64{1, 2, 3}, []float64{10, 20, 30})
+	if err != nil || !approx(rho, 1, 1e-12) {
+		t.Fatalf("rho after errors = %v, %v", rho, err)
+	}
+}

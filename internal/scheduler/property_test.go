@@ -33,6 +33,7 @@ func randomSnapshot(rng *rand.Rand, cl *cluster.Cluster) *knots.Snapshot {
 		st.Obs.MemUsedMB = rng.Float64() * g.MemCapMB
 		st.Obs.Containers = rng.Intn(4)
 		st.Obs.Asleep = rng.Intn(4) == 0
+		st.Stale = rng.Intn(6) == 0 // occasional degraded telemetry: stale path
 		n := rng.Intn(24) // 0..23 samples: below and above corrOK's minimum
 		base := rng.Float64() * g.MemCapMB
 		slope := (rng.Float64() - 0.3) * 100
@@ -141,6 +142,65 @@ func TestQuickReservationsWithinCapacity(t *testing.T) {
 	}
 }
 
+// TestQuickNoOvercommitAnyAdmissionPath forces scheduling rounds through all
+// three admission paths at once — normal gated placement, degraded-mode
+// stale-exclusive placement, and Algorithm 1's forecast override (every node
+// window rises monotonically and every pod's upcoming memory ramps with it,
+// so CBP's correlation gate refuses and PP must forecast) — and asserts the
+// planner's universal invariant: no scheduler ever commits a device past its
+// FreeReservableMB in one round. This is the property class the forecast-path
+// over-commit bug lived in before forecastCheck learned about in-round
+// commitments.
+func TestQuickNoOvercommitAnyAdmissionPath(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 6
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cl := cluster.New(cfg)
+		snap := &knots.Snapshot{At: 5 * sim.Second}
+		for gi, g := range cl.GPUs() {
+			st := knots.GPUStat{GPU: g, FreeReservableMB: g.MemCapMB}
+			st.Stale = gi%3 == 2 // every third node: degraded telemetry
+			base := (0.1 + 0.3*rng.Float64()) * g.MemCapMB
+			step := (0.2 + 0.8*rng.Float64()) * g.MemCapMB / 64
+			for i := 0; i < 16; i++ {
+				st.MemSeries = append(st.MemSeries, base+step*float64(i))
+			}
+			snap.Stats = append(snap.Stats, st)
+		}
+		pending := make([]*k8s.Pod, 0, 12)
+		for i := 0; i < 12; i++ {
+			peak := (0.2 + 0.5*rng.Float64()) * cfg.MemCapMB
+			prof := &workloads.Profile{
+				Name:  fmt.Sprintf("rising-%d-%d", seed, i),
+				Class: workloads.Batch,
+				Phases: []workloads.Phase{
+					{Duration: sim.Second, SMPct: 30, MemMB: peak * 0.25},
+					{Duration: sim.Second, SMPct: 30, MemMB: peak * 0.5},
+					{Duration: sim.Second, SMPct: 30, MemMB: peak * 0.75},
+					{Duration: sim.Second, SMPct: 30, MemMB: peak},
+				},
+				RequestMemMB: peak * 1.5, // occasionally exceeds capacity: rejection path
+			}
+			pending = append(pending, &k8s.Pod{
+				Name:         prof.Name,
+				Class:        workloads.Batch,
+				Profile:      prof,
+				RequestMemMB: prof.RequestMemMB,
+			})
+		}
+		ok := true
+		for _, sched := range []k8s.Scheduler{Uniform{}, &ResAg{}, &CBP{}, &PP{}} {
+			decs := sched.Schedule(snap.At, pending, snap)
+			ok = checkDecisions(t, sched.Name(), decs, pending, snap) && ok
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickPPForecastGate is the Algorithm 1 property: every PP placement is
 // licensed either by the correlation gate or by the peak forecast — PP never
 // ships a pod onto a node whose predicted free memory cannot hold the pod's
@@ -153,14 +213,17 @@ func TestQuickPPForecastGate(t *testing.T) {
 		cl := cluster.New(cfg)
 		snap := randomSnapshot(rng, cl)
 		pending := randomPods(rng)
-		byGPU := make(map[*cluster.GPU]knots.GPUStat, len(snap.Stats))
-		for _, st := range snap.Stats {
-			byGPU[st.GPU] = st
+		byGPU := make(map[*cluster.GPU]*knots.GPUStat, len(snap.Stats))
+		for i := range snap.Stats {
+			byGPU[snap.Stats[i].GPU] = &snap.Stats[i]
 		}
 		pp := &PP{}
 		decs := pp.Schedule(snap.At, pending, snap)
 		for _, d := range decs {
 			st := byGPU[d.GPU]
+			if st.Stale {
+				continue // degraded-mode exclusive placement bypasses both gates
+			}
 			if pp.corrOK(d.Pod, st) {
 				continue
 			}
@@ -188,7 +251,7 @@ func TestQuickForecastAdmitRespectsCapacity(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		cl := cluster.New(cfg)
 		snap := randomSnapshot(rng, cl)
-		st := snap.Stats[0]
+		st := &snap.Stats[0]
 		need := needRaw
 		if need < 0 {
 			need = -need

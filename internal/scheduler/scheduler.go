@@ -93,43 +93,148 @@ func resample(xs []float64, n int) []float64 {
 	if len(xs) == 0 || n <= 0 {
 		return nil
 	}
-	out := make([]float64, n)
-	for i := range out {
-		j := i * len(xs) / n
-		out[i] = xs[j]
+	return resampleInto(make([]float64, 0, n), xs, n)
+}
+
+// resampleInto is resample appending into dst's storage (pass dst[:0] to
+// reuse a scratch buffer across calls).
+func resampleInto(dst, xs []float64, n int) []float64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, xs[i*len(xs)/n])
 	}
-	return out
+	return dst
+}
+
+// scratch holds one scheduler's reusable hot-path buffers. A scheduler
+// instance serves a single run on a single goroutine (the sweep pool
+// constructs a fresh scheduler per job), so the buffers are overwritten on
+// every call and never shared; see DESIGN.md "Hot-path memory discipline".
+type scratch struct {
+	resampled []float64
+	pods      []*k8s.Pod
+	spearman  metrics.SpearmanScratch
+	plan      planner
 }
 
 // planner tracks in-round commitments so one scheduling pass cannot
-// double-book memory, SM headroom, or exclusive devices.
+// double-book memory, SM headroom, or exclusive devices. All state is
+// indexed by snapshot position — a struct of slices rather than per-GPU
+// maps — which keeps the per-pod admission loop free of map hashing and of
+// allocation once the slices have grown to fleet size.
 type planner struct {
-	free    map[*cluster.GPU]float64
-	sm      map[*cluster.GPU]float64
-	claimed map[*cluster.GPU]bool
-	conts   map[*cluster.GPU]int
+	stats     []knots.GPUStat
+	free      []float64 // reservable MB remaining after in-round commits
+	committed []float64 // MB committed by this round, per device
+	sm        []float64 // planned SM demand including in-round commits
+	claimed   []bool    // device claimed this round
+	conts     []int     // resident containers including in-round placements
+
+	order []int // candidate ordering; nil until candidateOrder builds it
 }
 
-func newPlanner(snap *knots.Snapshot) *planner {
-	p := &planner{
-		free:    make(map[*cluster.GPU]float64, len(snap.Stats)),
-		sm:      make(map[*cluster.GPU]float64, len(snap.Stats)),
-		claimed: make(map[*cluster.GPU]bool),
-		conts:   make(map[*cluster.GPU]int, len(snap.Stats)),
+// reset points the planner at a fresh snapshot, reusing prior storage.
+func (p *planner) reset(snap *knots.Snapshot) {
+	n := len(snap.Stats)
+	p.stats = snap.Stats
+	p.free = growFloats(p.free, n)
+	p.committed = growFloats(p.committed, n)
+	p.sm = growFloats(p.sm, n)
+	p.claimed = growBools(p.claimed, n)
+	p.conts = growInts(p.conts, n)
+	p.order = p.order[:0]
+	for i := range snap.Stats {
+		st := &snap.Stats[i]
+		p.free[i] = st.FreeReservableMB
+		p.committed[i] = 0
+		p.sm[i] = st.Obs.SMPct
+		p.claimed[i] = false
+		p.conts[i] = st.Obs.Containers
 	}
-	for _, st := range snap.Stats {
-		p.free[st.GPU] = st.FreeReservableMB
-		p.sm[st.GPU] = st.Obs.SMPct
-		p.conts[st.GPU] = st.Obs.Containers
-	}
-	return p
 }
 
-func (p *planner) commit(g *cluster.GPU, reserveMB, peakSM float64) {
-	p.free[g] -= reserveMB
-	p.sm[g] += peakSM
-	p.claimed[g] = true
-	p.conts[g]++
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func (p *planner) commit(i int, reserveMB, peakSM float64) {
+	p.free[i] -= reserveMB
+	p.committed[i] += reserveMB
+	p.sm[i] += peakSM
+	p.claimed[i] = true
+	p.conts[i]++
+	p.reorder(i)
+}
+
+// less is a strict total order on device indices: awake GPUs first, fresh
+// telemetry before stale, then planned free memory descending; the final
+// index tie-break keeps snapshot (node-major) order for equal keys — the
+// same order a stable sort over the snapshot produces.
+func (p *planner) less(i, j int) bool {
+	if ai, aj := p.stats[i].Obs.Asleep, p.stats[j].Obs.Asleep; ai != aj {
+		return !ai // awake first
+	}
+	if p.stats[i].Stale != p.stats[j].Stale {
+		return !p.stats[i].Stale // stale-telemetry nodes are a last resort
+	}
+	if p.free[i] != p.free[j] {
+		return p.free[i] > p.free[j]
+	}
+	return i < j
+}
+
+// candidateOrder returns device indices in admission-preference order,
+// computed once per round. After a commit only the committed device's key
+// changes, so reorder repairs the slice in O(G) instead of re-sorting the
+// whole fleet for every pending pod.
+func (p *planner) candidateOrder() []int {
+	if len(p.order) != len(p.stats) {
+		p.order = p.order[:0]
+		for i := range p.stats {
+			p.order = append(p.order, i)
+		}
+		sort.Slice(p.order, func(a, b int) bool { return p.less(p.order[a], p.order[b]) })
+	}
+	return p.order
+}
+
+// reorder repairs the candidate ordering after device i's planned free
+// memory shrank: remove it, binary-search its new slot, reinsert.
+func (p *planner) reorder(i int) {
+	if len(p.order) != len(p.stats) {
+		return // order not built (Uniform/Res-Ag scan the snapshot directly)
+	}
+	pos := -1
+	for k, idx := range p.order {
+		if idx == i {
+			pos = k
+			break
+		}
+	}
+	if pos < 0 {
+		return
+	}
+	copy(p.order[pos:], p.order[pos+1:])
+	n := len(p.order) - 1
+	at := sort.Search(n, func(k int) bool { return p.less(i, p.order[k]) })
+	copy(p.order[at+1:n+1], p.order[at:n])
+	p.order[at] = i
 }
 
 // Uniform is the GPU-agnostic Kubernetes default: one pod per device,
@@ -141,19 +246,21 @@ func (Uniform) Name() string { return "Uniform" }
 
 // Schedule implements k8s.Scheduler.
 func (Uniform) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []k8s.Decision {
-	pl := newPlanner(snap)
+	var pl planner
+	pl.reset(snap)
 	var out []k8s.Decision
 	for _, pod := range pending {
-		for _, st := range snap.Stats {
+		for i := range snap.Stats {
+			st := &snap.Stats[i]
 			g := st.GPU
-			if pl.conts[g] > 0 || pl.claimed[g] {
+			if pl.conts[i] > 0 || pl.claimed[i] {
 				continue
 			}
 			if !k8s.FitsAffinity(pod, g, st.Resident) {
 				continue
 			}
 			out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: g.MemCapMB})
-			pl.commit(g, g.MemCapMB, 100)
+			pl.commit(i, g.MemCapMB, 100)
 			break
 		}
 	}
@@ -168,6 +275,7 @@ func (Uniform) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) 
 // can land on a device already saturated by batch kernels.
 type ResAg struct {
 	next int // round-robin cursor
+	scr  scratch
 }
 
 // Name implements k8s.Scheduler.
@@ -175,30 +283,44 @@ func (*ResAg) Name() string { return "Res-Ag" }
 
 // Schedule implements k8s.Scheduler.
 func (ra *ResAg) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []k8s.Decision {
-	pl := newPlanner(snap)
-	order := append([]*k8s.Pod(nil), pending...)
+	pl := &ra.scr.plan
+	pl.reset(snap)
+	order := append(ra.scr.pods[:0], pending...)
+	ra.scr.pods = order
 	sort.SliceStable(order, func(i, j int) bool {
 		return order[i].RequestMemMB > order[j].RequestMemMB
 	})
 	n := len(snap.Stats)
+	// The largest device visible this round: a request above it can never be
+	// placed. The old behaviour — truncating the reservation to device
+	// capacity and binding anyway — guaranteed an OOM kill charged to the
+	// scheduler; reject such pods explicitly instead.
+	var maxCap float64
+	for i := range snap.Stats {
+		if c := snap.Stats[i].GPU.MemCapMB; c > maxCap {
+			maxCap = c
+		}
+	}
 	var out []k8s.Decision
 	for _, pod := range order {
+		if n > 0 && pod.RequestMemMB > maxCap {
+			out = append(out, k8s.Decision{Pod: pod, Reject: true,
+				Reason: "request exceeds every device's capacity"})
+			continue
+		}
 		reserve := pod.RequestMemMB
 		for k := 0; k < n; k++ {
-			st := snap.Stats[(ra.next+k)%n]
+			i := (ra.next + k) % n
+			st := &snap.Stats[i]
 			g := st.GPU
-			r := reserve
-			if r > g.MemCapMB {
-				r = g.MemCapMB
-			}
-			if pl.free[g] < r {
+			if pl.free[i] < reserve {
 				continue
 			}
 			if !k8s.FitsAffinity(pod, g, st.Resident) {
 				continue
 			}
-			out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: r})
-			pl.commit(g, r, pod.Profile.PeakSMPct())
+			out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
+			pl.commit(i, reserve, pod.Profile.PeakSMPct())
 			ra.next = (ra.next + k + 1) % n
 			break
 		}
@@ -240,6 +362,7 @@ type CBP struct {
 	Trace obs.Tracer
 
 	profCache map[string][]float64
+	scr       scratch
 }
 
 // SetDecisionTracer implements obs.DecisionTraceable.
@@ -327,9 +450,9 @@ func (c *CBP) ReserveFor(pod *k8s.Pod) float64 {
 // residents and no in-round claim is acceptable, reserved at the pod's
 // full peak footprint (no harvesting). Fresh nodes keep the aggressive
 // path, so one silent monitor degrades one node, not the cluster.
-func (c *CBP) staleAdmit(pod *k8s.Pod, st knots.GPUStat, pl *planner) (float64, bool) {
+func (c *CBP) staleAdmit(pod *k8s.Pod, st *knots.GPUStat, pl *planner, i int) (float64, bool) {
 	g := st.GPU
-	if pl.conts[g] > 0 || pl.claimed[g] || len(st.Resident) > 0 {
+	if pl.conts[i] > 0 || pl.claimed[i] || len(st.Resident) > 0 {
 		return 0, false
 	}
 	_, _, lcm, _ := c.params()
@@ -340,7 +463,7 @@ func (c *CBP) staleAdmit(pod *k8s.Pod, st knots.GPUStat, pl *planner) (float64, 
 	if reserve > g.MemCapMB {
 		reserve = g.MemCapMB
 	}
-	if pl.free[g] < reserve {
+	if pl.free[i] < reserve {
 		return 0, false
 	}
 	if !k8s.FitsAffinity(pod, g, st.Resident) {
@@ -357,15 +480,17 @@ func (c *CBP) staleAdmit(pod *k8s.Pod, st knots.GPUStat, pl *planner) (float64, 
 // current memory trend into a simultaneous peak. Only batch pods carry
 // enough structure to correlate; latency-critical pods are co-located after
 // harvesting (Section IV-C).
-func (c *CBP) corrOK(pod *k8s.Pod, st knots.GPUStat) bool {
+func (c *CBP) corrOK(pod *k8s.Pod, st *knots.GPUStat) bool {
 	_, _, ok := c.corrCheck(pod, st)
 	return ok
 }
 
 // corrCheck is corrOK with the computed ρ exposed for decision tracing:
 // computed reports whether a correlation was actually evaluated (batch pod,
-// enough node history), and ok whether the gate passes.
-func (c *CBP) corrCheck(pod *k8s.Pod, st knots.GPUStat) (rho float64, computed, ok bool) {
+// enough node history), and ok whether the gate passes. The resample and
+// rank buffers live in the scheduler's scratch, so the per-candidate check
+// does not allocate.
+func (c *CBP) corrCheck(pod *k8s.Pod, st *knots.GPUStat) (rho float64, computed, ok bool) {
 	corrTh, _, _, _ := c.params()
 	if pod.Class != workloads.Batch {
 		return 0, false, true
@@ -374,8 +499,9 @@ func (c *CBP) corrCheck(pod *k8s.Pod, st knots.GPUStat) (rho float64, computed, 
 	if len(node) < 8 || metrics.Variance(node) == 0 {
 		return 0, false, true // empty or flat node: nothing to correlate against
 	}
-	prof := resample(c.upcomingMemSeries(pod.Profile), len(node))
-	rho, err := metrics.SpearmanRho(prof, node)
+	prof := resampleInto(c.scr.resampled[:0], c.upcomingMemSeries(pod.Profile), len(node))
+	c.scr.resampled = prof
+	rho, err := c.scr.spearman.Rho(prof, node)
 	if err != nil {
 		return 0, false, true
 	}
@@ -414,29 +540,13 @@ func (c *CBP) batchLimit() int {
 	return 64
 }
 
-// candidates orders devices the way Algorithm 1's utilization aggregator
-// does: active (awake) GPUs sorted by free memory descending, then sleeping
-// devices as a fallback so low load consolidates onto few awake GPUs.
-func candidates(snap *knots.Snapshot, pl *planner) []knots.GPUStat {
-	stats := append([]knots.GPUStat(nil), snap.Stats...)
-	sort.SliceStable(stats, func(i, j int) bool {
-		ai, aj := stats[i].Obs.Asleep, stats[j].Obs.Asleep
-		if ai != aj {
-			return !ai // awake first
-		}
-		if stats[i].Stale != stats[j].Stale {
-			return !stats[i].Stale // stale-telemetry nodes are a last resort
-		}
-		return pl.free[stats[i].GPU] > pl.free[stats[j].GPU]
-	})
-	return stats
-}
-
 // Schedule implements k8s.Scheduler.
 func (c *CBP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []k8s.Decision {
 	_, _, _, maxSM := c.params()
-	pl := newPlanner(snap)
-	order := append([]*k8s.Pod(nil), pending...)
+	pl := &c.scr.plan
+	pl.reset(snap)
+	order := append(c.scr.pods[:0], pending...)
+	c.scr.pods = order
 	if len(order) > c.batchLimit() {
 		order = order[:c.batchLimit()]
 	}
@@ -449,14 +559,15 @@ func (c *CBP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) [
 		peakSM := pod.Profile.PeakSMPct()
 		rec := newAudit(c.Trace, now, "CBP", pod, reserve, peakSM)
 		var placed *cluster.GPU
-		for _, st := range candidates(snap, pl) {
+		for _, ci := range pl.candidateOrder() {
+			st := &snap.Stats[ci]
 			g := st.GPU
-			free, planned := pl.free[g], pl.sm[g]
+			free, planned := pl.free[ci], pl.sm[ci]
 			if st.Stale {
-				if r, ok := c.staleAdmit(pod, st, pl); ok {
+				if r, ok := c.staleAdmit(pod, st, pl, ci); ok {
 					rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Stale: true, Outcome: obs.OutcomePlacedStale})
 					out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: r})
-					pl.commit(g, r, peakSM)
+					pl.commit(ci, r, peakSM)
 					placed = g
 					break
 				}
@@ -486,7 +597,7 @@ func (c *CBP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) [
 			}
 			rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.OutcomePlaced, Rho: optFloat(rho, computed)})
 			out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
-			pl.commit(g, reserve, peakSM)
+			pl.commit(ci, reserve, peakSM)
 			placed = g
 			break
 		}
@@ -514,8 +625,10 @@ func (p *PP) Name() string { return "PP" }
 // Schedule implements k8s.Scheduler.
 func (p *PP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []k8s.Decision {
 	_, _, _, maxSM := p.params()
-	pl := newPlanner(snap)
-	order := append([]*k8s.Pod(nil), pending...)
+	pl := &p.scr.plan
+	pl.reset(snap)
+	order := append(p.scr.pods[:0], pending...)
+	p.scr.pods = order
 	if len(order) > p.batchLimit() {
 		order = order[:p.batchLimit()]
 	}
@@ -528,16 +641,17 @@ func (p *PP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []
 		peakSM := pod.Profile.PeakSMPct()
 		rec := newAudit(p.Trace, now, "PP", pod, reserve, peakSM)
 		var placed *cluster.GPU
-		for _, st := range candidates(snap, pl) {
+		for _, ci := range pl.candidateOrder() {
+			st := &snap.Stats[ci]
 			g := st.GPU
-			free, planned := pl.free[g], pl.sm[g]
+			free, planned := pl.free[ci], pl.sm[ci]
 			if st.Stale {
 				// Degraded mode: no correlation, no forecast — a rotten window
 				// licenses neither. Conservative exclusive placement only.
-				if r, ok := p.staleAdmit(pod, st, pl); ok {
+				if r, ok := p.staleAdmit(pod, st, pl, ci); ok {
 					rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Stale: true, Outcome: obs.OutcomePlacedStale})
 					out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: r})
-					pl.commit(g, r, peakSM)
+					pl.commit(ci, r, peakSM)
 					placed = g
 					break
 				}
@@ -565,23 +679,24 @@ func (p *PP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []
 				// Algorithm 1: Can_Co-locate → Ship_Container.
 				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.OutcomePlaced, Rho: optFloat(rho, rhoComputed)})
 				out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
-				pl.commit(g, reserve, peakSM)
+				pl.commit(ci, reserve, peakSM)
 				placed = g
 				break
 			}
 			// Correlation gate failed: try the forecast path. A positive
 			// autocorrelation on the node's memory series licenses an AR(1)
-			// forecast; ship if predicted free memory covers the pod's peak.
-			pred, predComputed, admit, outcome := p.forecastCheck(st, pod.Profile.PeakMemMB())
+			// forecast; ship if predicted free memory — net of what this round
+			// already committed to the device — covers the pod's peak.
+			pred, predComputed, admit, outcome := p.forecastCheck(st, pod.Profile.PeakMemMB(), pl.committed[ci])
 			ct := obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: outcome, Rho: optFloat(rho, rhoComputed)}
 			if predComputed {
 				ct.ForecastMB = optFloat(pred, true)
-				ct.ForecastFreeMB = optFloat(st.GPU.MemCapMB-pred, true)
+				ct.ForecastFreeMB = optFloat(st.GPU.MemCapMB-pred-pl.committed[ci], true)
 			}
 			rec.step(ct)
 			if admit {
 				out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
-				pl.commit(g, reserve, peakSM)
+				pl.commit(ci, reserve, peakSM)
 				placed = g
 				break
 			}
@@ -592,17 +707,21 @@ func (p *PP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []
 }
 
 // forecastAdmits implements the else-branch of Algorithm 1's SCHEDULE
-// procedure.
-func (p *PP) forecastAdmits(st knots.GPUStat, needMB float64) bool {
-	_, _, admit, _ := p.forecastCheck(st, needMB)
+// procedure against a bare snapshot (no in-round commitments).
+func (p *PP) forecastAdmits(st *knots.GPUStat, needMB float64) bool {
+	_, _, admit, _ := p.forecastCheck(st, needMB, 0)
 	return admit
 }
 
 // forecastCheck is forecastAdmits with the forecast exposed for decision
 // tracing: computed reports whether a prediction was actually produced
 // (enough history, positive trend, model fit), and outcome names the
-// Algorithm-1 branch taken.
-func (p *PP) forecastCheck(st knots.GPUStat, needMB float64) (pred float64, computed, admit bool, outcome string) {
+// Algorithm-1 branch taken. committedMB is memory the current round has
+// already committed to this device: the node's memory series — and hence
+// the forecast — cannot see pods bound moments ago, so their reservations
+// are deducted from the predicted headroom. Without the deduction two pods
+// admitted in one round double-book the same forecast headroom.
+func (p *PP) forecastCheck(st *knots.GPUStat, needMB, committedMB float64) (pred float64, computed, admit bool, outcome string) {
 	series := st.MemSeries
 	if len(series) < 8 {
 		return 0, false, false, obs.RejectNoTrend
@@ -621,7 +740,7 @@ func (p *PP) forecastCheck(st knots.GPUStat, needMB float64) (pred float64, comp
 		return 0, false, false, obs.RejectNoTrend
 	}
 	pred = forecast.Clamp(m.Predict(), 0, st.GPU.MemCapMB)
-	if st.GPU.MemCapMB-pred >= needMB {
+	if st.GPU.MemCapMB-pred-committedMB >= needMB {
 		return pred, true, true, obs.OutcomePlacedForecast
 	}
 	return pred, true, false, obs.RejectForecastShort

@@ -263,6 +263,103 @@ func TestPPForecastRefusesWhenMemoryTight(t *testing.T) {
 	}
 }
 
+// risingPod builds a batch pod whose memory demand ramps linearly to peak —
+// its upcoming window rank-correlates ≈ +1 with any rising node series, so
+// CBP's gate refuses it and PP admission must ride the forecast path.
+func risingPod(name string, peak float64) *k8s.Pod {
+	prof := &workloads.Profile{
+		Name:  name,
+		Class: workloads.Batch,
+		Phases: []workloads.Phase{
+			{Duration: sim.Second, SMPct: 30, MemMB: peak * 0.25},
+			{Duration: sim.Second, SMPct: 30, MemMB: peak * 0.5},
+			{Duration: sim.Second, SMPct: 30, MemMB: peak * 0.75},
+			{Duration: sim.Second, SMPct: 30, MemMB: peak},
+		},
+		RequestMemMB: peak,
+	}
+	return &k8s.Pod{Name: name, Class: workloads.Batch, Profile: prof, RequestMemMB: peak}
+}
+
+func TestPPForecastPathRefusesDoubleBooking(t *testing.T) {
+	// Regression: forecastCheck used to admit against cap − pred with no
+	// deduction for memory committed earlier in the same round, so two
+	// forecast-path pods could double-book one node's forecast headroom.
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cl := cluster.New(cfg)
+	g := cl.GPUs()[0]
+	capMB := g.MemCapMB
+	snap := &knots.Snapshot{At: 5 * sim.Second}
+	st := knots.GPUStat{GPU: g, FreeReservableMB: capMB}
+	// Linear rising usage: positive lag-1 autocorrelation licenses the AR(1)
+	// forecast, which extrapolates to ~0.41×cap used → 0.59×cap headroom.
+	for i := 0; i < 16; i++ {
+		st.MemSeries = append(st.MemSeries, capMB*(0.25+0.01*float64(i)))
+	}
+	snap.Stats = append(snap.Stats, st)
+
+	// Each pod peaks at 0.35×cap and reserves its full peak (ResizePct 100):
+	// one fits the 0.59×cap forecast headroom, two do not (0.70 > 0.59) —
+	// yet both reservations alone would fit FreeReservableMB, which is what
+	// let the old check ship both.
+	peak := 0.35 * capMB
+	a := risingPod("rise-a", peak)
+	b := risingPod("rise-b", peak)
+	pp := PP{CBP: CBP{MaxSM: 300, ResizePct: 100}}
+	ds := pp.Schedule(snap.At, []*k8s.Pod{a, b}, snap)
+	if len(ds) != 1 {
+		t.Fatalf("forecast path must admit exactly one pod, got %d decisions", len(ds))
+	}
+	if ds[0].Pod != a {
+		t.Fatalf("the larger-first order should place pod a, got %s", ds[0].Pod.Name)
+	}
+	// Sanity: alone, either pod is admitted via the forecast (the correlation
+	// gate is genuinely closed).
+	if got := pp.corrOK(b, &snap.Stats[0]); got {
+		t.Fatal("precondition: the correlation gate should refuse a rising pod on a rising node")
+	}
+	if ds2 := pp.Schedule(snap.At, []*k8s.Pod{b}, snap); len(ds2) != 1 {
+		t.Fatal("a single pod must still be admitted via the forecast path")
+	}
+}
+
+func TestResAgRejectsNeverFittingPod(t *testing.T) {
+	// Regression: a request exceeding every device's capacity used to be
+	// silently truncated to full capacity and placed — a guaranteed OOM kill.
+	// It must now come back as an explicit terminal rejection.
+	r := newRig(2)
+	snap := r.warm(100 * sim.Millisecond)
+	huge := risingPod("huge", workloads.GPUMemMB) // peak = cap
+	huge.RequestMemMB = 2 * workloads.GPUMemMB    // request 2× any device
+	ok := r.pod(workloads.RodiniaProfile(workloads.Myocyte))
+	ds := new(ResAg).Schedule(snap.At, []*k8s.Pod{huge, ok}, snap)
+	if len(ds) != 2 {
+		t.Fatalf("want one rejection + one placement, got %d decisions", len(ds))
+	}
+	var sawReject, sawPlace bool
+	for _, d := range ds {
+		if d.Pod == huge {
+			if !d.Reject || d.GPU != nil {
+				t.Fatalf("never-fitting pod must be rejected, got %+v", d)
+			}
+			if d.Reason == "" {
+				t.Fatal("rejection must carry a reason")
+			}
+			sawReject = true
+		}
+		if d.Pod == ok {
+			if d.Reject || d.GPU == nil {
+				t.Fatalf("fitting pod must still place, got %+v", d)
+			}
+			sawPlace = true
+		}
+	}
+	if !sawReject || !sawPlace {
+		t.Fatalf("missing decisions: reject=%v place=%v", sawReject, sawPlace)
+	}
+}
+
 func TestPPPrefersActiveGPUs(t *testing.T) {
 	// One busy (low-mem) node, one deep-sleeping node: consolidation should
 	// pick the active node for an uncorrelated small pod.

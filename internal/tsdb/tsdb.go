@@ -43,22 +43,34 @@ func (s *series) append(p Point) {
 
 func (s *series) at(i int) Point { return s.buf[(s.start+i)%len(s.buf)] }
 
+// windowBounds returns the half-open logical index range [lo, hi) of points
+// with from ≤ At ≤ to. Both binary searches run on the ring in place, so
+// locating a window never allocates.
+func (s *series) windowBounds(from, to sim.Time) (lo, hi int) {
+	if s.n == 0 || from > to {
+		return 0, 0
+	}
+	lo = sort.Search(s.n, func(i int) bool { return s.at(i).At >= from })
+	hi = lo + sort.Search(s.n-lo, func(i int) bool { return s.at(lo+i).At > to })
+	return lo, hi
+}
+
+// windowAppend appends the points of [from, to] to dst, oldest first.
+func (s *series) windowAppend(dst []Point, from, to sim.Time) []Point {
+	lo, hi := s.windowBounds(from, to)
+	for i := lo; i < hi; i++ {
+		dst = append(dst, s.at(i))
+	}
+	return dst
+}
+
 // window returns points with From ≤ At ≤ To, oldest first.
 func (s *series) window(from, to sim.Time) []Point {
-	if s.n == 0 || from > to {
+	lo, hi := s.windowBounds(from, to)
+	if lo == hi {
 		return nil
 	}
-	// Binary search for the first index with At >= from.
-	lo := sort.Search(s.n, func(i int) bool { return s.at(i).At >= from })
-	var out []Point
-	for i := lo; i < s.n; i++ {
-		p := s.at(i)
-		if p.At > to {
-			break
-		}
-		out = append(out, p)
-	}
-	return out
+	return s.windowAppend(make([]Point, 0, hi-lo), from, to)
 }
 
 func (s *series) lastN(n int) []Point {
@@ -121,14 +133,54 @@ func (db *DB) Window(name string, from, to sim.Time) []Point {
 	return s.window(from, to)
 }
 
+// WindowAppend appends the points of name with from ≤ At ≤ to onto dst,
+// oldest first, and returns the extended slice. Pass a reused scratch slice
+// (dst[:0]) to read windows without allocating; dst only grows when the
+// window exceeds its capacity.
+func (db *DB) WindowAppend(dst []Point, name string, from, to sim.Time) []Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.data[name]
+	if s == nil {
+		return dst
+	}
+	return s.windowAppend(dst, from, to)
+}
+
 // Values returns just the sample values of Window, for feeding statistics.
 func (db *DB) Values(name string, from, to sim.Time) []float64 {
-	pts := db.Window(name, from, to)
-	out := make([]float64, len(pts))
-	for i, p := range pts {
-		out[i] = p.Value
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.data[name]
+	if s == nil {
+		return nil
+	}
+	lo, hi := s.windowBounds(from, to)
+	if lo == hi {
+		return nil
+	}
+	out := make([]float64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, s.at(i).Value)
 	}
 	return out
+}
+
+// ValuesInto appends the sample values of the window onto dst and returns the
+// extended slice — the caller-buffer variant of Values for hot paths that
+// read every series every heartbeat.
+func (db *DB) ValuesInto(dst []float64, name string, from, to sim.Time) []float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.data[name]
+	if s == nil {
+		return dst
+	}
+	lo, hi := s.windowBounds(from, to)
+	for i := lo; i < hi; i++ {
+		dst = append(dst, s.at(i).Value)
+	}
+	return dst
 }
 
 // Last returns the most recent point of name.
@@ -181,31 +233,44 @@ func (db *DB) SeriesNames() []string {
 // start. The aggregator uses this to vary the effective heartbeat without
 // re-sampling the cluster (Fig. 10b's interval sweep).
 func (db *DB) Downsample(name string, from, to, bucket sim.Time) []Point {
-	if bucket <= 0 {
-		return db.Window(name, from, to)
-	}
-	pts := db.Window(name, from, to)
-	if len(pts) == 0 {
+	out := db.DownsampleInto(nil, name, from, to, bucket)
+	if len(out) == 0 {
 		return nil
 	}
-	var out []Point
+	return out
+}
+
+// DownsampleInto is Downsample appending onto dst — the caller-buffer variant
+// for per-heartbeat window extraction. The buckets are computed straight off
+// the ring buffer, so a warm scratch slice makes the whole read zero-alloc.
+func (db *DB) DownsampleInto(dst []Point, name string, from, to, bucket sim.Time) []Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.data[name]
+	if s == nil {
+		return dst
+	}
+	if bucket <= 0 {
+		return s.windowAppend(dst, from, to)
+	}
+	lo, hi := s.windowBounds(from, to)
 	bStart := from
 	var sum float64
 	var cnt int
-	flush := func() {
-		if cnt > 0 {
-			out = append(out, Point{At: bStart, Value: sum / float64(cnt)})
-		}
-		sum, cnt = 0, 0
-	}
-	for _, p := range pts {
+	for i := lo; i < hi; i++ {
+		p := s.at(i)
 		for p.At >= bStart+bucket {
-			flush()
+			if cnt > 0 {
+				dst = append(dst, Point{At: bStart, Value: sum / float64(cnt)})
+				sum, cnt = 0, 0
+			}
 			bStart += bucket
 		}
 		sum += p.Value
 		cnt++
 	}
-	flush()
-	return out
+	if cnt > 0 {
+		dst = append(dst, Point{At: bStart, Value: sum / float64(cnt)})
+	}
+	return dst
 }

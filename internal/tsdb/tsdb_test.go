@@ -207,3 +207,84 @@ func TestDefaultCapacity(t *testing.T) {
 		t.Fatalf("default capacity = %d, want %d", db.Len("m"), DefaultCapacity)
 	}
 }
+
+// fillRandom appends n in-order points with random gaps and returns the DB.
+func fillRandom(rng *rand.Rand, n, capacity int) *DB {
+	db := New(capacity)
+	at := sim.Time(0)
+	for i := 0; i < n; i++ {
+		at += sim.Time(rng.Intn(5))
+		db.Append("m", at, rng.Float64()*100)
+	}
+	return db
+}
+
+func TestWindowAppendMatchesWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	scratch := make([]Point, 0, 8) // deliberately small: must grow transparently
+	for trial := 0; trial < 50; trial++ {
+		db := fillRandom(rng, 1+rng.Intn(60), 32) // wraps the ring on big fills
+		from := sim.Time(rng.Intn(120))
+		to := from + sim.Time(rng.Intn(120))
+		want := db.Window("m", from, to)
+		scratch = db.WindowAppend(scratch[:0], "m", from, to)
+		if len(scratch) != len(want) {
+			t.Fatalf("trial %d: WindowAppend len %d, Window len %d", trial, len(scratch), len(want))
+		}
+		for i := range want {
+			if scratch[i] != want[i] {
+				t.Fatalf("trial %d point %d: %+v != %+v", trial, i, scratch[i], want[i])
+			}
+		}
+	}
+	if got := db0WindowAppendUnknown(); got != 0 {
+		t.Fatalf("unknown series should leave dst empty, got %d points", got)
+	}
+}
+
+func db0WindowAppendUnknown() int {
+	db := New(4)
+	return len(db.WindowAppend(nil, "absent", 0, 100))
+}
+
+func TestValuesIntoMatchesValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	scratch := make([]float64, 0, 4)
+	for trial := 0; trial < 50; trial++ {
+		db := fillRandom(rng, 1+rng.Intn(60), 32)
+		from := sim.Time(rng.Intn(120))
+		to := from + sim.Time(rng.Intn(120))
+		want := db.Values("m", from, to)
+		scratch = db.ValuesInto(scratch[:0], "m", from, to)
+		if len(scratch) != len(want) {
+			t.Fatalf("trial %d: ValuesInto len %d, Values len %d", trial, len(scratch), len(want))
+		}
+		for i := range want {
+			if scratch[i] != want[i] {
+				t.Fatalf("trial %d value %d: %v != %v", trial, i, scratch[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDownsampleIntoMatchesDownsample(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	scratch := make([]Point, 0, 4)
+	for trial := 0; trial < 50; trial++ {
+		db := fillRandom(rng, 1+rng.Intn(80), 32)
+		from := sim.Time(rng.Intn(100))
+		to := from + sim.Time(rng.Intn(150))
+		bucket := sim.Time(rng.Intn(20)) // includes 0: the raw-window fallback
+		want := db.Downsample("m", from, to, bucket)
+		scratch = db.DownsampleInto(scratch[:0], "m", from, to, bucket)
+		if len(scratch) != len(want) {
+			t.Fatalf("trial %d (bucket %d): DownsampleInto len %d, Downsample len %d",
+				trial, bucket, len(scratch), len(want))
+		}
+		for i := range want {
+			if scratch[i] != want[i] {
+				t.Fatalf("trial %d point %d: %+v != %+v", trial, i, scratch[i], want[i])
+			}
+		}
+	}
+}
