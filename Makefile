@@ -28,15 +28,19 @@ bench:
 	@echo wrote BENCH_baseline.json
 
 # Byte-identical experiment output with observability enabled vs disabled,
-# and across pool widths: the tentpole's determinism guarantee, checkable
-# locally before CI.
+# across pool widths, and across shard counts: the determinism guarantees,
+# checkable locally before CI.
 determinism:
-	$(GO) test ./internal/experiments/ -run 'TestTracingDeterminism|TestTracedExportsStable' -count=1
+	$(GO) test ./internal/experiments/ -run 'TestTracingDeterminism|TestTracedExportsStable|TestShardsDeterministic' -count=1
+	$(GO) test ./internal/scheduler/ -run 'Shard' -count=1
+	$(GO) test ./cmd/kubeknots/ -run 'TestE2EGolden|TestE2EShardParity' -count=1
 	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 fig9 > /tmp/kk-plain.txt
 	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 8 \
 		-trace-out /tmp/kk-decisions.jsonl -timeline-out /tmp/kk-timeline.json fig9 > /tmp/kk-traced.txt
 	diff /tmp/kk-plain.txt /tmp/kk-traced.txt
-	@echo determinism: table output identical with tracing on/off across -parallel 1 vs 8
+	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 -shards 8 fig9 > /tmp/kk-sharded.txt
+	diff /tmp/kk-plain.txt /tmp/kk-sharded.txt
+	@echo determinism: table output identical with tracing on/off, -parallel 1 vs 8, -shards 1 vs 8
 
 clean:
-	rm -f /tmp/kk-plain.txt /tmp/kk-traced.txt /tmp/kk-decisions.jsonl /tmp/kk-timeline.json
+	rm -f /tmp/kk-plain.txt /tmp/kk-traced.txt /tmp/kk-sharded.txt /tmp/kk-decisions.jsonl /tmp/kk-timeline.json

@@ -17,6 +17,7 @@ import (
 	"kubeknots/internal/dlsim"
 	"kubeknots/internal/experiments"
 	"kubeknots/internal/forecast"
+	"kubeknots/internal/k8s"
 	"kubeknots/internal/knots"
 	"kubeknots/internal/metrics"
 	"kubeknots/internal/scheduler"
@@ -273,21 +274,122 @@ func BenchmarkCBPScheduleRound(b *testing.B) {
 }
 
 func BenchmarkAggregatorSnapshot(b *testing.B) {
+	// Worst case for the incremental aggregator: every node is sampled
+	// between snapshots, so every per-node cache is dirty and rebuilt.
 	cl := cluster.New(cluster.DefaultConfig())
 	mon := knots.NewMonitor(cl, 0)
 	// Warm every series with a window of heartbeats so Snapshot walks real
-	// data, then measure the per-round extraction alone.
+	// data, then measure the per-heartbeat sample + extraction.
+	now := sim.Time(0)
 	for hb := 0; hb < 100; hb++ {
-		mon.Sample(sim.Time(hb) * 100 * sim.Millisecond)
+		now += 100 * sim.Millisecond
+		mon.Sample(now)
 	}
 	agg := knots.NewAggregator(mon)
-	now := 100 * 100 * sim.Millisecond
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now += 100 * sim.Millisecond
+		mon.Sample(now)
+		agg.Snapshot(now)
+	}
+}
+
+func BenchmarkAggregatorSnapshotReplay(b *testing.B) {
+	// Best case: nothing changed since the last snapshot, so every node is
+	// served from its cache (the same-instant replay the scheduler hits
+	// when it snapshots more often than the monitor samples).
+	cl := cluster.New(cluster.DefaultConfig())
+	mon := knots.NewMonitor(cl, 0)
+	now := sim.Time(0)
+	for hb := 0; hb < 100; hb++ {
+		now += 100 * sim.Millisecond
+		mon.Sample(now)
+	}
+	agg := knots.NewAggregator(mon)
+	agg.Snapshot(now)
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		agg.Snapshot(now)
 	}
 }
+
+func BenchmarkAggregatorSnapshotDirtyFew(b *testing.B) {
+	// O(dirty-nodes) case: a 32-node cluster where only node 0 reports each
+	// heartbeat (the rest are down, their databases empty), so every
+	// snapshot rebuilds one node and replays 31 from cache.
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 32
+	cl := cluster.New(cfg)
+	mon := knots.NewMonitor(cl, 0)
+	for n := 1; n < cfg.Nodes; n++ {
+		mon.SetNodeDown(n, true)
+	}
+	now := sim.Time(0)
+	for hb := 0; hb < 100; hb++ {
+		now += 100 * sim.Millisecond
+		mon.Sample(now)
+	}
+	agg := knots.NewAggregator(mon)
+	agg.Snapshot(now)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now += 100 * sim.Millisecond
+		mon.Sample(now)
+		agg.Snapshot(now)
+	}
+}
+
+// benchShardSnapshot builds a 512-GPU snapshot with residents on every
+// third device and a pending queue, the fixture for the sharded-round
+// benchmarks (Schedule never mutates the cluster, so iterations repeat the
+// identical round).
+func benchShardSnapshot(gpus, pods int) (*knots.Snapshot, []*k8s.Pod) {
+	cfg := cluster.DefaultConfig()
+	cfg.GPUsPerNode = 8
+	cfg.Nodes = gpus / cfg.GPUsPerNode
+	cl := cluster.New(cfg)
+	mon := knots.NewMonitor(cl, 0)
+	o := k8s.NewOrchestrator(sim.NewEngine(2), cl, scheduler.Uniform{}, k8s.Config{})
+	for i, g := range cl.GPUs() {
+		if i%3 == 0 {
+			p := workloads.RodiniaProfile(workloads.KMeans)
+			c := &cluster.Container{ID: "r" + strconv.Itoa(i), Class: p.Class, Inst: p.NewInstance(nil)}
+			if err := g.Place(0, c, 500+float64(i%32)*10); err != nil {
+				panic(err)
+			}
+		}
+	}
+	var now sim.Time
+	for i := 0; i < 30; i++ {
+		now += 100 * sim.Millisecond
+		cl.Tick(now, 100*sim.Millisecond)
+		mon.Sample(now)
+	}
+	snap := knots.NewAggregator(mon).Snapshot(now)
+	names := workloads.RodiniaNames()
+	queue := make([]*k8s.Pod, 0, pods)
+	for i := 0; i < pods; i++ {
+		queue = append(queue, o.NewPod(workloads.RodiniaProfile(names[i%len(names)]), nil))
+	}
+	return snap, queue
+}
+
+func benchShardedRound(b *testing.B, shards int) {
+	snap, queue := benchShardSnapshot(512, 16)
+	var p scheduler.PP
+	p.SetShards(shards)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Schedule(snap.At, queue, snap)
+	}
+}
+
+func BenchmarkShardedScheduleRound1(b *testing.B) { benchShardedRound(b, 1) }
+func BenchmarkShardedScheduleRound8(b *testing.B) { benchShardedRound(b, 8) }
 
 func BenchmarkTSDBWindowRead(b *testing.B) {
 	db := tsdb.New(0)

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,35 +22,49 @@ import (
 	"kubeknots/internal/sim"
 )
 
-var server = flag.String("server", "http://localhost:8088", "apiserver base URL")
-
 func main() {
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one CLI invocation and returns its exit code. main is a thin
+// wrapper so tests can drive the full command path against an in-process
+// apiserver.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("knotsctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://localhost:8088", "apiserver base URL")
+	fs.Usage = func() { usage(stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		usage(stderr)
+		return 2
 	}
 	c := api.NewClient(*server)
 	var err error
-	switch args[0] {
+	switch rest[0] {
 	case "apply":
-		err = apply(c, args[1:])
+		err = apply(c, rest[1:], stdout)
 	case "get":
-		err = get(c, args[1:])
+		err = get(c, rest[1:], stdout)
 	case "events":
-		err = events(c, args[1:])
+		err = events(c, rest[1:], stdout)
 	case "advance":
-		err = advance(c, args[1:])
+		err = advance(c, rest[1:], stdout)
 	default:
-		usage()
+		usage(stderr)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "knotsctl:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "knotsctl:", err)
+		return 1
 	}
+	return 0
 }
 
-func apply(c *api.Client, args []string) error {
+func apply(c *api.Client, args []string, w io.Writer) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: knotsctl apply <manifest.json>")
 	}
@@ -65,11 +80,11 @@ func apply(c *api.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pod/%s created (%s, %s)\n", st.Name, st.Class, st.Phase)
+	fmt.Fprintf(w, "pod/%s created (%s, %s)\n", st.Name, st.Class, st.Phase)
 	return nil
 }
 
-func get(c *api.Client, args []string) error {
+func get(c *api.Client, args []string, w io.Writer) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: knotsctl get pods|pod <name>|nodes|qos")
 	}
@@ -79,9 +94,9 @@ func get(c *api.Client, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-24s %-18s %-10s %8s %8s\n", "NAME", "CLASS", "PHASE", "CRASHES", "AGE(s)")
+		fmt.Fprintf(w, "%-24s %-18s %-10s %8s %8s\n", "NAME", "CLASS", "PHASE", "CRASHES", "AGE(s)")
 		for _, p := range pods {
-			fmt.Printf("%-24s %-18s %-10s %8d %8.1f\n",
+			fmt.Fprintf(w, "%-24s %-18s %-10s %8d %8.1f\n",
 				p.Name, p.Class, p.Phase, p.Crashes, float64(p.SubmitMS)/1000)
 		}
 		return nil
@@ -93,7 +108,7 @@ func get(c *api.Client, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("name: %s\nclass: %s\nphase: %s\npriority: %d\nsubmit: %dms\nscheduled: %dms\nfinished: %dms\ncrashes: %d\n",
+		fmt.Fprintf(w, "name: %s\nclass: %s\nphase: %s\npriority: %d\nsubmit: %dms\nscheduled: %dms\nfinished: %dms\ncrashes: %d\n",
 			p.Name, p.Class, p.Phase, p.Priority, p.SubmitMS, p.ScheduleMS, p.FinishMS, p.Crashes)
 		return nil
 	case "nodes":
@@ -101,14 +116,14 @@ func get(c *api.Client, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-8s %-6s %7s %10s %10s %7s %6s %6s\n",
+		fmt.Fprintf(w, "%-8s %-6s %7s %10s %10s %7s %6s %6s\n",
 			"GPU", "MODEL", "SM%", "USED(MB)", "FREE(MB)", "POWER", "PODS", "STATE")
 		for _, n := range nodes {
 			state := "awake"
 			if n.Asleep {
 				state = "sleep"
 			}
-			fmt.Printf("%-8s %-6s %7.1f %10.0f %10.0f %6.0fW %6d %6s\n",
+			fmt.Fprintf(w, "%-8s %-6s %7.1f %10.0f %10.0f %6.0fW %6d %6s\n",
 				n.GPU, n.Model, n.SMPct, n.MemUsedMB, n.FreeMB, n.PowerW, n.Containers, state)
 		}
 		return nil
@@ -117,14 +132,14 @@ func get(c *api.Client, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("queries: %d\nviolations: %d (%.1f per kilo)\nmean latency: %dms\np99 latency: %dms\n",
+		fmt.Fprintf(w, "queries: %d\nviolations: %d (%.1f per kilo)\nmean latency: %dms\np99 latency: %dms\n",
 			q.Queries, q.Violations, q.PerKilo, q.MeanMS, q.P99MS)
 		return nil
 	}
 	return fmt.Errorf("unknown resource %q", args[0])
 }
 
-func events(c *api.Client, args []string) error {
+func events(c *api.Client, args []string, w io.Writer) error {
 	pod := ""
 	if len(args) > 0 {
 		pod = args[0]
@@ -142,12 +157,12 @@ func events(c *api.Client, args []string) error {
 		if e.Detail != "" {
 			detail = " (" + e.Detail + ")"
 		}
-		fmt.Printf("%8.1fs %-10s %s%s%s\n", float64(e.AtMS)/1000, e.Type, e.Pod, where, detail)
+		fmt.Fprintf(w, "%8.1fs %-10s %s%s%s\n", float64(e.AtMS)/1000, e.Type, e.Pod, where, detail)
 	}
 	return nil
 }
 
-func advance(c *api.Client, args []string) error {
+func advance(c *api.Client, args []string, w io.Writer) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: knotsctl advance <duration>")
 	}
@@ -159,16 +174,15 @@ func advance(c *api.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("now=%v pending=%d completed=%d\n", now, pending, completed)
+	fmt.Fprintf(w, "now=%v pending=%d completed=%d\n", now, pending, completed)
 	return nil
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: knotsctl [-server URL] <command>
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: knotsctl [-server URL] <command>
 commands:
   apply <manifest.json>     submit a pod
   get pods|pod <n>|nodes|qos
   events [pod]
   advance <duration>        run the simulation forward (e.g. 60s)`)
-	os.Exit(2)
 }

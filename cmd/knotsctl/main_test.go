@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kubeknots/internal/api"
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/scheduler"
+	"kubeknots/internal/sim"
+)
+
+// newTestServer starts an in-process apiserver over a two-node cluster
+// under the PP scheduler — the same stack cmd/apiserver runs.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 2
+	cl := cluster.New(cfg)
+	orch := k8s.NewOrchestrator(eng, cl, &scheduler.PP{}, k8s.Config{})
+	ts := httptest.NewServer(api.NewServer(orch).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// ctl invokes the CLI against the given server and captures its streams.
+func ctl(t *testing.T, url string, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(append([]string{"-server", url}, args...), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func writeManifest(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pod.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestKnotsctlLifecycle walks the kubectl-style flow end to end: apply a
+// manifest, list pods, advance the simulation past the job's runtime, and
+// inspect the pod, nodes, QoS, and event log.
+func TestKnotsctlLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	manifest := writeManifest(t, `{"name":"job-1","workload":{"kind":"rodinia","name":"pathfinder"}}`)
+
+	code, out, errOut := ctl(t, ts.URL, "apply", manifest)
+	if code != 0 {
+		t.Fatalf("apply: exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "pod/job-1 created") {
+		t.Fatalf("apply output %q", out)
+	}
+
+	code, out, _ = ctl(t, ts.URL, "get", "pods")
+	if code != 0 || !strings.Contains(out, "NAME") || !strings.Contains(out, "job-1") {
+		t.Fatalf("get pods: exit %d, output %q", code, out)
+	}
+
+	// Advance 40 simulated seconds: pathfinder (~19 s) must complete.
+	code, out, errOut = ctl(t, ts.URL, "advance", "40s")
+	if code != 0 {
+		t.Fatalf("advance: exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "pending=0") || !strings.Contains(out, "completed=1") {
+		t.Fatalf("advance output %q", out)
+	}
+
+	code, out, _ = ctl(t, ts.URL, "get", "pod", "job-1")
+	if code != 0 || !strings.Contains(out, "name: job-1") || !strings.Contains(out, "phase: Succeeded") {
+		t.Fatalf("get pod: exit %d, output %q", code, out)
+	}
+
+	code, out, _ = ctl(t, ts.URL, "get", "nodes")
+	if code != 0 || !strings.Contains(out, "GPU") || !strings.Contains(out, "MODEL") {
+		t.Fatalf("get nodes: exit %d, output %q", code, out)
+	}
+
+	code, out, _ = ctl(t, ts.URL, "get", "qos")
+	if code != 0 || !strings.Contains(out, "queries:") {
+		t.Fatalf("get qos: exit %d, output %q", code, out)
+	}
+
+	code, out, _ = ctl(t, ts.URL, "events", "job-1")
+	if code != 0 || !strings.Contains(out, "job-1") {
+		t.Fatalf("events: exit %d, output %q", code, out)
+	}
+}
+
+// TestKnotsctlErrorPaths pins the exit codes: 2 for usage errors (bad
+// flags, missing or unknown commands), 1 for command failures (bad inputs,
+// unreachable server).
+func TestKnotsctlErrorPaths(t *testing.T) {
+	ts := newTestServer(t)
+	manifest := writeManifest(t, `{"name":"job-1","workload":{"kind":"rodinia","name":"pathfinder"}}`)
+	badManifest := writeManifest(t, `{"name":"job-2","workload":{"kind":"rodinia","name":"no-such-app"}}`)
+
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"no-command", nil, 2, "usage: knotsctl"},
+		{"unknown-command", []string{"destroy"}, 2, "usage: knotsctl"},
+		{"unknown-flag", []string{"-bogus", "get", "pods"}, 2, "flag provided but not defined"},
+		{"apply-no-file", []string{"apply"}, 1, "usage: knotsctl apply"},
+		{"apply-missing-file", []string{"apply", "does-not-exist.json"}, 1, "no such file"},
+		{"apply-bad-workload", []string{"apply", badManifest}, 1, "unknown rodinia application"},
+		{"get-nothing", []string{"get"}, 1, "usage: knotsctl get"},
+		{"get-unknown-resource", []string{"get", "volcanoes"}, 1, `unknown resource "volcanoes"`},
+		{"get-pod-no-name", []string{"get", "pod"}, 1, "usage: knotsctl get pod"},
+		{"get-pod-unknown", []string{"get", "pod", "ghost"}, 1, ""},
+		{"advance-no-duration", []string{"advance"}, 1, "usage: knotsctl advance"},
+		{"advance-bad-duration", []string{"advance", "soon"}, 1, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(append([]string{"-server", ts.URL}, tc.args...), &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr %q missing %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+
+	// A dead server must fail with exit 1, not hang or panic.
+	if code, _, errOut := ctl(t, "http://127.0.0.1:1", "get", "pods"); code != 1 || errOut == "" {
+		t.Fatalf("dead server: exit %d, stderr %q", code, errOut)
+	}
+	_ = manifest
+}
+
+// TestKnotsctlApplyThenQoSAfterInference drives a latency-critical manifest
+// through the same path, covering the inference workload kind.
+func TestKnotsctlApplyThenQoSAfterInference(t *testing.T) {
+	ts := newTestServer(t)
+	manifest := writeManifest(t,
+		`{"name":"serve-1","workload":{"kind":"inference","name":"pos","batch":1}}`)
+	if code, out, errOut := ctl(t, ts.URL, "apply", manifest); code != 0 || !strings.Contains(out, "pod/serve-1 created") {
+		t.Fatalf("apply: exit %d, out %q, stderr %q", code, out, errOut)
+	}
+	if code, _, errOut := ctl(t, ts.URL, "advance", "10s"); code != 0 {
+		t.Fatalf("advance: exit %d, stderr %q", code, errOut)
+	}
+	code, out, _ := ctl(t, ts.URL, "get", "qos")
+	if code != 0 || !strings.Contains(out, "queries: 1") {
+		t.Fatalf("get qos: exit %d, output %q", code, out)
+	}
+}

@@ -8,7 +8,9 @@
 //	kubeknots all
 //
 // Experiments: fig1 fig2a fig2b fig2c fig3 fig4 table1 fig6 fig7 fig8 fig9
-// fig10a fig10b fig11a fig11b fig12a fig12b table4 chaos ablations
+// fig10a fig10b fig11a fig11b fig12a fig12b table4 chaos ablations, plus the
+// scale study fig-scale (not part of "all": its cells are wall-clock
+// timings).
 //
 // Every experiment builds its own simulation state from the seed, so "all"
 // and multi-experiment invocations fan the (experiment × seed) grid across a
@@ -35,79 +37,66 @@ import (
 	"kubeknots/internal/trace"
 )
 
-var (
-	horizon  = flag.Duration("horizon", 5*time.Minute, "simulated load window for cluster experiments")
-	seed     = flag.Int64("seed", 1, "deterministic seed")
-	seedList = flag.String("seeds", "", "comma-separated seeds for a replication sweep; tables report mean±stddev (overrides -seed)")
-	parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the experiment sweep (1 = serial)")
-	stats    = flag.Bool("stats", false, "print per-job wall time and allocation stats to stderr")
-	dlscale  = flag.String("dlscale", "full", "DL simulator scale: full (520 DLT + 1400 DLI on 256 GPUs) or small")
-	tscale   = flag.String("tracescale", "small", "Alibaba-style trace scale for fig2: full (12h, ~24k tasks) or small")
-	format   = flag.String("format", "text", "output format: text | json | csv")
-
-	chaosSeed = flag.Int64("chaos-seed", 0, "fault-schedule seed for the chaos experiment (0 = follow -seed)")
-	mttf      = flag.Duration("mttf", 90*time.Second, "per-node mean time to failure for the chaos experiment")
-	mttr      = flag.Duration("mttr", 10*time.Second, "per-node mean time to repair for the chaos experiment")
-
-	traceOut    = flag.String("trace-out", "", "write per-pod scheduling decision audit records (JSONL) to this file")
-	timelineOut = flag.String("timeline-out", "", "write a Chrome trace_event timeline (open in chrome://tracing or Perfetto) to this file")
-)
-
-// emit renders a table in the selected format.
-func emit(t *experiments.Table) error {
-	switch *format {
-	case "json":
-		return t.FprintJSON(os.Stdout)
-	case "csv":
-		return t.FprintCSV(os.Stdout)
-	default:
-		t.Fprint(os.Stdout)
-		return nil
-	}
-}
-
-// parseSeeds parses the -seeds flag; empty means "use -seed alone".
-func parseSeeds(s string) ([]int64, error) {
-	if strings.TrimSpace(s) == "" {
-		return []int64{*seed}, nil
-	}
-	var out []int64
-	for _, f := range strings.Split(s, ",") {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			continue
-		}
-		v, err := strconv.ParseInt(f, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad seed %q", f)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no seeds in %q", s)
-	}
-	return out, nil
-}
-
 func main() {
-	flag.Parse()
-	names := flag.Args()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one CLI invocation and returns its exit code. main is a thin
+// wrapper so tests can drive the full flag-parsing and dispatch path with
+// captured output streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kubeknots", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		horizon  = fs.Duration("horizon", 5*time.Minute, "simulated load window for cluster experiments")
+		seed     = fs.Int64("seed", 1, "deterministic seed")
+		seedList = fs.String("seeds", "", "comma-separated seeds for a replication sweep; tables report mean±stddev (overrides -seed)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the experiment sweep (1 = serial)")
+		shards   = fs.Int("shards", 1, "node-shard count for the CBP/PP candidate scan (1 = serial scan; output is byte-identical at any value)")
+		stats    = fs.Bool("stats", false, "print per-job wall time and allocation stats to stderr")
+		dlscale  = fs.String("dlscale", "full", "DL simulator scale: full (520 DLT + 1400 DLI on 256 GPUs) or small")
+		tscale   = fs.String("tracescale", "small", "Alibaba-style trace scale for fig2: full (12h, ~24k tasks) or small")
+		format   = fs.String("format", "text", "output format: text | json | csv")
+
+		chaosSeed = fs.Int64("chaos-seed", 0, "fault-schedule seed for the chaos experiment (0 = follow -seed)")
+		mttf      = fs.Duration("mttf", 90*time.Second, "per-node mean time to failure for the chaos experiment")
+		mttr      = fs.Duration("mttr", 10*time.Second, "per-node mean time to repair for the chaos experiment")
+
+		traceOut    = fs.String("trace-out", "", "write per-pod scheduling decision audit records (JSONL) to this file")
+		timelineOut = fs.String("timeline-out", "", "write a Chrome trace_event timeline (open in chrome://tracing or Perfetto) to this file")
+	)
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	names := fs.Args()
 	if len(names) == 0 {
-		usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	if len(names) == 1 && names[0] == "all" {
 		names = experiments.ExperimentNames()
 	}
 
-	seeds, err := parseSeeds(*seedList)
+	seeds, err := parseSeeds(*seedList, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "kubeknots: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "kubeknots: %v\n", err)
+		return 2
+	}
+	if *shards < 1 {
+		fmt.Fprintf(stderr, "kubeknots: -shards must be >= 1 (got %d)\n", *shards)
+		return 2
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(stderr, "kubeknots: unknown -format %q (want text, json, or csv)\n", *format)
+		return 2
 	}
 
 	base := experiments.DefaultSpec()
 	base.Cluster.Horizon = sim.Time(horizon.Milliseconds())
+	base.Cluster.Shards = *shards
 	if *dlscale == "small" {
 		base.DL = dlsim.Small()
 	} else {
@@ -130,9 +119,9 @@ func main() {
 	for i, name := range names {
 		e, err := experiments.ExperimentByName(name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "kubeknots: unknown experiment %q\n", name)
-			usage()
-			os.Exit(2)
+			fmt.Fprintf(stderr, "kubeknots: unknown experiment %q\n", name)
+			fs.Usage()
+			return 2
 		}
 		exps[i] = e
 	}
@@ -167,11 +156,11 @@ func main() {
 
 	if *stats {
 		for _, r := range results {
-			fmt.Fprintf(os.Stderr, "kubeknots: job %-24s wall=%-12s alloc=%.1fMB worker=%d\n",
+			fmt.Fprintf(stderr, "kubeknots: job %-24s wall=%-12s alloc=%.1fMB worker=%d\n",
 				r.Key, r.Wall.Round(time.Millisecond), float64(r.AllocBytes)/(1<<20), r.Worker)
 		}
 		s := sweep.Summarize(results)
-		fmt.Fprintf(os.Stderr, "kubeknots: sweep: %d jobs, %d errors, total-wall=%s max-wall=%s alloc=%.1fMB parallel=%d\n",
+		fmt.Fprintf(stderr, "kubeknots: sweep: %d jobs, %d errors, total-wall=%s max-wall=%s alloc=%.1fMB parallel=%d\n",
 			s.Jobs, s.Errors, s.TotalWall.Round(time.Millisecond), s.MaxWall.Round(time.Millisecond),
 			float64(s.AllocBytes)/(1<<20), *parallel)
 	}
@@ -184,20 +173,20 @@ func main() {
 		runs := make([][]*experiments.Table, 0, len(group))
 		for _, r := range group {
 			if r.Err != nil {
-				fmt.Fprintf(os.Stderr, "kubeknots: %s: %v\n", r.Key, r.Err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "kubeknots: %s: %v\n", r.Key, r.Err)
+				return 1
 			}
 			runs = append(runs, r.Value)
 		}
 		tabs, err := experiments.AggregateSeeds(runs, seeds)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "kubeknots: %s: %v\n", e.Name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "kubeknots: %s: %v\n", e.Name, err)
+			return 1
 		}
 		for _, t := range tabs {
-			if err := emit(t); err != nil {
-				fmt.Fprintf(os.Stderr, "kubeknots: %s: %v\n", e.Name, err)
-				os.Exit(1)
+			if err := emit(t, *format, stdout); err != nil {
+				fmt.Fprintf(stderr, "kubeknots: %s: %v\n", e.Name, err)
+				return 1
 			}
 		}
 	}
@@ -207,17 +196,54 @@ func main() {
 	if collector != nil {
 		if *traceOut != "" {
 			if err := writeFileWith(*traceOut, collector.WriteDecisionLog); err != nil {
-				fmt.Fprintf(os.Stderr, "kubeknots: -trace-out: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "kubeknots: -trace-out: %v\n", err)
+				return 1
 			}
 		}
 		if *timelineOut != "" {
 			if err := writeFileWith(*timelineOut, collector.WriteTimeline); err != nil {
-				fmt.Fprintf(os.Stderr, "kubeknots: -timeline-out: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "kubeknots: -timeline-out: %v\n", err)
+				return 1
 			}
 		}
 	}
+	return 0
+}
+
+// emit renders a table in the selected format.
+func emit(t *experiments.Table, format string, w io.Writer) error {
+	switch format {
+	case "json":
+		return t.FprintJSON(w)
+	case "csv":
+		return t.FprintCSV(w)
+	default:
+		t.Fprint(w)
+		return nil
+	}
+}
+
+// parseSeeds parses the -seeds flag; empty means "use -seed alone".
+func parseSeeds(s string, def int64) ([]int64, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int64{def}, nil
+	}
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", s)
+	}
+	return out, nil
 }
 
 // writeFileWith streams one export into path.
@@ -233,10 +259,10 @@ func writeFileWith(path string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: kubeknots [flags] <experiment>...
+func usage(fs *flag.FlagSet, w io.Writer) {
+	fmt.Fprintln(w, `usage: kubeknots [flags] <experiment>...
 experiments: fig1 fig2a fig2b fig2c fig3 fig4 table1 fig6 fig7 fig8 fig9
              fig10a fig10b fig11a fig11b fig12a fig12b table4 chaos
-             ablations all`)
-	flag.PrintDefaults()
+             ablations all fig-scale`)
+	fs.PrintDefaults()
 }

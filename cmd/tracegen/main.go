@@ -8,35 +8,46 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"kubeknots/internal/trace"
 )
 
-var (
-	seed  = flag.Int64("seed", 1, "deterministic seed")
-	batch = flag.Int("batch", 12951, "number of batch jobs")
-	lc    = flag.Int("lc", 11089, "number of latency-critical containers")
-	hours = flag.Float64("hours", 12, "trace horizon in hours")
-	fleet = flag.Int("fleet", 0, "assign tasks to this many machines and report fleet stats (0 = off)")
-)
-
 func main() {
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one CLI invocation and returns its exit code. main is a thin
+// wrapper so tests can drive the flag and output paths directly.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed  = fs.Int64("seed", 1, "deterministic seed")
+		batch = fs.Int("batch", 12951, "number of batch jobs")
+		lc    = fs.Int("lc", 11089, "number of latency-critical containers")
+		hours = fs.Float64("hours", 12, "trace horizon in hours")
+		fleet = fs.Int("fleet", 0, "assign tasks to this many machines and report fleet stats (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	cfg := trace.Config{
 		BatchJobs:    *batch,
 		LCContainers: *lc,
 		Horizon:      trace.HorizonFromHours(*hours),
 	}
 	tr := trace.Generate(*seed, cfg)
-	if err := tr.WriteCSV(os.Stdout); err != nil {
-		log.Fatal(err)
+	if err := tr.WriteCSV(stdout); err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
 	}
 	if *fleet > 0 {
 		a := tr.AssignMachines(*fleet, *seed)
 		st := trace.FleetStats(tr.MachineLoadSeries(a, 0))
-		fmt.Fprintf(os.Stderr, "fleet: %d machines, mean load %.2f tasks, p99 %.0f, idle fraction %.2f\n",
+		fmt.Fprintf(stderr, "fleet: %d machines, mean load %.2f tasks, p99 %.0f, idle fraction %.2f\n",
 			a.Machines, st.MeanLoad, st.P99Load, st.IdleFraction)
 	}
+	return 0
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// gen invokes the CLI with a small trace and captures both streams.
+func gen(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestTracegenCSVShape pins the output contract: a header line plus one CSV
+// row per task, every row with the header's column count.
+func TestTracegenCSVShape(t *testing.T) {
+	code, out, errOut := gen(t, "-batch", "40", "-lc", "25", "-hours", "0.5")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, errOut)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+40+25 {
+		t.Fatalf("lines = %d, want header + 65 tasks", len(lines))
+	}
+	cols := len(strings.Split(lines[0], ","))
+	if cols < 4 {
+		t.Fatalf("header has %d columns: %q", cols, lines[0])
+	}
+	for i, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != cols {
+			t.Fatalf("row %d has %d columns, header has %d: %q", i+1, got, cols, line)
+		}
+	}
+	if errOut != "" {
+		t.Fatalf("stderr not empty without -fleet: %q", errOut)
+	}
+}
+
+// TestTracegenDeterministic pins seed behaviour: same seed, same bytes;
+// different seed, different bytes.
+func TestTracegenDeterministic(t *testing.T) {
+	_, a, _ := gen(t, "-seed", "7", "-batch", "30", "-lc", "20", "-hours", "0.5")
+	_, b, _ := gen(t, "-seed", "7", "-batch", "30", "-lc", "20", "-hours", "0.5")
+	if a != b {
+		t.Fatal("same seed produced different traces")
+	}
+	_, c, _ := gen(t, "-seed", "8", "-batch", "30", "-lc", "20", "-hours", "0.5")
+	if a == c {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestTracegenFleetLine pins the -fleet summary: stats go to stderr (the
+// CSV on stdout must stay machine-readable) and name the machine count.
+func TestTracegenFleetLine(t *testing.T) {
+	code, out, errOut := gen(t, "-batch", "40", "-lc", "25", "-hours", "0.5", "-fleet", "13")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, errOut)
+	}
+	if !strings.HasPrefix(errOut, "fleet: 13 machines") {
+		t.Fatalf("fleet line = %q", errOut)
+	}
+	if strings.Contains(out, "fleet:") {
+		t.Fatal("fleet stats leaked onto stdout")
+	}
+}
+
+// TestTracegenBadFlag pins the usage exit code.
+func TestTracegenBadFlag(t *testing.T) {
+	code, out, errOut := gen(t, "-hours", "lots")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if out != "" {
+		t.Fatalf("stdout not empty on flag error: %q", out)
+	}
+	if !strings.Contains(errOut, "invalid value") {
+		t.Fatalf("stderr = %q", errOut)
+	}
+}

@@ -25,6 +25,10 @@ type ClusterConfig struct {
 	// MemCapMB overrides per-GPU memory (0 = the P100's 16 GB); the resize
 	// ablation uses small devices so reservations actually bind.
 	MemCapMB float64
+	// Shards partitions the scheduler's candidate scan across node shards
+	// (0/1 = the serial scan). Only Shardable schedulers (CBP, PP) honour
+	// it; results are byte-identical at any value (DESIGN.md §7).
+	Shards int
 
 	// Chaos injects the given fault plan into the run. The zero value means
 	// no injector is even constructed, so baseline runs are byte-identical
@@ -108,6 +112,11 @@ type ClusterRun struct {
 // queries, the rest long batch jobs (Section III).
 func RunCluster(sched k8s.Scheduler, mix workloads.AppMix, cfg ClusterConfig) *ClusterRun {
 	cfg = cfg.withDefaults()
+	if cfg.Shards > 1 {
+		if s, ok := sched.(scheduler.Shardable); ok {
+			s.SetShards(cfg.Shards)
+		}
+	}
 	eng := sim.NewEngine(cfg.Seed)
 	ccfg := cluster.DefaultConfig()
 	ccfg.Nodes = cfg.Nodes

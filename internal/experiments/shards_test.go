@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+// TestShardsDeterministic pins the -shards guarantee end to end through the
+// experiment harness: the sharded candidate scan must render byte-identical
+// tables at any shard count — including counts far above the node count —
+// for the families the paper's headline results come from.
+func TestShardsDeterministic(t *testing.T) {
+	skipSlowUnderRace(t)
+	spec := fastSpec()
+	SetParallelism(1)
+	defer SetParallelism(0)
+	for _, name := range []string{"fig9", "fig10a", "ablations"} {
+		e, err := ExperimentByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			spec.Cluster.Shards = 1
+			serial := render(t, e, spec)
+			if serial == "" {
+				t.Fatal("experiment rendered no output")
+			}
+			for _, shards := range []int{4, 32} {
+				spec.Cluster.Shards = shards
+				if got := render(t, e, spec); got != serial {
+					t.Errorf("output differs between -shards 1 and -shards %d:\n--- serial ---\n%s--- sharded ---\n%s",
+						shards, serial, got)
+				}
+			}
+		})
+	}
+}

@@ -105,15 +105,26 @@ func resampleInto(dst, xs []float64, n int) []float64 {
 	return dst
 }
 
-// scratch holds one scheduler's reusable hot-path buffers. A scheduler
-// instance serves a single run on a single goroutine (the sweep pool
-// constructs a fresh scheduler per job), so the buffers are overwritten on
-// every call and never shared; see DESIGN.md "Hot-path memory discipline".
-type scratch struct {
+// gateScratch holds the buffers one candidate-evaluation context reuses
+// across gate checks: the profile resample buffer and the Spearman rank
+// buffers. The serial path owns one; the sharded path owns one per shard, so
+// concurrent shard scans never share a buffer.
+type gateScratch struct {
 	resampled []float64
-	pods      []*k8s.Pod
 	spearman  metrics.SpearmanScratch
-	plan      planner
+}
+
+// scratch holds one scheduler's reusable hot-path buffers. A scheduler
+// instance serves a single run (the sweep pool constructs a fresh scheduler
+// per job), so the buffers are overwritten on every call and never shared
+// across runs; see DESIGN.md "Hot-path memory discipline".
+type scratch struct {
+	gate   gateScratch
+	pods   []*k8s.Pod
+	plan   planner
+	shards []shardState
+	nodeOf []int // per-device node id, rebuilt each sharded round
+	assign []int // per-device shard assignment, rebuilt each sharded round
 }
 
 // planner tracks in-round commitments so one scheduling pass cannot
@@ -220,8 +231,16 @@ func (p *planner) reorder(i int) {
 	if len(p.order) != len(p.stats) {
 		return // order not built (Uniform/Res-Ag scan the snapshot directly)
 	}
+	p.reorderIn(p.order, i)
+}
+
+// reorderIn repairs any pl.less-sorted index slice (the global candidate
+// order, or one shard's order) after device i's key changed: remove it,
+// binary-search its new slot, reinsert. A slice not containing i is left
+// untouched.
+func (p *planner) reorderIn(order []int, i int) {
 	pos := -1
-	for k, idx := range p.order {
+	for k, idx := range order {
 		if idx == i {
 			pos = k
 			break
@@ -230,11 +249,11 @@ func (p *planner) reorder(i int) {
 	if pos < 0 {
 		return
 	}
-	copy(p.order[pos:], p.order[pos+1:])
-	n := len(p.order) - 1
-	at := sort.Search(n, func(k int) bool { return p.less(i, p.order[k]) })
-	copy(p.order[at+1:n+1], p.order[at:n])
-	p.order[at] = i
+	copy(order[pos:], order[pos+1:])
+	n := len(order) - 1
+	at := sort.Search(n, func(k int) bool { return p.less(i, order[k]) })
+	copy(order[at+1:n+1], order[at:n])
+	order[at] = i
 }
 
 // Uniform is the GPU-agnostic Kubernetes default: one pod per device,
@@ -360,10 +379,18 @@ type CBP struct {
 	// Trace, when set, receives a per-pod placement audit record for every
 	// scheduling attempt (nil = no tracing, zero overhead).
 	Trace obs.Tracer
+	// Shards splits each pod's candidate scan across node-aligned shards
+	// evaluated concurrently (shard.go); values ≤ 1 keep the serial scan.
+	// Any shard count produces byte-identical decisions and traces — see
+	// DESIGN.md §7 for the argument.
+	Shards int
 
 	profCache map[string][]float64
 	scr       scratch
 }
+
+// SetShards implements Shardable.
+func (c *CBP) SetShards(n int) { c.Shards = n }
 
 // SetDecisionTracer implements obs.DecisionTraceable.
 func (c *CBP) SetDecisionTracer(t obs.Tracer) { c.Trace = t }
@@ -481,16 +508,17 @@ func (c *CBP) staleAdmit(pod *k8s.Pod, st *knots.GPUStat, pl *planner, i int) (f
 // enough structure to correlate; latency-critical pods are co-located after
 // harvesting (Section IV-C).
 func (c *CBP) corrOK(pod *k8s.Pod, st *knots.GPUStat) bool {
-	_, _, ok := c.corrCheck(pod, st)
+	_, _, ok := c.corrCheck(pod, st, &c.scr.gate)
 	return ok
 }
 
 // corrCheck is corrOK with the computed ρ exposed for decision tracing:
 // computed reports whether a correlation was actually evaluated (batch pod,
 // enough node history), and ok whether the gate passes. The resample and
-// rank buffers live in the scheduler's scratch, so the per-candidate check
-// does not allocate.
-func (c *CBP) corrCheck(pod *k8s.Pod, st *knots.GPUStat) (rho float64, computed, ok bool) {
+// rank buffers live in gs, so the per-candidate check does not allocate;
+// concurrent shard scans pass disjoint scratches. The profile cache must be
+// pre-warmed (see upcomingMemSeries) before concurrent use.
+func (c *CBP) corrCheck(pod *k8s.Pod, st *knots.GPUStat, gs *gateScratch) (rho float64, computed, ok bool) {
 	corrTh, _, _, _ := c.params()
 	if pod.Class != workloads.Batch {
 		return 0, false, true
@@ -499,9 +527,9 @@ func (c *CBP) corrCheck(pod *k8s.Pod, st *knots.GPUStat) (rho float64, computed,
 	if len(node) < 8 || metrics.Variance(node) == 0 {
 		return 0, false, true // empty or flat node: nothing to correlate against
 	}
-	prof := resampleInto(c.scr.resampled[:0], c.upcomingMemSeries(pod.Profile), len(node))
-	c.scr.resampled = prof
-	rho, err := c.scr.spearman.Rho(prof, node)
+	prof := resampleInto(gs.resampled[:0], c.upcomingMemSeries(pod.Profile), len(node))
+	gs.resampled = prof
+	rho, err := gs.spearman.Rho(prof, node)
 	if err != nil {
 		return 0, false, true
 	}
@@ -542,6 +570,92 @@ func (c *CBP) batchLimit() int {
 
 // Schedule implements k8s.Scheduler.
 func (c *CBP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []k8s.Decision {
+	return c.scheduleAlgo1(nil, "CBP", now, pending, snap)
+}
+
+// candEval is the outcome of evaluating one candidate device for one pod:
+// the admission verdict, the reservation to commit on admit, and the trace
+// step the serial scan would have recorded.
+type candEval struct {
+	ci      int  // snapshot index of the candidate device
+	admit   bool // the pod may be placed here
+	reserve float64
+	ct      obs.CandidateTrace
+}
+
+// evalCandidate runs the Algorithm-1 gate sequence for one pod against one
+// candidate device. It only *reads* planner state (free, planned SM,
+// in-round commits) and writes nothing but gs, so concurrent calls with
+// disjoint scratches are safe — this is what makes the sharded scan's
+// results identical to the serial scan's: the gates are pure functions of
+// (pod, device, planner state), and planner state only changes between
+// pods, never during one pod's scan. pp non-nil enables PP's forecast
+// fallback when the correlation gate refuses; nil is plain CBP.
+func (c *CBP) evalCandidate(pp *PP, pod *k8s.Pod, reserve, peakSM, maxSM float64, ci int, snap *knots.Snapshot, pl *planner, gs *gateScratch) candEval {
+	st := &snap.Stats[ci]
+	g := st.GPU
+	free, planned := pl.free[ci], pl.sm[ci]
+	ev := candEval{ci: ci}
+	if st.Stale {
+		// Degraded mode: no correlation, no forecast — a rotten window
+		// licenses neither. Conservative exclusive placement only.
+		if r, ok := c.staleAdmit(pod, st, pl, ci); ok {
+			ev.admit, ev.reserve = true, r
+			ev.ct = obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Stale: true, Outcome: obs.OutcomePlacedStale}
+			return ev
+		}
+		ev.ct = obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Stale: true, Outcome: obs.RejectStaleExclusive}
+		return ev
+	}
+	if free < reserve {
+		ev.ct = obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectFreeMem}
+		return ev
+	}
+	if pod.Class == workloads.Batch && planned+peakSM > maxSM {
+		ev.ct = obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectSMCap}
+		return ev
+	}
+	if pod.Class == workloads.LatencyCritical && !c.lcFits(pod, planned) {
+		ev.ct = obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectSLO}
+		return ev
+	}
+	if !k8s.FitsAffinity(pod, g, st.Resident) {
+		ev.ct = obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectAffinity}
+		return ev
+	}
+	rho, rhoComputed, ok := c.corrCheck(pod, st, gs)
+	if ok {
+		// Algorithm 1: Can_Co-locate → Ship_Container.
+		ev.admit, ev.reserve = true, reserve
+		ev.ct = obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.OutcomePlaced, Rho: optFloat(rho, rhoComputed)}
+		return ev
+	}
+	if pp == nil {
+		ev.ct = obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectCorrelation, Rho: optFloat(rho, rhoComputed)}
+		return ev
+	}
+	// Correlation gate failed: try the forecast path. A positive
+	// autocorrelation on the node's memory series licenses an AR(1)
+	// forecast; ship if predicted free memory — net of what this round
+	// already committed to the device — covers the pod's peak.
+	pred, predComputed, admit, outcome := pp.forecastCheck(st, pod.Profile.PeakMemMB(), pl.committed[ci])
+	ev.ct = obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: outcome, Rho: optFloat(rho, rhoComputed)}
+	if predComputed {
+		ev.ct.ForecastMB = optFloat(pred, true)
+		ev.ct.ForecastFreeMB = optFloat(st.GPU.MemCapMB-pred-pl.committed[ci], true)
+	}
+	if admit {
+		ev.admit, ev.reserve = true, reserve
+	}
+	return ev
+}
+
+// scheduleAlgo1 is the shared CBP/PP scheduling round: harvest-sorted pod
+// queue, then for each pod a first-admissible scan over the pl.less
+// candidate order. With Shards > 1 the scan fans out across node shards
+// (shard.go); the serial loop below is the reference semantics the sharded
+// path must reproduce byte-for-byte.
+func (c *CBP) scheduleAlgo1(pp *PP, name string, now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []k8s.Decision {
 	_, _, _, maxSM := c.params()
 	pl := &c.scr.plan
 	pl.reset(snap)
@@ -553,53 +667,25 @@ func (c *CBP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) [
 	sort.SliceStable(order, func(i, j int) bool {
 		return c.ReserveFor(order[i]) > c.ReserveFor(order[j])
 	})
+	if c.shardCount(snap) > 1 {
+		return c.scheduleSharded(pp, name, now, order, snap, maxSM)
+	}
 	var out []k8s.Decision
 	for _, pod := range order {
 		reserve := c.ReserveFor(pod)
 		peakSM := pod.Profile.PeakSMPct()
-		rec := newAudit(c.Trace, now, "CBP", pod, reserve, peakSM)
+		rec := newAudit(c.Trace, now, name, pod, reserve, peakSM)
 		var placed *cluster.GPU
 		for _, ci := range pl.candidateOrder() {
-			st := &snap.Stats[ci]
-			g := st.GPU
-			free, planned := pl.free[ci], pl.sm[ci]
-			if st.Stale {
-				if r, ok := c.staleAdmit(pod, st, pl, ci); ok {
-					rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Stale: true, Outcome: obs.OutcomePlacedStale})
-					out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: r})
-					pl.commit(ci, r, peakSM)
-					placed = g
-					break
-				}
-				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Stale: true, Outcome: obs.RejectStaleExclusive})
-				continue
+			ev := c.evalCandidate(pp, pod, reserve, peakSM, maxSM, ci, snap, pl, &c.scr.gate)
+			rec.step(ev.ct)
+			if ev.admit {
+				g := snap.Stats[ci].GPU
+				out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: ev.reserve})
+				pl.commit(ci, ev.reserve, peakSM)
+				placed = g
+				break
 			}
-			if free < reserve {
-				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectFreeMem})
-				continue
-			}
-			if pod.Class == workloads.Batch && planned+peakSM > maxSM {
-				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectSMCap})
-				continue
-			}
-			if pod.Class == workloads.LatencyCritical && !c.lcFits(pod, planned) {
-				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectSLO})
-				continue
-			}
-			if !k8s.FitsAffinity(pod, g, st.Resident) {
-				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectAffinity})
-				continue
-			}
-			rho, computed, ok := c.corrCheck(pod, st)
-			if !ok {
-				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectCorrelation, Rho: optFloat(rho, computed)})
-				continue
-			}
-			rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.OutcomePlaced, Rho: optFloat(rho, computed)})
-			out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
-			pl.commit(ci, reserve, peakSM)
-			placed = g
-			break
 		}
 		rec.emit(c.Trace, placed)
 	}
@@ -624,86 +710,7 @@ func (p *PP) Name() string { return "PP" }
 
 // Schedule implements k8s.Scheduler.
 func (p *PP) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []k8s.Decision {
-	_, _, _, maxSM := p.params()
-	pl := &p.scr.plan
-	pl.reset(snap)
-	order := append(p.scr.pods[:0], pending...)
-	p.scr.pods = order
-	if len(order) > p.batchLimit() {
-		order = order[:p.batchLimit()]
-	}
-	sort.SliceStable(order, func(i, j int) bool {
-		return p.ReserveFor(order[i]) > p.ReserveFor(order[j])
-	})
-	var out []k8s.Decision
-	for _, pod := range order {
-		reserve := p.ReserveFor(pod)
-		peakSM := pod.Profile.PeakSMPct()
-		rec := newAudit(p.Trace, now, "PP", pod, reserve, peakSM)
-		var placed *cluster.GPU
-		for _, ci := range pl.candidateOrder() {
-			st := &snap.Stats[ci]
-			g := st.GPU
-			free, planned := pl.free[ci], pl.sm[ci]
-			if st.Stale {
-				// Degraded mode: no correlation, no forecast — a rotten window
-				// licenses neither. Conservative exclusive placement only.
-				if r, ok := p.staleAdmit(pod, st, pl, ci); ok {
-					rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Stale: true, Outcome: obs.OutcomePlacedStale})
-					out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: r})
-					pl.commit(ci, r, peakSM)
-					placed = g
-					break
-				}
-				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Stale: true, Outcome: obs.RejectStaleExclusive})
-				continue
-			}
-			if free < reserve {
-				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectFreeMem})
-				continue
-			}
-			if pod.Class == workloads.Batch && planned+peakSM > maxSM {
-				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectSMCap})
-				continue
-			}
-			if pod.Class == workloads.LatencyCritical && !p.lcFits(pod, planned) {
-				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectSLO})
-				continue
-			}
-			if !k8s.FitsAffinity(pod, g, st.Resident) {
-				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.RejectAffinity})
-				continue
-			}
-			rho, rhoComputed, ok := p.corrCheck(pod, st)
-			if ok {
-				// Algorithm 1: Can_Co-locate → Ship_Container.
-				rec.step(obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: obs.OutcomePlaced, Rho: optFloat(rho, rhoComputed)})
-				out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
-				pl.commit(ci, reserve, peakSM)
-				placed = g
-				break
-			}
-			// Correlation gate failed: try the forecast path. A positive
-			// autocorrelation on the node's memory series licenses an AR(1)
-			// forecast; ship if predicted free memory — net of what this round
-			// already committed to the device — covers the pod's peak.
-			pred, predComputed, admit, outcome := p.forecastCheck(st, pod.Profile.PeakMemMB(), pl.committed[ci])
-			ct := obs.CandidateTrace{GPU: g.ID(), FreeMB: free, PlannedSM: planned, Outcome: outcome, Rho: optFloat(rho, rhoComputed)}
-			if predComputed {
-				ct.ForecastMB = optFloat(pred, true)
-				ct.ForecastFreeMB = optFloat(st.GPU.MemCapMB-pred-pl.committed[ci], true)
-			}
-			rec.step(ct)
-			if admit {
-				out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: reserve})
-				pl.commit(ci, reserve, peakSM)
-				placed = g
-				break
-			}
-		}
-		rec.emit(p.Trace, placed)
-	}
-	return out
+	return p.CBP.scheduleAlgo1(p, "PP", now, pending, snap)
 }
 
 // forecastAdmits implements the else-branch of Algorithm 1's SCHEDULE

@@ -1,0 +1,239 @@
+// Sharded scale-out of the Algorithm-1 scheduling round (CBP/PP).
+//
+// One scheduling round is a sequence of per-pod scans: each pod walks the
+// pl.less-sorted candidate order and takes the first admissible device.
+// The scan is embarrassingly parallel *within one pod* — every gate is a
+// pure read of planner state — but strictly sequential *across pods*,
+// because each commit changes the planner state the next pod's gates read.
+//
+// The sharded path therefore parallelizes inside the pod loop: the
+// candidate order is partitioned into node-aligned shards, every shard
+// scans its own sub-order to its local first-admissible candidate, and a
+// deterministic merge picks the pl.less-minimum of the shard winners. That
+// minimum *is* the serial scan's answer: each shard's order is a
+// restriction of the global order, so the global first-admissible device is
+// the least (by pl.less) of the shard-local first-admissibles. Commits stay
+// single-threaded, after the merge. Decision traces are reconstructed by a
+// k-way merge of the per-shard gate outcomes, truncated at the winner —
+// byte-identical to the serial trace at any shard count. DESIGN.md §7
+// spells out the full argument and its invariants.
+package scheduler
+
+import (
+	"runtime"
+	"sync"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/knots"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// Shardable is implemented by schedulers whose round can fan out across
+// node shards. The experiment harness uses it to thread the -shards flag
+// to whichever schedulers support it without caring which ones do.
+type Shardable interface {
+	SetShards(n int)
+}
+
+// forceShardGoroutines makes the sharded path spawn goroutines even on a
+// single-CPU runtime (where it would otherwise scan shards inline, since
+// goroutines buy nothing without a second core). Tests set it to exercise
+// the concurrent path everywhere; results are identical either way, by
+// construction.
+var forceShardGoroutines = false
+
+// shardCount is the effective shard count for a snapshot: the configured
+// Shards clamped to the device count, minimum 1 (serial).
+func (c *CBP) shardCount(snap *knots.Snapshot) int {
+	n := c.Shards
+	if n > len(snap.Stats) {
+		n = len(snap.Stats)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// partitionByNode assigns each device index to one of shards shards so that
+// all devices of one node land in the same shard and whole nodes spread
+// evenly across shards. nodeOf[i] is device i's node id; a node's devices
+// are contiguous (node-major snapshot order). The assignment depends only
+// on (nodeOf, shards) — never on telemetry — so it is stable within a
+// round and deterministic across runs.
+func partitionByNode(nodeOf []int, shards int) []int {
+	return partitionByNodeInto(make([]int, 0, len(nodeOf)), nodeOf, shards)
+}
+
+// partitionByNodeInto is partitionByNode appending onto dst (pass a scratch
+// slice's dst[:0] to assign without allocating).
+func partitionByNodeInto(dst, nodeOf []int, shards int) []int {
+	runs := 0
+	for i := range nodeOf {
+		if i == 0 || nodeOf[i] != nodeOf[i-1] {
+			runs++
+		}
+	}
+	if shards > runs {
+		shards = runs
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	r := -1
+	for i := range nodeOf {
+		if i == 0 || nodeOf[i] != nodeOf[i-1] {
+			r++
+		}
+		dst = append(dst, r*shards/runs)
+	}
+	return dst
+}
+
+// shardState is one shard's per-round state: its slice of the candidate
+// order (a pl.less-sorted subsequence of the global order), a private gate
+// scratch so concurrent scans never share buffers, and the scan results
+// for the pod currently being merged.
+type shardState struct {
+	order  []int
+	gs     gateScratch
+	evals  []candEval // gate outcomes in scan order (kept only when tracing)
+	win    candEval   // shard-local first-admissible candidate
+	hasWin bool
+}
+
+// buildShards partitions the global candidate order into per-shard
+// sub-orders, reusing the scheduler's shard scratch across rounds.
+func (c *CBP) buildShards(snap *knots.Snapshot, global []int) []shardState {
+	n := c.shardCount(snap)
+	c.scr.nodeOf = c.scr.nodeOf[:0]
+	for i := range snap.Stats {
+		c.scr.nodeOf = append(c.scr.nodeOf, snap.Stats[i].GPU.Node)
+	}
+	c.scr.assign = partitionByNodeInto(c.scr.assign[:0], c.scr.nodeOf, n)
+	if cap(c.scr.shards) < n {
+		c.scr.shards = append(c.scr.shards[:cap(c.scr.shards)],
+			make([]shardState, n-cap(c.scr.shards))...)
+	}
+	shards := c.scr.shards[:n]
+	for i := range shards {
+		shards[i].order = shards[i].order[:0]
+	}
+	for _, ci := range global {
+		s := c.scr.assign[ci]
+		shards[s].order = append(shards[s].order, ci)
+	}
+	return shards
+}
+
+// scheduleSharded is scheduleAlgo1's pod loop with the candidate scan
+// fanned out across node shards. order is the harvest-sorted, batch-limited
+// pod queue; the planner in c.scr.plan has been reset against snap.
+func (c *CBP) scheduleSharded(pp *PP, name string, now sim.Time, order []*k8s.Pod, snap *knots.Snapshot, maxSM float64) []k8s.Decision {
+	pl := &c.scr.plan
+	shards := c.buildShards(snap, pl.candidateOrder())
+	concurrent := forceShardGoroutines || runtime.GOMAXPROCS(0) > 1
+	traced := c.Trace != nil
+	var out []k8s.Decision
+	for _, pod := range order {
+		reserve := c.ReserveFor(pod)
+		peakSM := pod.Profile.PeakSMPct()
+		if pod.Class == workloads.Batch {
+			// Warm the profile cache before fanning out: shard scans may read
+			// profCache concurrently but must never be its first writer.
+			c.upcomingMemSeries(pod.Profile)
+		}
+		rec := newAudit(c.Trace, now, name, pod, reserve, peakSM)
+		scan := func(s *shardState) {
+			s.evals = s.evals[:0]
+			s.hasWin = false
+			for _, ci := range s.order {
+				ev := c.evalCandidate(pp, pod, reserve, peakSM, maxSM, ci, snap, pl, &s.gs)
+				if traced {
+					s.evals = append(s.evals, ev)
+				}
+				if ev.admit {
+					s.win, s.hasWin = ev, true
+					break
+				}
+			}
+		}
+		if concurrent {
+			var wg sync.WaitGroup
+			for i := range shards {
+				wg.Add(1)
+				go func(s *shardState) {
+					defer wg.Done()
+					scan(s)
+				}(&shards[i])
+			}
+			wg.Wait()
+		} else {
+			for i := range shards {
+				scan(&shards[i])
+			}
+		}
+		// Deterministic merge: the serial scan's first-admissible device is
+		// the pl.less-minimum of the shard-local winners.
+		winShard := -1
+		for i := range shards {
+			if !shards[i].hasWin {
+				continue
+			}
+			if winShard < 0 || pl.less(shards[i].win.ci, shards[winShard].win.ci) {
+				winShard = i
+			}
+		}
+		winCi := -1
+		if winShard >= 0 {
+			winCi = shards[winShard].win.ci
+		}
+		if traced {
+			mergeTrace(rec, pl, shards, winCi)
+		}
+		var placed *cluster.GPU
+		if winShard >= 0 {
+			w := shards[winShard].win
+			g := snap.Stats[w.ci].GPU
+			out = append(out, k8s.Decision{Pod: pod, GPU: g, ReserveMB: w.reserve})
+			pl.commit(w.ci, w.reserve, peakSM) // also repairs the global order
+			pl.reorderIn(shards[winShard].order, w.ci)
+			placed = g
+		}
+		rec.emit(c.Trace, placed)
+	}
+	return out
+}
+
+// mergeTrace reconstructs the serial candidate trace from the per-shard
+// gate outcomes: a k-way merge by pl.less replays the global scan order,
+// truncated just after the winning candidate (winCi < 0 = no winner, so
+// the serial scan visited everything — replay all). Shards may have
+// evaluated candidates past the global winner; those sort after it in the
+// merge and are dropped — exactly the set the serial scan never reached.
+// Must run before the winner commits: pl.less keys change on commit.
+func mergeTrace(rec *audit, pl *planner, shards []shardState, winCi int) {
+	cur := make([]int, len(shards))
+	for {
+		best := -1
+		for i := range shards {
+			if cur[i] >= len(shards[i].evals) {
+				continue
+			}
+			if best < 0 || pl.less(shards[i].evals[cur[i]].ci, shards[best].evals[cur[best]].ci) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		ev := shards[best].evals[cur[best]]
+		cur[best]++
+		rec.step(ev.ct)
+		if ev.ci == winCi {
+			return
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package scheduler
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/knots"
+	"kubeknots/internal/obs"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+var _ Shardable = (*CBP)(nil)
+var _ Shardable = (*PP)(nil)
+
+// shardScenario builds a cluster of the given shape with residents spread
+// over every third device (so free memory, correlation behaviour, and SM
+// load differ per candidate), warms six seconds of telemetry, and returns a
+// pending queue long enough to force several same-round commits.
+func shardScenario(nodes, gpusPerNode, pods int) (*rig, *knots.Snapshot, []*k8s.Pod) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.GPUsPerNode = gpusPerNode
+	cl := cluster.New(cfg)
+	mon := knots.NewMonitor(cl, 0)
+	o := k8s.NewOrchestrator(sim.NewEngine(2), cl, Uniform{}, k8s.Config{})
+	r := &rig{cl: cl, mon: mon, agg: knots.NewAggregator(mon), eng: sim.NewEngine(1), o: o}
+	for i, g := range cl.GPUs() {
+		switch i % 3 {
+		case 0:
+			r.place(g, workloads.KMeans, 500+float64(i)*10)
+		case 1:
+			r.place(g, workloads.Myocyte, 3000)
+		}
+	}
+	snap := r.warm(6 * sim.Second)
+	names := workloads.RodiniaNames()
+	var queue []*k8s.Pod
+	for i := 0; i < pods; i++ {
+		if i%4 == 3 {
+			m := workloads.Inference(workloads.InferenceNames()[i%6])
+			queue = append(queue, r.pod(m.QueryProfile(8+i%32, false)))
+		} else {
+			queue = append(queue, r.pod(workloads.RodiniaProfile(names[i%len(names)])))
+		}
+	}
+	return r, snap, queue
+}
+
+// schedRun is one scheduler invocation's observable output: the decision
+// list and the full decision-trace records.
+type schedRun struct {
+	decs []k8s.Decision
+	recs []obs.DecisionRecord
+}
+
+func runAlgo1(usePP bool, shards int, now sim.Time, queue []*k8s.Pod, snap *knots.Snapshot) schedRun {
+	buf := obs.NewBufTracer()
+	if usePP {
+		var p PP
+		p.SetShards(shards)
+		p.SetDecisionTracer(buf)
+		return schedRun{p.Schedule(now, queue, snap), buf.Records()}
+	}
+	var c CBP
+	c.SetShards(shards)
+	c.SetDecisionTracer(buf)
+	return schedRun{c.Schedule(now, queue, snap), buf.Records()}
+}
+
+// requireSameRun asserts got reproduces want exactly: identical decisions
+// (same pods, same devices, same reservations, in the same order) and
+// byte-identical candidate traces.
+func requireSameRun(t *testing.T, want, got schedRun) {
+	t.Helper()
+	if len(got.decs) != len(want.decs) {
+		t.Fatalf("decision count = %d, want %d", len(got.decs), len(want.decs))
+	}
+	for i := range want.decs {
+		w, g := want.decs[i], got.decs[i]
+		if w.Pod != g.Pod || w.GPU != g.GPU || w.ReserveMB != g.ReserveMB ||
+			w.Reject != g.Reject || w.Reason != g.Reason {
+			t.Fatalf("decision %d diverged:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+	if !reflect.DeepEqual(got.recs, want.recs) {
+		for i := range want.recs {
+			if i < len(got.recs) && !reflect.DeepEqual(got.recs[i], want.recs[i]) {
+				t.Fatalf("trace record %d diverged:\n got %+v\nwant %+v", i, got.recs[i], want.recs[i])
+			}
+		}
+		t.Fatalf("trace records diverged: got %d records, want %d", len(got.recs), len(want.recs))
+	}
+}
+
+// TestShardedScheduleMatchesSerial is the tentpole invariant: any shard
+// count yields byte-identical decisions and traces to the serial scan, for
+// both CBP and PP, whether shards run inline or on goroutines.
+func TestShardedScheduleMatchesSerial(t *testing.T) {
+	_, snap, queue := shardScenario(6, 2, 14)
+	for _, usePP := range []bool{false, true} {
+		serial := runAlgo1(usePP, 1, snap.At, queue, snap)
+		if len(serial.decs) == 0 {
+			t.Fatalf("scenario places nothing; parity test is vacuous")
+		}
+		for _, shards := range []int{2, 3, 5, 6, 48} {
+			for _, goroutines := range []bool{false, true} {
+				name := fmt.Sprintf("pp=%v/shards=%d/goroutines=%v", usePP, shards, goroutines)
+				forceShardGoroutines = goroutines
+				got := runAlgo1(usePP, shards, snap.At, queue, snap)
+				forceShardGoroutines = false
+				t.Run(name, func(t *testing.T) { requireSameRun(t, serial, got) })
+			}
+		}
+	}
+}
+
+// TestShardedScheduleReusedInstance re-runs rounds on one scheduler
+// instance so the shard scratch (orders, eval buffers) is exercised across
+// planner resets, not just on first use.
+func TestShardedScheduleReusedInstance(t *testing.T) {
+	_, snap, queue := shardScenario(5, 1, 10)
+	var serialPP, shardedPP PP
+	serialPP.SetShards(1)
+	shardedPP.SetShards(3)
+	forceShardGoroutines = true
+	defer func() { forceShardGoroutines = false }()
+	for round := 0; round < 3; round++ {
+		want := serialPP.Schedule(snap.At, queue, snap)
+		got := shardedPP.Schedule(snap.At, queue, snap)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("round %d diverged:\n got %+v\nwant %+v", round, got, want)
+		}
+	}
+}
+
+func TestPartitionByNodeInvariants(t *testing.T) {
+	cases := []struct {
+		name   string
+		nodeOf []int
+		shards int
+	}{
+		{"even", []int{0, 0, 1, 1, 2, 2, 3, 3}, 2},
+		{"more-shards-than-nodes", []int{0, 0, 1, 1}, 9},
+		{"one-shard", []int{0, 1, 2, 3}, 1},
+		{"uneven-nodes", []int{0, 0, 0, 1, 2, 2, 3, 4, 4, 4, 4}, 3},
+		{"empty", nil, 4},
+		{"zero-shards", []int{0, 1}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assign := partitionByNode(tc.nodeOf, tc.shards)
+			checkPartition(t, tc.nodeOf, tc.shards, assign)
+		})
+	}
+}
+
+// checkPartition asserts the partition invariants DESIGN.md §7 relies on:
+// total coverage, node alignment, shard ids dense in [0, effective), and
+// monotone assignment (shard orders are contiguous runs of node-major
+// order, hence restrictions of any order built over it).
+func checkPartition(t testing.TB, nodeOf []int, shards int, assign []int) {
+	t.Helper()
+	if len(assign) != len(nodeOf) {
+		t.Fatalf("assign length %d, want %d", len(assign), len(nodeOf))
+	}
+	nodeShard := map[int]int{}
+	maxSeen := -1
+	for i, s := range assign {
+		if s < 0 {
+			t.Fatalf("device %d assigned negative shard %d", i, s)
+		}
+		if prev, ok := nodeShard[nodeOf[i]]; ok && prev != s {
+			t.Fatalf("node %d split across shards %d and %d", nodeOf[i], prev, s)
+		}
+		nodeShard[nodeOf[i]] = s
+		if i > 0 && assign[i] < assign[i-1] {
+			t.Fatalf("assignment not monotone at device %d: %v", i, assign)
+		}
+		if s > maxSeen {
+			if s != maxSeen+1 {
+				t.Fatalf("shard ids skip %d → %d: %v", maxSeen, s, assign)
+			}
+			maxSeen = s
+		}
+	}
+	if shards >= 1 && len(nodeShard) >= shards && maxSeen+1 != shards {
+		t.Fatalf("%d nodes over %d shards used only %d shards", len(nodeShard), shards, maxSeen+1)
+	}
+}
+
+// FuzzShardParity fuzzes the shard partitioner's invariants and the
+// sharded-vs-serial parity of full CBP and PP rounds over arbitrary
+// cluster shapes, shard counts, resident placements, and pod mixes.
+func FuzzShardParity(f *testing.F) {
+	f.Add(uint8(3), uint8(1), uint8(2), uint64(1), uint64(2))
+	f.Add(uint8(5), uint8(2), uint8(4), uint64(99), uint64(7))
+	f.Add(uint8(0), uint8(3), uint8(32), uint64(1234567), uint64(42))
+	f.Add(uint8(7), uint8(0), uint8(7), uint64(0), uint64(0xffffffffffffffff))
+	f.Fuzz(func(t *testing.T, nNodes, nGPN, nShards uint8, podSeed, resSeed uint64) {
+		nodes := 1 + int(nNodes%8)
+		gpn := 1 + int(nGPN%4)
+		shards := int(nShards % 33)
+
+		cfg := cluster.DefaultConfig()
+		cfg.Nodes = nodes
+		cfg.GPUsPerNode = gpn
+		cl := cluster.New(cfg)
+		mon := knots.NewMonitor(cl, 0)
+		o := k8s.NewOrchestrator(sim.NewEngine(2), cl, Uniform{}, k8s.Config{})
+		r := &rig{cl: cl, mon: mon, agg: knots.NewAggregator(mon), eng: sim.NewEngine(1), o: o}
+
+		names := workloads.RodiniaNames()
+		rnd := resSeed
+		next := func() uint64 { // splitmix-style step: deterministic per seed
+			rnd += 0x9e3779b97f4a7c15
+			z := rnd
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		}
+		gpus := cl.GPUs()
+		nodeOf := make([]int, len(gpus))
+		for i, g := range gpus {
+			nodeOf[i] = g.Node
+			if next()%3 == 0 {
+				r.place(g, names[int(next()%uint64(len(names)))], 400+float64(next()%4000))
+			}
+		}
+		checkPartition(t, nodeOf, shards, partitionByNode(nodeOf, shards))
+
+		snap := r.warm(6 * sim.Second)
+		rnd = podSeed
+		queue := make([]*k8s.Pod, 0, 8)
+		for i := 0; i < 8; i++ {
+			if next()%4 == 0 {
+				m := workloads.Inference(workloads.InferenceNames()[int(next()%6)])
+				queue = append(queue, r.pod(m.QueryProfile(1+int(next()%64), false)))
+			} else {
+				queue = append(queue, r.pod(workloads.RodiniaProfile(names[int(next()%uint64(len(names)))])))
+			}
+		}
+
+		forceShardGoroutines = true
+		defer func() { forceShardGoroutines = false }()
+		for _, usePP := range []bool{false, true} {
+			serial := runAlgo1(usePP, 1, snap.At, queue, snap)
+			got := runAlgo1(usePP, shards, snap.At, queue, snap)
+			if len(got.decs) != len(serial.decs) {
+				t.Fatalf("pp=%v shards=%d: %d decisions, want %d", usePP, shards, len(got.decs), len(serial.decs))
+			}
+			for i := range serial.decs {
+				w, g := serial.decs[i], got.decs[i]
+				if w.Pod != g.Pod || w.GPU != g.GPU || w.ReserveMB != g.ReserveMB {
+					t.Fatalf("pp=%v shards=%d: decision %d diverged:\n got %+v\nwant %+v", usePP, shards, i, g, w)
+				}
+			}
+			if !reflect.DeepEqual(got.recs, serial.recs) {
+				t.Fatalf("pp=%v shards=%d: traces diverged", usePP, shards)
+			}
+		}
+	})
+}
