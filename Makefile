@@ -40,7 +40,14 @@ determinism:
 	diff /tmp/kk-plain.txt /tmp/kk-traced.txt
 	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 -shards 8 fig9 > /tmp/kk-sharded.txt
 	diff /tmp/kk-plain.txt /tmp/kk-sharded.txt
-	@echo determinism: table output identical with tracing on/off, -parallel 1 vs 8, -shards 1 vs 8
+	$(GO) test ./internal/experiments/ -run TestHarvestDisabledByteIdentical -count=1
+	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 \
+		-harvest=false -watermark 0.5 -checkpoint-cost 1s fig9 > /tmp/kk-harvest-off.txt
+	diff /tmp/kk-plain.txt /tmp/kk-harvest-off.txt
+	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 fig-harvest > /tmp/kk-fh1.txt
+	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 8 fig-harvest > /tmp/kk-fh8.txt
+	diff /tmp/kk-fh1.txt /tmp/kk-fh8.txt
+	@echo determinism: table output identical with tracing on/off, -parallel 1 vs 8, -shards 1 vs 8, harvest flags inert when disabled
 
 clean:
 	rm -f /tmp/kk-plain.txt /tmp/kk-traced.txt /tmp/kk-sharded.txt /tmp/kk-decisions.jsonl /tmp/kk-timeline.json

@@ -17,6 +17,7 @@ import (
 	"kubeknots/internal/dlsim"
 	"kubeknots/internal/experiments"
 	"kubeknots/internal/forecast"
+	"kubeknots/internal/harvest"
 	"kubeknots/internal/k8s"
 	"kubeknots/internal/knots"
 	"kubeknots/internal/metrics"
@@ -406,5 +407,39 @@ func BenchmarkTSDBWindowRead(b *testing.B) {
 	}
 	if len(vals) == 0 || len(pts) == 0 {
 		b.Fatal("benchmark read nothing")
+	}
+}
+
+// BenchmarkHarvestTick measures one 100 ms control interval of a
+// harvest-enabled cluster: the controller's snapshot walk, watermark checks,
+// and opportunistic admission of the pending harvested queue, on top of the
+// ambient heartbeat and scheduling machinery the tick interleaves with.
+func BenchmarkHarvestTick(b *testing.B) {
+	eng := sim.NewEngine(1)
+	cl := cluster.New(cluster.DefaultConfig())
+	o := k8s.NewOrchestrator(eng, cl, &scheduler.PP{}, k8s.Config{})
+	h := harvest.New(o, harvest.Config{Enabled: true, Checkpoint: true})
+	o.Start()
+	h.Start()
+	// A standing queue of harvested batch pods keeps the admission path
+	// busy: the headroom ceiling caps residency well below 64, so the
+	// controller re-evaluates a non-empty queue every tick.
+	prof := workloads.RodiniaProfile(workloads.Leukocyte)
+	for i := 0; i < 64; i++ {
+		p := o.NewPod(prof, nil)
+		p.Priority = k8s.PriorityHarvested
+		p.Harvested = true
+		o.Submit(0, p)
+	}
+	now := 2 * sim.Second
+	o.Run(now) // warm: monitors report, first admissions land
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now += 100 * sim.Millisecond
+		o.Run(now)
+	}
+	if h.Counters().Admissions == 0 {
+		b.Fatal("benchmark admitted nothing")
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"kubeknots/internal/api"
 	"kubeknots/internal/cluster"
 	"kubeknots/internal/experiments"
+	"kubeknots/internal/harvest"
 	"kubeknots/internal/k8s"
 	"kubeknots/internal/obs"
 	"kubeknots/internal/sim"
@@ -45,6 +46,7 @@ var (
 	hetero = flag.Bool("hetero", false, "use the P100/V100/M40/K80 heterogeneous pool")
 	seed   = flag.Int64("seed", 1, "deterministic seed")
 	drain  = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	hspec  = flag.String("harvest", "", `harvest controller spec, e.g. "on,watermark=0.85,checkpoint=true" ("" = disabled; keys: watermark headroom interval checkpoint cost priority max-preempt max-admit sm-ceiling qos-window)`)
 )
 
 func main() {
@@ -63,6 +65,18 @@ func main() {
 	}
 	orch := k8s.NewOrchestrator(sim.NewEngine(*seed), cl, s, k8s.Config{})
 	srv := api.NewServer(orch)
+	if *hspec != "" {
+		hcfg, err := harvest.ParseSpec(*hspec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if hcfg.Enabled {
+			hctl := harvest.New(orch, hcfg)
+			orch.Start()
+			hctl.Start()
+			srv.SetHarvest(hctl)
+		}
+	}
 
 	// Wrap the API handler in an outer mux carrying the observability
 	// endpoints; the control-plane routes stay untouched under "/".

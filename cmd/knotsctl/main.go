@@ -7,6 +7,7 @@
 //	knotsctl get nodes
 //	knotsctl get qos
 //	knotsctl events [pod]
+//	knotsctl harvest
 //	knotsctl advance 60s
 package main
 
@@ -51,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = get(c, rest[1:], stdout)
 	case "events":
 		err = events(c, rest[1:], stdout)
+	case "harvest":
+		err = harvestState(c, rest[1:], stdout)
 	case "advance":
 		err = advance(c, rest[1:], stdout)
 	default:
@@ -162,6 +165,45 @@ func events(c *api.Client, args []string, w io.Writer) error {
 	return nil
 }
 
+func harvestState(c *api.Client, args []string, w io.Writer) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: knotsctl harvest")
+	}
+	h, err := c.Harvest()
+	if err != nil {
+		return err
+	}
+	if !h.Enabled {
+		fmt.Fprintln(w, "harvest: disabled")
+		return nil
+	}
+	mode := "evict"
+	if h.Checkpoint {
+		mode = "checkpoint-resume"
+	}
+	fmt.Fprintf(w, "harvest: enabled (%s, watermark %.0f%%)\n", mode, h.Watermark*100)
+	fmt.Fprintf(w, "admissions: %d (resumed %d)\npreemptions: %d watermark, %d drain\n",
+		h.Counters.Admissions, h.Counters.Migrations,
+		h.Counters.PreemptionsWatermark, h.Counters.PreemptionsDrain)
+	if len(h.Nodes) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "%-8s %10s %12s %12s %6s %6s %s\n",
+		"GPU", "USED(MB)", "FORECAST(MB)", "WATERMARK", "PODS", "OVER", "STATE")
+	for _, n := range h.Nodes {
+		over, state := "-", "fresh"
+		if n.Over {
+			over = "over"
+		}
+		if n.Stale {
+			state = "stale"
+		}
+		fmt.Fprintf(w, "%-8s %10.0f %12.0f %12.0f %6d %6s %s\n",
+			n.GPU, n.UsedMB, n.ForecastMB, n.WatermarkMB, n.Harvested, over, state)
+	}
+	return nil
+}
+
 func advance(c *api.Client, args []string, w io.Writer) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: knotsctl advance <duration>")
@@ -184,5 +226,6 @@ commands:
   apply <manifest.json>     submit a pod
   get pods|pod <n>|nodes|qos
   events [pod]
+  harvest                   harvest-controller watermark state and counters
   advance <duration>        run the simulation forward (e.g. 60s)`)
 }

@@ -10,6 +10,7 @@ import (
 
 	"kubeknots/internal/api"
 	"kubeknots/internal/cluster"
+	"kubeknots/internal/harvest"
 	"kubeknots/internal/k8s"
 	"kubeknots/internal/scheduler"
 	"kubeknots/internal/sim"
@@ -25,6 +26,25 @@ func newTestServer(t *testing.T) *httptest.Server {
 	cl := cluster.New(cfg)
 	orch := k8s.NewOrchestrator(eng, cl, &scheduler.PP{}, k8s.Config{})
 	ts := httptest.NewServer(api.NewServer(orch).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newHarvestTestServer is newTestServer with a harvest controller attached,
+// the stack cmd/apiserver runs under a non-empty -harvest spec.
+func newHarvestTestServer(t *testing.T, cfg harvest.Config) *httptest.Server {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = 2
+	cl := cluster.New(ccfg)
+	orch := k8s.NewOrchestrator(eng, cl, &scheduler.PP{}, k8s.Config{})
+	srv := api.NewServer(orch)
+	hctl := harvest.New(orch, cfg)
+	orch.Start()
+	hctl.Start()
+	srv.SetHarvest(hctl)
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -141,6 +161,59 @@ func TestKnotsctlErrorPaths(t *testing.T) {
 		t.Fatalf("dead server: exit %d, stderr %q", code, errOut)
 	}
 	_ = manifest
+}
+
+// TestKnotsctlHarvestDisabled pins the no-controller output: the command
+// must succeed and say so rather than fail or print an empty table.
+func TestKnotsctlHarvestDisabled(t *testing.T) {
+	ts := newTestServer(t)
+	code, out, errOut := ctl(t, ts.URL, "harvest")
+	if code != 0 {
+		t.Fatalf("harvest: exit %d, stderr %q", code, errOut)
+	}
+	if strings.TrimSpace(out) != "harvest: disabled" {
+		t.Fatalf("harvest output %q", out)
+	}
+	if code, _, errOut := ctl(t, ts.URL, "harvest", "extra"); code != 1 || !strings.Contains(errOut, "usage: knotsctl harvest") {
+		t.Fatalf("extra args: exit %d, stderr %q", code, errOut)
+	}
+}
+
+// TestKnotsctlHarvestEnabled walks the harvested-pod flow end to end: apply
+// a harvested manifest, advance past its runtime, and read the controller's
+// watermark state and counters back through the CLI.
+func TestKnotsctlHarvestEnabled(t *testing.T) {
+	ts := newHarvestTestServer(t, harvest.Config{Enabled: true, Checkpoint: true})
+	manifest := writeManifest(t, `{"name":"scav-1","harvested":true,"workload":{"kind":"rodinia","name":"pathfinder"}}`)
+
+	if code, out, errOut := ctl(t, ts.URL, "apply", manifest); code != 0 || !strings.Contains(out, "pod/scav-1 created") {
+		t.Fatalf("apply: exit %d, out %q, stderr %q", code, out, errOut)
+	}
+	if code, out, errOut := ctl(t, ts.URL, "advance", "40s"); code != 0 || !strings.Contains(out, "completed=1") {
+		t.Fatalf("advance: exit %d, out %q, stderr %q", code, out, errOut)
+	}
+
+	code, out, _ := ctl(t, ts.URL, "get", "pod", "scav-1")
+	if code != 0 || !strings.Contains(out, "priority: -100") || !strings.Contains(out, "phase: Succeeded") {
+		t.Fatalf("get pod: exit %d, output %q", code, out)
+	}
+
+	code, out, errOut := ctl(t, ts.URL, "harvest")
+	if code != 0 {
+		t.Fatalf("harvest: exit %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{
+		"harvest: enabled (checkpoint-resume, watermark 85%)",
+		"admissions: 1 (resumed 0)",
+		"preemptions: 0 watermark, 0 drain",
+		"WATERMARK", // per-node table header
+		"n0/g0",
+		"n1/g0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("harvest output missing %q:\n%s", want, out)
+		}
+	}
 }
 
 // TestKnotsctlApplyThenQoSAfterInference drives a latency-critical manifest

@@ -8,9 +8,9 @@
 //	kubeknots all
 //
 // Experiments: fig1 fig2a fig2b fig2c fig3 fig4 table1 fig6 fig7 fig8 fig9
-// fig10a fig10b fig11a fig11b fig12a fig12b table4 chaos ablations, plus the
-// scale study fig-scale (not part of "all": its cells are wall-clock
-// timings).
+// fig10a fig10b fig11a fig11b fig-harvest fig12a fig12b table4 chaos
+// ablations, plus the scale study fig-scale (not part of "all": its cells are
+// wall-clock timings).
 //
 // Every experiment builds its own simulation state from the seed, so "all"
 // and multi-experiment invocations fan the (experiment × seed) grid across a
@@ -57,6 +57,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dlscale  = fs.String("dlscale", "full", "DL simulator scale: full (520 DLT + 1400 DLI on 256 GPUs) or small")
 		tscale   = fs.String("tracescale", "small", "Alibaba-style trace scale for fig2: full (12h, ~24k tasks) or small")
 		format   = fs.String("format", "text", "output format: text | json | csv")
+
+		harvestOn      = fs.Bool("harvest", false, "run cluster experiments with the harvest controller (opportunistic batch admission + watermark de-harvesting)")
+		watermark      = fs.Float64("watermark", 0.85, "de-harvest saturation watermark as a fraction of GPU memory")
+		checkpointCost = fs.Duration("checkpoint-cost", 500*time.Millisecond, "checkpoint save-and-restore overhead for de-harvested pods")
 
 		chaosSeed = fs.Int64("chaos-seed", 0, "fault-schedule seed for the chaos experiment (0 = follow -seed)")
 		mttf      = fs.Duration("mttf", 90*time.Second, "per-node mean time to failure for the chaos experiment")
@@ -107,6 +111,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	base.Chaos.MTTF = sim.Time(mttf.Milliseconds())
 	base.Chaos.MTTR = sim.Time(mttr.Milliseconds())
+	if *watermark <= 0 || *watermark > 1 {
+		fmt.Fprintf(stderr, "kubeknots: -watermark must be in (0, 1] (got %g)\n", *watermark)
+		return 2
+	}
+	// Harvest tuning always rides on the spec (fig-harvest flips Enabled per
+	// mode itself); -harvest turns the controller on for every cluster
+	// experiment. With Enabled false the tuning is inert and output is
+	// byte-identical to a build without the subsystem.
+	base.Cluster.Harvest.Enabled = *harvestOn
+	base.Cluster.Harvest.Watermark = *watermark
+	base.Cluster.Harvest.CheckpointCost = sim.Time(checkpointCost.Milliseconds())
 	var collector *obs.Collector
 	if *traceOut != "" || *timelineOut != "" {
 		collector = obs.NewCollector()
@@ -262,7 +277,7 @@ func writeFileWith(path string, write func(io.Writer) error) error {
 func usage(fs *flag.FlagSet, w io.Writer) {
 	fmt.Fprintln(w, `usage: kubeknots [flags] <experiment>...
 experiments: fig1 fig2a fig2b fig2c fig3 fig4 table1 fig6 fig7 fig8 fig9
-             fig10a fig10b fig11a fig11b fig12a fig12b table4 chaos
-             ablations all fig-scale`)
+             fig10a fig10b fig11a fig11b fig-harvest fig12a fig12b table4
+             chaos ablations all fig-scale`)
 	fs.PrintDefaults()
 }

@@ -88,6 +88,54 @@ func TestRunStatsGoToStderr(t *testing.T) {
 	}
 }
 
+// TestHarvestFlagsInertWhenDisabled is the determinism satellite: harvest
+// tuning flags ride along on every run spec, so with -harvest=false they
+// must not change a single output byte.
+func TestHarvestFlagsInertWhenDisabled(t *testing.T) {
+	base := []string{"-parallel", "1", "-seed", "3", "-horizon", "3s"}
+	var plain, tuned bytes.Buffer
+	if code := run(append(base, "fig9"), &plain, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("plain run exit = %d", code)
+	}
+	tunedArgs := append([]string{"-harvest=false", "-watermark", "0.5", "-checkpoint-cost", "1s"}, base...)
+	if code := run(append(tunedArgs, "fig9"), &tuned, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("tuned run exit = %d", code)
+	}
+	if plain.String() != tuned.String() {
+		t.Fatalf("disabled harvest flags changed the output:\n--- plain ---\n%s--- tuned ---\n%s",
+			plain.String(), tuned.String())
+	}
+}
+
+// TestHarvestFlagValidation pins the usage-error exit code for a watermark
+// outside (0, 1].
+func TestHarvestFlagValidation(t *testing.T) {
+	for _, wm := range []string{"0", "1.5", "-0.2"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-watermark", wm, "fig1"}, &stdout, &stderr); code != 2 {
+			t.Fatalf("-watermark %s: exit = %d, want 2 (stderr: %s)", wm, code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "-watermark") {
+			t.Fatalf("-watermark %s: stderr %q", wm, stderr.String())
+		}
+	}
+}
+
+// TestFigHarvestThroughCLI drives the new experiment family through the real
+// flag path with the controller enabled.
+func TestFigHarvestThroughCLI(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-parallel", "1", "-horizon", "3s", "-harvest", "-watermark", "0.9", "fig-harvest"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"fig-harvest", "off", "evict", "resume"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
 func TestParseSeeds(t *testing.T) {
 	cases := []struct {
 		in      string

@@ -10,6 +10,7 @@
 //	GET  /nodes          per-device observations
 //	GET  /qos            SLO accounting
 //	GET  /events[?pod=x] pod lifecycle events
+//	GET  /harvest        harvest-controller watermark state and counters
 //	POST /advance        {"ms": 60000} — run the simulation forward
 package api
 
@@ -20,6 +21,7 @@ import (
 	"strings"
 	"sync"
 
+	"kubeknots/internal/harvest"
 	"kubeknots/internal/k8s"
 	"kubeknots/internal/sim"
 )
@@ -30,6 +32,7 @@ type PodStatus struct {
 	Class      string `json:"class"`
 	Phase      string `json:"phase"`
 	Priority   int    `json:"priority,omitempty"`
+	Harvested  bool   `json:"harvested,omitempty"`
 	SubmitMS   int64  `json:"submit_ms"`
 	ScheduleMS int64  `json:"schedule_ms"` // -1 until first binding
 	FinishMS   int64  `json:"finish_ms"`   // 0 until finished
@@ -60,15 +63,24 @@ type QoSStatus struct {
 // Server wraps an orchestrator. All handlers share one lock: the underlying
 // simulation is single-threaded by design.
 type Server struct {
-	mu   sync.Mutex
-	orch *k8s.Orchestrator
-	pods map[string]*k8s.Pod
+	mu      sync.Mutex
+	orch    *k8s.Orchestrator
+	pods    map[string]*k8s.Pod
+	harvest *harvest.Controller
 }
 
 // NewServer wraps orch. The orchestrator must not be driven concurrently
 // by anything else.
 func NewServer(orch *k8s.Orchestrator) *Server {
 	return &Server{orch: orch, pods: make(map[string]*k8s.Pod)}
+}
+
+// SetHarvest attaches the run's harvest controller so /harvest serves its
+// state; nil (the default) reports the subsystem disabled.
+func (s *Server) SetHarvest(h *harvest.Controller) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.harvest = h
 }
 
 // Handler returns the route table.
@@ -79,6 +91,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/nodes", s.handleNodes)
 	mux.HandleFunc("/qos", s.handleQoS)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/harvest", s.handleHarvest)
 	mux.HandleFunc("/advance", s.handleAdvance)
 	return mux
 }
@@ -164,6 +177,7 @@ func (s *Server) status(p *k8s.Pod) PodStatus {
 		Class:      p.Class.String(),
 		Phase:      p.Phase.String(),
 		Priority:   p.Priority,
+		Harvested:  p.Harvested,
 		SubmitMS:   int64(p.SubmitAt),
 		ScheduleMS: int64(p.ScheduleAt),
 		FinishMS:   int64(p.FinishedAt),
@@ -241,6 +255,38 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// HarvestStatus is the wire form of the harvest controller's state: the
+// per-device watermark view from its last tick plus lifetime counters.
+type HarvestStatus struct {
+	Enabled bool `json:"enabled"`
+	// Checkpoint reports whether de-harvesting preserves progress.
+	Checkpoint bool                `json:"checkpoint,omitempty"`
+	Watermark  float64             `json:"watermark,omitempty"`
+	Nodes      []harvest.NodeState `json:"nodes,omitempty"`
+	Counters   harvest.Counters    `json:"counters"`
+}
+
+func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.harvest == nil {
+		writeJSON(w, http.StatusOK, HarvestStatus{})
+		return
+	}
+	cfg := s.harvest.Config()
+	writeJSON(w, http.StatusOK, HarvestStatus{
+		Enabled:    true,
+		Checkpoint: cfg.Checkpoint,
+		Watermark:  cfg.Watermark,
+		Nodes:      s.harvest.NodeStates(),
+		Counters:   s.harvest.Counters(),
+	})
 }
 
 // advanceRequest is the /advance body.

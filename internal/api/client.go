@@ -118,6 +118,13 @@ func (c *Client) QoS() (QoSStatus, error) {
 	return out, err
 }
 
+// Harvest fetches the harvest controller's watermark state and counters.
+func (c *Client) Harvest() (HarvestStatus, error) {
+	var out HarvestStatus
+	err := c.get("/harvest", &out)
+	return out, err
+}
+
 // Events lists lifecycle events, optionally filtered to one pod.
 func (c *Client) Events(pod string) ([]EventStatus, error) {
 	path := "/events"

@@ -5,6 +5,7 @@ import (
 
 	"kubeknots/internal/chaos"
 	"kubeknots/internal/cluster"
+	"kubeknots/internal/harvest"
 	"kubeknots/internal/k8s"
 	"kubeknots/internal/obs"
 	"kubeknots/internal/scheduler"
@@ -34,6 +35,12 @@ type ClusterConfig struct {
 	// no injector is even constructed, so baseline runs are byte-identical
 	// to a build without the chaos subsystem.
 	Chaos chaos.Plan
+	// Harvest configures the harvest controller. The zero value constructs
+	// nothing — no controller, no events, no priority tagging — so baseline
+	// runs are byte-identical to a build without the harvest subsystem.
+	// With Enabled set, batch pods are tagged harvested (admitted by the
+	// controller instead of the scheduler) and LC pods latency-critical.
+	Harvest harvest.Config
 	// StaleAfter / DeadAfter configure heartbeat-based liveness on the
 	// aggregator (0 = disabled, the always-healthy baseline).
 	StaleAfter sim.Time
@@ -103,6 +110,8 @@ type ClusterRun struct {
 	EnergyHorizonJ float64
 	// Injector is the fault injector driving the run (nil without chaos).
 	Injector *chaos.Injector
+	// Harvest is the harvest controller driving the run (nil when disabled).
+	Harvest *harvest.Controller
 }
 
 // RunCluster replays an app-mix against a simulated ten-node GPU cluster
@@ -158,6 +167,20 @@ func RunCluster(sched k8s.Scheduler, mix workloads.AppMix, cfg ClusterConfig) *C
 		o.Start()
 		inj.Start()
 	}
+	var hctl *harvest.Controller
+	if cfg.Harvest.Enabled {
+		hctl = harvest.New(o, cfg.Harvest)
+		if tracer != nil {
+			hctl.SetDecisionTracer(tracer)
+		}
+		// Registration order fixes same-timestamp ordering: the controller
+		// starts after the orchestrator so each harvest tick observes the
+		// scheduling round that shares its timestamp.
+		if !o.Started() {
+			o.Start()
+		}
+		hctl.Start()
+	}
 
 	scale := mix.ArrivalRateScale()
 	rng := eng.RNG()
@@ -169,18 +192,27 @@ func RunCluster(sched k8s.Scheduler, mix workloads.AppMix, cfg ClusterConfig) *C
 		model := mix.LC[rng.Intn(len(mix.LC))]
 		batch := 1 << rng.Intn(2) // 1 or 2 queries per request: serving favors latency over batching
 		prof := workloads.Inference(model).QueryProfile(batch, false)
-		o.SubmitAt(at, o.NewPod(prof, rng))
+		p := o.NewPod(prof, rng)
+		if hctl != nil {
+			p.Priority = k8s.PriorityLatencyCritical
+		}
+		o.SubmitAt(at, p)
 	}
-	// Batch jobs.
+	// Batch jobs — best-effort harvest candidates when the controller runs.
 	for _, at := range trace.ArrivalProcess(rng, cfg.Horizon, cfg.BatchIA, scale) {
 		name := mix.Batch[rng.Intn(len(mix.Batch))]
-		o.SubmitAt(at, o.NewPod(workloads.RodiniaProfile(name), rng))
+		p := o.NewPod(workloads.RodiniaProfile(name), rng)
+		if hctl != nil {
+			p.Priority = hctl.Config().Priority
+			p.Harvested = true
+		}
+		o.SubmitAt(at, p)
 	}
 
 	// Run to the horizon, snapshot in-window energy, then drain in-flight
 	// work (bounded); utilization is reported only over the load window.
 	o.Run(cfg.Horizon)
-	run := &ClusterRun{Orchestrator: o, EnergyHorizonJ: cl.TotalEnergyJ(), Injector: inj}
+	run := &ClusterRun{Orchestrator: o, EnergyHorizonJ: cl.TotalEnergyJ(), Injector: inj, Harvest: hctl}
 	o.Run(cfg.Horizon + 2*sim.Minute)
 	keep := int(cfg.Horizon / o.Cfg.UtilSampleEvery)
 	for i := range o.NodeUtil {

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"kubeknots/internal/harvest"
+	"kubeknots/internal/scheduler"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// TestHarvestDisabledByteIdentical locks the PR's central contract: a
+// disabled harvest Config — even with every tuning knob set — constructs
+// nothing and reproduces the baseline run exactly.
+func TestHarvestDisabledByteIdentical(t *testing.T) {
+	mix, err := workloads.MixByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClusterConfig{Horizon: 20 * sim.Second}
+	base := fingerprint(RunCluster(&scheduler.PP{}, mix, cfg))
+
+	tuned := cfg
+	tuned.Harvest = harvest.Config{
+		Enabled:        false, // everything below must be inert
+		Watermark:      0.5,
+		Headroom:       0.4,
+		Checkpoint:     true,
+		CheckpointCost: sim.Second,
+		Interval:       50 * sim.Millisecond,
+	}
+	r := RunCluster(&scheduler.PP{}, mix, tuned)
+	if r.Harvest != nil {
+		t.Fatal("disabled config constructed a controller")
+	}
+	if got := fingerprint(r); got != base {
+		t.Fatalf("disabled harvest perturbed the run:\n got %+v\nwant %+v", got, base)
+	}
+}
+
+// TestHarvestEnabledAdmitsWithoutQoSRegression runs the same load with the
+// controller on: harvested batch pods must actually be admitted, and the
+// de-harvest guards must keep inference QoS and OOM kills no worse than the
+// static baseline.
+func TestHarvestEnabledAdmitsWithoutQoSRegression(t *testing.T) {
+	skipSlowUnderRace(t)
+	mix, err := workloads.MixByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClusterConfig{Horizon: 45 * sim.Second}
+	base := RunCluster(&scheduler.CBP{}, mix, cfg)
+
+	on := cfg
+	on.Harvest = harvest.Config{Enabled: true, Checkpoint: true}
+	r := RunCluster(&scheduler.CBP{}, mix, on)
+	if r.Harvest == nil {
+		t.Fatal("enabled config did not attach a controller")
+	}
+	cnt := r.Harvest.Counters()
+	if cnt.Admissions == 0 {
+		t.Fatal("controller admitted no harvested pods")
+	}
+	if got, want := r.QoS.PerKilo(), base.QoS.PerKilo(); got > want {
+		t.Fatalf("QoS violations regressed with harvest on: %.1f/1k vs %.1f/1k", got, want)
+	}
+	if r.CrashEvents > base.CrashEvents {
+		t.Fatalf("OOM kills regressed with harvest on: %d vs %d", r.CrashEvents, base.CrashEvents)
+	}
+	// Every admission and preemption is a traced, evented decision.
+	admits, preempts := 0, 0
+	for _, e := range r.Events.All() {
+		if strings.HasPrefix(e.Detail, "harvested") {
+			admits++
+		}
+		if e.Detail == "watermark" {
+			preempts++
+		}
+	}
+	if admits != cnt.Admissions {
+		t.Fatalf("harvested Scheduled events = %d, counter says %d", admits, cnt.Admissions)
+	}
+	if preempts != cnt.PreemptionsWatermark {
+		t.Fatalf("watermark Preempted events = %d, counter says %d", preempts, cnt.PreemptionsWatermark)
+	}
+}
+
+// TestFigHarvestTableShape pins the experiment family's layout: four
+// schedulers × three modes in registration order, with controller counters
+// dashed out on the static-baseline rows.
+func TestFigHarvestTableShape(t *testing.T) {
+	skipSlowUnderRace(t)
+	tb, err := FigHarvest(ClusterConfig{Horizon: 45 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(SchedulerNames())*len(harvestModes) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), len(SchedulerNames())*len(harvestModes))
+	}
+	for i, row := range tb.Rows {
+		mode := harvestModes[i%len(harvestModes)]
+		if row[1] != mode.name {
+			t.Fatalf("row %d mode = %q, want %q", i, row[1], mode.name)
+		}
+		admit := row[len(row)-3]
+		if mode.enabled && admit == "-" {
+			t.Fatalf("row %d: enabled mode has dashed counters: %v", i, row)
+		}
+		if !mode.enabled && admit != "-" {
+			t.Fatalf("row %d: baseline row leaks controller counters: %v", i, row)
+		}
+	}
+}

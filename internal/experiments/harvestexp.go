@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// fig-harvest: the harvest-controller evaluation. Each of the four cluster
+// schedulers runs App-Mix-1 three times — harvest off (the static baseline),
+// harvest with evict-and-requeue de-harvesting, and harvest with
+// checkpoint-resume — and the table compares cluster-wide utilization, OOM
+// kills, inference tail latency and QoS violations, and the batch pipeline's
+// completions and makespan, alongside the controller's own counters. The
+// 12 runs fan out through the sweep pool in grid order, so the table is
+// bit-identical at any parallelism.
+
+// harvestModes are the per-run controller settings, in presentation order.
+var harvestModes = []struct {
+	name       string
+	enabled    bool
+	checkpoint bool
+}{
+	{"off", false, false},
+	{"evict", true, false},
+	{"resume", true, true},
+}
+
+// FigHarvest regenerates the harvest-controller comparison table.
+func FigHarvest(cfg ClusterConfig) (*Table, error) {
+	mix, err := workloads.MixByID(1)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig-harvest",
+		Title: "Harvest controller: utilization, QoS, and batch completion (App-Mix-1)",
+		Header: []string{"scheduler", "harvest", "util-p50", "util-p99", "oom",
+			"p99-ms", "qos/1k", "batch-done", "makespan-s", "admit", "preempt", "resume"},
+	}
+	var points []clusterPoint
+	for _, name := range SchedulerNames() {
+		for _, mode := range harvestModes {
+			s, err := SchedulerByName(name)
+			if err != nil {
+				panic(err)
+			}
+			pc := cfg
+			pc.Harvest.Enabled = mode.enabled
+			pc.Harvest.Checkpoint = mode.checkpoint
+			points = append(points, clusterPoint{
+				Key:   fmt.Sprintf("fig-harvest/%s/%s", name, mode.name),
+				Sched: s,
+				Mix:   mix,
+				Cfg:   pc,
+			})
+		}
+	}
+	for i, o := range runClusterGrid(points) {
+		ps := o.ClusterUtilPercentiles()
+		done, makespan := batchCompletion(o)
+		var admit, preempt, resume string
+		if h := o.Harvest; h != nil {
+			c := h.Counters()
+			admit = fmt.Sprintf("%d", c.Admissions)
+			preempt = fmt.Sprintf("%d", c.PreemptionsWatermark+c.PreemptionsDrain)
+			resume = fmt.Sprintf("%d", c.Migrations)
+		} else {
+			admit, preempt, resume = "-", "-", "-"
+		}
+		t.AddRow(points[i].Sched.Name(), harvestModes[i%len(harvestModes)].name,
+			f1(ps[0]), f1(ps[2]), fmt.Sprintf("%d", o.CrashEvents),
+			f1(o.QoS.Percentile(99).Seconds()*1000), f1(o.QoS.PerKilo()),
+			fmt.Sprintf("%d", done), f1(makespan.Seconds()),
+			admit, preempt, resume)
+	}
+	t.Notes = append(t.Notes,
+		"harvest=off is the static baseline; evict restarts preempted batch pods from zero, resume restores checkpointed progress",
+		"de-harvesting preempts only harvested pods, so inference QoS must not regress with harvest on")
+	return t, nil
+}
+
+// batchCompletion reports how many batch pods completed and the batch
+// makespan — the latest batch completion time within the run.
+func batchCompletion(o *ClusterRun) (done int, makespan sim.Time) {
+	for _, p := range o.Completed {
+		if p.Class != workloads.Batch {
+			continue
+		}
+		done++
+		if p.FinishedAt > makespan {
+			makespan = p.FinishedAt
+		}
+	}
+	return done, makespan
+}

@@ -106,6 +106,13 @@ func Registry() []Experiment {
 			}
 			return []*Table{t}, nil
 		}},
+		{"fig-harvest", func(s Spec) ([]*Table, error) {
+			t, err := FigHarvest(s.Cluster)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		}},
 		{"fig12a", tables(func(s Spec) *Table { return Fig12a(s.DL) })},
 		{"fig12b", tables(func(s Spec) *Table { return Fig12b(s.DL) })},
 		{"table4", tables(func(s Spec) *Table { return Table4(s.DL) })},

@@ -348,6 +348,32 @@ func (m *MLP) Predict() float64 {
 	return out * m.scale
 }
 
+// MinForecastWindow is the shortest sample window an AR(1) forecast may be
+// licensed on — matching the PP scheduler's gate, below which the paper's
+// five-second window holds too little signal to trust.
+const MinForecastWindow = 8
+
+// PredictNext fits the paper's AR(1) (Equation 3) to a trailing sample
+// window and returns its one-step forecast. ok is false when the window is
+// shorter than MinForecastWindow samples or trendless (lag-1 autocorrelation
+// ≤ 0) — the same licensing gate the PP scheduler applies before trusting a
+// prediction. This is the watermark forecast feed for the harvest
+// controller's saturation checks; callers Clamp the result to capacity.
+func PredictNext(series []float64) (pred float64, ok bool) {
+	if len(series) < MinForecastWindow {
+		return 0, false
+	}
+	r1, err := metrics.AutoCorrelation(series, 1)
+	if err != nil || r1 <= 0 {
+		return 0, false
+	}
+	var m AR1
+	if err := m.Fit(series); err != nil {
+		return 0, false
+	}
+	return m.Predict(), true
+}
+
 // Clamp bounds a forecast to the physically valid range [lo, hi] — e.g.
 // 0–100 % utilization or 0–capacity megabytes.
 func Clamp(v, lo, hi float64) float64 {

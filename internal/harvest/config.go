@@ -1,0 +1,230 @@
+// Package harvest implements the Kube-Knots harvest controller: a
+// heartbeat-driven loop that opportunistically admits best-effort batch pods
+// onto GPUs whose aggregated utilization and AR(1) forecast show headroom
+// (harvesting), and preempts them again before a node crosses its saturation
+// watermark (de-harvesting) — either evict-and-requeue or checkpoint-resume.
+// The controller is strictly additive: with Config.Enabled false nothing is
+// constructed and every run is byte-identical to a build without it.
+package harvest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/sim"
+)
+
+// Defaults applied by withDefaults for zero-valued tuning fields.
+const (
+	// DefaultWatermark is the saturation fraction of device memory above
+	// which the forecast triggers de-harvesting.
+	DefaultWatermark = 0.85
+	// DefaultHeadroom is the harvest-admission ceiling: forecast load plus
+	// the candidate's reservation must stay under this fraction of capacity.
+	// It sits below the watermark so admissions and preemptions hysterese
+	// instead of thrashing.
+	DefaultHeadroom = 0.70
+	// DefaultInterval is the control-loop period.
+	DefaultInterval = 100 * sim.Millisecond
+	// DefaultCheckpointCost is the save-and-restore overhead added to a
+	// checkpointed pod's requeue delay.
+	DefaultCheckpointCost = 500 * sim.Millisecond
+	// DefaultMaxPreemptPerTick bounds de-harvest evictions per tick.
+	DefaultMaxPreemptPerTick = 4
+	// DefaultMaxAdmitPerTick bounds harvest admissions per tick.
+	DefaultMaxAdmitPerTick = 8
+	// DefaultSMCeiling bounds co-located SM demand for harvested pods
+	// (percent; matches the scheduler's co-location cap).
+	DefaultSMCeiling = 150
+	// DefaultQoSGuardWindow is how many control ticks admissions stay
+	// paused after a fresh SLO violation (50 × 100 ms = 5 s of back-off).
+	DefaultQoSGuardWindow = 50
+)
+
+// Config tunes one harvest controller. The zero value is fully disabled:
+// RunCluster constructs no controller, registers no events, and produces
+// byte-identical output to a pre-harvest build. Tuning fields left zero are
+// filled by withDefaults.
+type Config struct {
+	// Enabled turns the subsystem on. Everything below is inert without it.
+	Enabled bool
+	// Interval is the control-loop period.
+	Interval sim.Time
+	// Watermark is the de-harvest trigger: when max(observed, forecast)
+	// memory exceeds Watermark × capacity, harvested pods are preempted
+	// until the node is back under.
+	Watermark float64
+	// Headroom is the admission ceiling (fraction of capacity); must not
+	// exceed Watermark or the controller would admit into its own trigger.
+	Headroom float64
+	// Checkpoint selects checkpoint-resume de-harvesting: preempted pods
+	// keep their phase progress and resume after CheckpointCost, instead of
+	// restarting from zero.
+	Checkpoint bool
+	// CheckpointCost is the simulated save-and-restore overhead.
+	CheckpointCost sim.Time
+	// Priority is assigned to harvested pods (≤ k8s.PriorityHarvested keeps
+	// them preemptible; withDefaults maps 0 to k8s.PriorityHarvested).
+	Priority int
+	// MaxPreemptPerTick bounds de-harvest evictions per control tick.
+	MaxPreemptPerTick int
+	// MaxAdmitPerTick bounds harvest admissions per control tick.
+	MaxAdmitPerTick int
+	// SMCeiling bounds observed+candidate SM utilization (percent).
+	SMCeiling float64
+	// QoSGuardWindow is how many control ticks admissions pause after a
+	// fresh SLO violation — the guard backs off while inference is hurting
+	// and re-opens once violations stop accruing.
+	QoSGuardWindow int
+}
+
+// withDefaults fills zero tuning fields.
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.Watermark == 0 {
+		c.Watermark = DefaultWatermark
+	}
+	if c.Headroom == 0 {
+		c.Headroom = DefaultHeadroom
+	}
+	if c.CheckpointCost <= 0 {
+		c.CheckpointCost = DefaultCheckpointCost
+	}
+	if c.Priority == 0 {
+		c.Priority = k8s.PriorityHarvested
+	}
+	if c.MaxPreemptPerTick <= 0 {
+		c.MaxPreemptPerTick = DefaultMaxPreemptPerTick
+	}
+	if c.MaxAdmitPerTick <= 0 {
+		c.MaxAdmitPerTick = DefaultMaxAdmitPerTick
+	}
+	if c.SMCeiling == 0 {
+		c.SMCeiling = DefaultSMCeiling
+	}
+	if c.QoSGuardWindow <= 0 {
+		c.QoSGuardWindow = DefaultQoSGuardWindow
+	}
+	return c
+}
+
+// Validate rejects configurations that could not run sensibly. It applies
+// defaults first, so a zero Config validates.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Watermark <= 0 || c.Watermark > 1 {
+		return fmt.Errorf("harvest: watermark %.3f outside (0, 1]", c.Watermark)
+	}
+	if c.Headroom <= 0 || c.Headroom > 1 {
+		return fmt.Errorf("harvest: headroom %.3f outside (0, 1]", c.Headroom)
+	}
+	if c.Headroom > c.Watermark {
+		return fmt.Errorf("harvest: headroom %.3f above watermark %.3f", c.Headroom, c.Watermark)
+	}
+	if c.SMCeiling < 0 {
+		return fmt.Errorf("harvest: negative SM ceiling %.1f", c.SMCeiling)
+	}
+	if c.Priority > k8s.PriorityHarvested {
+		return fmt.Errorf("harvest: priority %d above the harvested class (%d) would make pods unpreemptible",
+			c.Priority, k8s.PriorityHarvested)
+	}
+	return nil
+}
+
+// ParseSpec parses the compact "key=value,..." harvest DSL used by the
+// apiserver's -harvest flag and the fuzz corpus. The bare tokens "on" and
+// "off" toggle Enabled; recognised keys are watermark, headroom, interval,
+// checkpoint, cost, priority, max-preempt, max-admit, sm-ceiling and
+// qos-window. Durations use Go syntax ("250ms"). An empty spec is the zero
+// (disabled) Config. The result is validated.
+func ParseSpec(s string) (Config, error) {
+	var c Config
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		switch tok {
+		case "":
+			continue
+		case "on":
+			c.Enabled = true
+			continue
+		case "off":
+			c.Enabled = false
+			continue
+		}
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("harvest: spec token %q is not key=value", tok)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		var err error
+		switch k {
+		case "watermark":
+			c.Watermark, err = parseFrac(k, v)
+		case "headroom":
+			c.Headroom, err = parseFrac(k, v)
+		case "interval":
+			c.Interval, err = parseDur(k, v)
+		case "checkpoint":
+			c.Checkpoint, err = strconv.ParseBool(v)
+		case "cost":
+			c.CheckpointCost, err = parseDur(k, v)
+		case "priority":
+			c.Priority, err = strconv.Atoi(v)
+		case "max-preempt":
+			c.MaxPreemptPerTick, err = parsePos(k, v)
+		case "max-admit":
+			c.MaxAdmitPerTick, err = parsePos(k, v)
+		case "sm-ceiling":
+			c.SMCeiling, err = strconv.ParseFloat(v, 64)
+		case "qos-window":
+			c.QoSGuardWindow, err = parsePos(k, v)
+		default:
+			return Config{}, fmt.Errorf("harvest: unknown spec key %q", k)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("harvest: spec key %q: %v", k, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+func parseFrac(k, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f <= 0 || f > 1 {
+		return 0, fmt.Errorf("%s %v outside (0, 1]", k, f)
+	}
+	return f, nil
+}
+
+func parseDur(k, v string) (sim.Time, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, err
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("%s %v is not positive", k, d)
+	}
+	return sim.Time(d.Milliseconds()), nil
+}
+
+func parsePos(k, v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("%s %d is not positive", k, n)
+	}
+	return n, nil
+}

@@ -1,0 +1,129 @@
+package harvest
+
+import (
+	"strings"
+	"testing"
+
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/sim"
+)
+
+func TestZeroConfigValidatesDisabled(t *testing.T) {
+	var c Config
+	if c.Enabled {
+		t.Fatal("zero Config must be disabled")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero Config must validate: %v", err)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{Enabled: true}.withDefaults()
+	if c.Watermark != DefaultWatermark || c.Headroom != DefaultHeadroom {
+		t.Fatalf("thresholds = %v/%v", c.Watermark, c.Headroom)
+	}
+	if c.Interval != DefaultInterval || c.CheckpointCost != DefaultCheckpointCost {
+		t.Fatalf("timing = %v/%v", c.Interval, c.CheckpointCost)
+	}
+	if c.Priority != k8s.PriorityHarvested {
+		t.Fatalf("priority = %d, want %d", c.Priority, k8s.PriorityHarvested)
+	}
+	if c.MaxPreemptPerTick != DefaultMaxPreemptPerTick || c.MaxAdmitPerTick != DefaultMaxAdmitPerTick {
+		t.Fatalf("budgets = %d/%d", c.MaxPreemptPerTick, c.MaxAdmitPerTick)
+	}
+	if c.SMCeiling != DefaultSMCeiling || c.QoSGuardWindow != DefaultQoSGuardWindow {
+		t.Fatalf("ceiling/guard = %v/%d", c.SMCeiling, c.QoSGuardWindow)
+	}
+	// Explicit settings survive.
+	c = Config{Watermark: 0.5, Headroom: 0.4, Priority: -7}.withDefaults()
+	if c.Watermark != 0.5 || c.Headroom != 0.4 || c.Priority != -7 {
+		t.Fatalf("explicit fields clobbered: %+v", c)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		frag string
+	}{
+		{"watermark above one", Config{Watermark: 1.5}, "watermark"},
+		{"headroom above watermark", Config{Watermark: 0.5, Headroom: 0.9}, "headroom"},
+		{"negative sm ceiling", Config{SMCeiling: -1}, "SM ceiling"},
+		{"unpreemptible priority", Config{Priority: 10}, "unpreemptible"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Config
+	}{
+		{"", Config{}},
+		{"on", Config{Enabled: true}},
+		{"on,off", Config{}},
+		{
+			"on, watermark=0.9, headroom=0.6, checkpoint=true, cost=250ms",
+			Config{Enabled: true, Watermark: 0.9, Headroom: 0.6, Checkpoint: true, CheckpointCost: 250 * sim.Millisecond},
+		},
+		{
+			"interval=1s,priority=-200,max-preempt=2,max-admit=3,sm-ceiling=120,qos-window=9",
+			Config{Interval: sim.Second, Priority: -200, MaxPreemptPerTick: 2,
+				MaxAdmitPerTick: 3, SMCeiling: 120, QoSGuardWindow: 9},
+		},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.spec, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	specs := []string{
+		"on,watermark",               // not key=value
+		"watermark=2",                // fraction out of range
+		"headroom=0",                 // fraction must be positive
+		"interval=-5s",               // non-positive duration
+		"interval=bogus",             // unparsable duration
+		"checkpoint=perhaps",         // not a bool
+		"max-admit=0",                // must be positive
+		"qos-window=-1",              // must be positive
+		"turbo=1",                    // unknown key
+		"priority=50",                // fails validation: unpreemptible
+		"watermark=0.3,headroom=0.8", // fails validation: inverted thresholds
+	}
+	for _, s := range specs {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted an invalid spec", s)
+		}
+	}
+}
+
+// ParseSpec must round-trip with the controller: any accepted spec yields a
+// Config whose defaults validate.
+func TestParseSpecValidated(t *testing.T) {
+	c, err := ParseSpec("on,watermark=0.95,headroom=0.5,checkpoint=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("parsed spec fails validation: %v", err)
+	}
+	if !c.Enabled || !c.Checkpoint {
+		t.Fatalf("flags lost in parsing: %+v", c)
+	}
+}

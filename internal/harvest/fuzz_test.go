@@ -1,0 +1,52 @@
+package harvest
+
+import (
+	"testing"
+
+	"kubeknots/internal/k8s"
+)
+
+// FuzzHarvestConfig drives the spec parser with arbitrary strings: it must
+// either return an error or a Config that validates and respects every
+// invariant the controller depends on — never panic, never hand back
+// inverted thresholds or an unpreemptible harvested priority.
+func FuzzHarvestConfig(f *testing.F) {
+	f.Add("")
+	f.Add("on")
+	f.Add("off")
+	f.Add("on,watermark=0.85,headroom=0.7,checkpoint=true,cost=500ms")
+	f.Add("interval=1s,priority=-200,max-preempt=2,max-admit=8")
+	f.Add("sm-ceiling=150,qos-window=50")
+	f.Add("watermark=2")                // out of range
+	f.Add("headroom=0.9,watermark=0.5") // inverted thresholds
+	f.Add("priority=100")               // unpreemptible
+	f.Add("cost=-1s")                   // negative duration
+	f.Add("checkpoint=perhaps")         // bad bool
+	f.Add("turbo=1")                    // unknown key
+	f.Add("on,watermark")               // not key=value
+	f.Add(" on , watermark = 0.9 ")     // whitespace tolerance
+	f.Add(",,,")                        // empty tokens
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := ParseSpec(spec)
+		if err != nil {
+			if c != (Config{}) {
+				t.Fatalf("error path must return the zero Config, got %+v", c)
+			}
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted spec %q fails validation: %v", spec, err)
+		}
+		d := c.withDefaults()
+		if d.Headroom > d.Watermark {
+			t.Fatalf("spec %q: headroom %v above watermark %v", spec, d.Headroom, d.Watermark)
+		}
+		if d.Priority > k8s.PriorityHarvested {
+			t.Fatalf("spec %q: priority %d would be unpreemptible", spec, d.Priority)
+		}
+		if d.Interval <= 0 || d.CheckpointCost <= 0 || d.MaxPreemptPerTick <= 0 || d.MaxAdmitPerTick <= 0 {
+			t.Fatalf("spec %q: non-positive tuning after defaults: %+v", spec, d)
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package harvest
+
+import "kubeknots/internal/obs"
+
+// Labelled families, registered once at package init; each controller caches
+// its scheduler's children so the tick never touches the family map. Pure
+// telemetry — nothing feeds back into decisions, so instrumented and bare
+// runs stay byte-identical.
+var (
+	mAdmissions = obs.Default().CounterVec("harvest_admissions_total",
+		"Best-effort pods opportunistically bound by the harvest controller.",
+		"scheduler")
+	mPreemptions = obs.Default().CounterVec("harvest_preemptions_total",
+		"Harvested pods de-harvested, by trigger.", "scheduler", "reason")
+	mMigrations = obs.Default().CounterVec("harvest_migrations_total",
+		"Checkpointed pods restored on a device (checkpoint-resume migrations).",
+		"scheduler")
+	mOverWatermark = obs.Default().GaugeVec("harvest_over_watermark_nodes",
+		"Devices whose forecast memory exceeded the saturation watermark at the last tick.",
+		"scheduler")
+	mResident = obs.Default().GaugeVec("harvest_resident_pods",
+		"Harvested pods currently bound to a device.", "scheduler")
+)
+
+// ctlMetrics holds one controller's pre-resolved metric children.
+type ctlMetrics struct {
+	admissions       *obs.Counter
+	preemptWatermark *obs.Counter
+	preemptDrain     *obs.Counter
+	migrations       *obs.Counter
+	overWatermark    *obs.Gauge
+	resident         *obs.Gauge
+}
+
+func newCtlMetrics(scheduler string) *ctlMetrics {
+	return &ctlMetrics{
+		admissions:       mAdmissions.With(scheduler),
+		preemptWatermark: mPreemptions.With(scheduler, "watermark"),
+		preemptDrain:     mPreemptions.With(scheduler, "drain"),
+		migrations:       mMigrations.With(scheduler),
+		overWatermark:    mOverWatermark.With(scheduler),
+		resident:         mResident.With(scheduler),
+	}
+}

@@ -1,0 +1,58 @@
+package harvest
+
+import (
+	"sort"
+
+	"kubeknots/internal/sim"
+)
+
+// VictimCandidate is one resident pod considered for de-harvesting.
+type VictimCandidate struct {
+	// Harvested marks controller-admitted best-effort pods — the only class
+	// the de-harvest path may touch.
+	Harvested bool
+	// Priority is the pod's scheduling priority (lower preempted first).
+	Priority int
+	// ScheduleAt is when the pod was bound (newer preempted first within a
+	// priority class: they have the least progress to throw away).
+	ScheduleAt sim.Time
+	// ReservedMB is the memory freed by preempting the pod.
+	ReservedMB float64
+}
+
+// SelectVictims picks which candidates to preempt to relieve overMB of
+// memory pressure, returning their indices in preemption order. Only
+// harvested candidates are ever selected — latency-critical and default
+// pods are invisible to the de-harvest path no matter how overloaded the
+// node is. Among the eligible, lowest priority goes first, then the most
+// recently scheduled (ties broken by index for determinism); selection
+// stops once the accumulated reservations reach overMB, or the eligible
+// set is exhausted.
+func SelectVictims(cands []VictimCandidate, overMB float64) []int {
+	if overMB <= 0 {
+		return nil
+	}
+	var order []int
+	for i, c := range cands {
+		if c.Harvested {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := cands[order[a]], cands[order[b]]
+		if ca.Priority != cb.Priority {
+			return ca.Priority < cb.Priority
+		}
+		return ca.ScheduleAt > cb.ScheduleAt
+	})
+	var picked []int
+	var relief float64
+	for _, i := range order {
+		if relief >= overMB {
+			break
+		}
+		picked = append(picked, i)
+		relief += cands[i].ReservedMB
+	}
+	return picked
+}

@@ -1,0 +1,118 @@
+package harvest
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"kubeknots/internal/sim"
+)
+
+func TestSelectVictimsBasics(t *testing.T) {
+	cands := []VictimCandidate{
+		{Harvested: true, Priority: -100, ScheduleAt: 1000, ReservedMB: 500},
+		{Harvested: false, Priority: 100, ScheduleAt: 0, ReservedMB: 4000}, // latency-critical
+		{Harvested: true, Priority: -100, ScheduleAt: 5000, ReservedMB: 500},
+		{Harvested: true, Priority: -200, ScheduleAt: 2000, ReservedMB: 300},
+	}
+	if got := SelectVictims(cands, 0); got != nil {
+		t.Fatalf("no overage must select nothing, got %v", got)
+	}
+	// 300 MB over: the lowest-priority harvested pod alone suffices.
+	if got := SelectVictims(cands, 300); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("SelectVictims(300) = %v, want [3]", got)
+	}
+	// 700 MB over: after the -200 pod, the newest -100 pod goes next.
+	if got := SelectVictims(cands, 700); !reflect.DeepEqual(got, []int{3, 2}) {
+		t.Fatalf("SelectVictims(700) = %v, want [3 2]", got)
+	}
+	// Overage beyond all harvested reservations evicts every harvested pod
+	// and never reaches the latency-critical one.
+	if got := SelectVictims(cands, 1e6); !reflect.DeepEqual(got, []int{3, 2, 0}) {
+		t.Fatalf("SelectVictims(1e6) = %v, want [3 2 0]", got)
+	}
+}
+
+// The de-harvest invariant from the issue: no matter the candidate set or
+// the overage, victim selection never picks a non-harvested (e.g.
+// latency-critical) pod — even when lower-priority harvested pods on the
+// node cannot cover the deficit.
+func TestQuickNeverSelectsNonHarvested(t *testing.T) {
+	f := func(seed int64, n uint8, overMB float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cands := make([]VictimCandidate, int(n)%24)
+		for i := range cands {
+			cands[i] = VictimCandidate{
+				Harvested:  rng.Intn(2) == 0,
+				Priority:   rng.Intn(401) - 300,
+				ScheduleAt: sim.Time(rng.Intn(100000)),
+				ReservedMB: float64(rng.Intn(8000)),
+			}
+		}
+		picked := SelectVictims(cands, overMB)
+		seen := make(map[int]bool)
+		for _, idx := range picked {
+			if idx < 0 || idx >= len(cands) {
+				return false
+			}
+			if !cands[idx].Harvested {
+				return false // preempted a non-harvested pod
+			}
+			if seen[idx] {
+				return false // double eviction
+			}
+			seen[idx] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Victims come lowest-priority-first, newest-first within a priority, and
+// selection stops as soon as the accumulated relief covers the overage.
+func TestQuickVictimOrderAndSufficiency(t *testing.T) {
+	f := func(seed int64, n uint8, over uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		overMB := float64(over)
+		cands := make([]VictimCandidate, int(n)%24)
+		harvestedMB := 0.0
+		for i := range cands {
+			cands[i] = VictimCandidate{
+				Harvested:  rng.Intn(2) == 0,
+				Priority:   rng.Intn(5) - 4,
+				ScheduleAt: sim.Time(rng.Intn(1000)),
+				ReservedMB: float64(rng.Intn(500) + 1),
+			}
+			if cands[i].Harvested {
+				harvestedMB += cands[i].ReservedMB
+			}
+		}
+		picked := SelectVictims(cands, overMB)
+		relief := 0.0
+		for k, idx := range picked {
+			if k > 0 {
+				prev, cur := cands[picked[k-1]], cands[idx]
+				if prev.Priority > cur.Priority {
+					return false // higher priority evicted first
+				}
+				if prev.Priority == cur.Priority && prev.ScheduleAt < cur.ScheduleAt {
+					return false // older pod evicted before a newer peer
+				}
+				if relief >= overMB {
+					return false // kept evicting after the node was relieved
+				}
+			}
+			relief += cands[idx].ReservedMB
+		}
+		if overMB > 0 && relief < overMB && relief < harvestedMB {
+			return false // stopped short despite available harvested pods
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

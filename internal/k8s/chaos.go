@@ -87,7 +87,10 @@ func (o *Orchestrator) SetNetwork(now sim.Time, latency sim.Time, errRate float6
 // capacity-violation crash this does not count toward the crash-loop cap:
 // the pod did nothing wrong. It restarts from scratch at the back of the
 // queue after the relaunch latency, and the scheduler places it on whatever
-// healthy capacity remains.
+// healthy capacity remains. Harvested pods under a checkpointing harvest
+// controller instead take the de-harvest path: their instance (and its
+// phase progress) survives the drain and the relaunch resumes from the
+// checkpoint rather than from zero.
 func (o *Orchestrator) drain(now sim.Time, evicted []*cluster.Container, why string) {
 	for _, c := range evicted {
 		o.Profiler.Complete(c)
@@ -99,7 +102,16 @@ func (o *Orchestrator) drain(now sim.Time, evicted []*cluster.Container, why str
 		p.container = nil
 		o.DrainEvents++
 		o.om.drains.Inc()
-		o.Events.Record(Event{At: now, Type: EventDrained, Pod: p.Name, Detail: why})
+		if p.Harvested && o.harvest != nil && o.harvest.CheckpointDrained() {
+			p.resume = true
+			p.Preemptions++
+			o.om.preemptions.Inc()
+			o.harvest.NoteDrainPreemption(now, p.Name)
+			o.Events.Record(Event{At: now, Type: EventDrained, Pod: p.Name,
+				Detail: why + ", checkpoint preserved"})
+		} else {
+			o.Events.Record(Event{At: now, Type: EventDrained, Pod: p.Name, Detail: why})
+		}
 		pod := p
 		o.Eng.After(o.Cfg.RelaunchDelay, func(at sim.Time) {
 			pod.Phase = PodPending

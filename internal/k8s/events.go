@@ -20,6 +20,7 @@ const (
 	EventRelaunch  EventType = "Relaunch"  // re-queued after a crash or drain
 	EventEvicted   EventType = "Evicted"   // crash-loop cap hit; terminal
 	EventDrained   EventType = "Drained"   // killed by a node/device fault, will reschedule
+	EventPreempted EventType = "Preempted" // de-harvested: preempted below the watermark, will requeue
 	EventNodeDown  EventType = "NodeDown"  // node crashed (chaos injection)
 	EventNodeUp    EventType = "NodeUp"    // node rebooted
 	EventGPUDown   EventType = "GPUDown"   // single device failed

@@ -48,6 +48,33 @@ func (p PodPhase) String() string {
 	}
 }
 
+// Priority classes. Priority is an open int scale; these named levels are
+// the harvest controller's contract: latency-critical inference pods sit
+// above the default, harvested best-effort batch pods below it, and only
+// pods at or under the harvested class are ever preempted.
+const (
+	// PriorityLatencyCritical marks user-facing inference pods; the
+	// de-harvest path never preempts them.
+	PriorityLatencyCritical = 100
+	// PriorityDefault is the zero-value class of ordinary pods.
+	PriorityDefault = 0
+	// PriorityHarvested marks opportunistic best-effort batch pods admitted
+	// by the harvest controller; they queue last and are preempted first.
+	PriorityHarvested = -100
+)
+
+// PriorityClassName names the class a priority belongs to, kubectl-style.
+func PriorityClassName(priority int) string {
+	switch {
+	case priority >= PriorityLatencyCritical:
+		return "latency-critical"
+	case priority <= PriorityHarvested:
+		return "harvested"
+	default:
+		return "default"
+	}
+}
+
 // Pod is a scheduling unit (the paper uses pod and container
 // interchangeably).
 type Pod struct {
@@ -60,22 +87,54 @@ type Pod struct {
 	// Affinity constrains placement (nil = unconstrained).
 	Affinity *Affinity
 	// Priority orders the pending queue (higher first; FIFO within equal
-	// priority). GPU pods are never preempted once bound.
+	// priority). Pods at or below PriorityHarvested are additionally
+	// preemptible by the harvest controller's de-harvest path; everything
+	// above is never preempted once bound.
 	Priority int
+	// Harvested marks a best-effort pod admitted opportunistically by the
+	// harvest controller instead of the cluster scheduler.
+	Harvested bool
 
 	SubmitAt   sim.Time
 	ScheduleAt sim.Time // first successful binding; -1 until then
 	FinishedAt sim.Time
 	Phase      PodPhase
 	Crashes    int
+	// Preemptions counts de-harvest evictions (watermark and drain paths).
+	Preemptions int
 
 	inst      *workloads.Instance
 	container *cluster.Container
 	rng       *rand.Rand
+	// resume marks a checkpointed pod: the next binding reuses inst — and
+	// its accumulated phase progress — instead of starting a fresh instance.
+	resume bool
 }
 
 // Running reports whether the pod currently has a GPU-resident container.
 func (p *Pod) Running() bool { return p.container != nil }
+
+// ReservedMB returns the pod's current container reservation (0 when not
+// running) — the memory relief the de-harvest path gains by preempting it.
+func (p *Pod) ReservedMB() float64 {
+	if p.container == nil {
+		return 0
+	}
+	return p.container.ReservedMB
+}
+
+// Checkpointed reports whether the pod carries a checkpoint: its next
+// binding resumes accumulated progress instead of restarting from zero.
+func (p *Pod) Checkpointed() bool { return p.resume && p.inst != nil }
+
+// CheckpointProgress returns the phase progress a resumed binding would
+// restore (0 without a checkpoint).
+func (p *Pod) CheckpointProgress() sim.Time {
+	if !p.Checkpointed() {
+		return 0
+	}
+	return p.inst.Progress()
+}
 
 // Decision is one placement order from a scheduler, or — when Reject is
 // set — a terminal rejection of a pod the policy has determined can never be
@@ -198,6 +257,10 @@ type Orchestrator struct {
 	podSeq  int
 	started bool
 	om      *orchMetrics
+	// harvest is the runtime harvest controller hook (nil = no controller:
+	// the scheduler sees every pending pod and drains restart from zero,
+	// byte-identical to a build without the harvest subsystem).
+	harvest Harvester
 
 	// schedQueue is the reusable priority-sorted copy of the pending queue
 	// handed to the scheduler each round (hot-path scratch, see runScheduler).
@@ -257,6 +320,11 @@ func (o *Orchestrator) SubmitAt(at sim.Time, p *Pod) {
 
 // PendingLen returns the queue depth.
 func (o *Orchestrator) PendingLen() int { return len(o.pending) }
+
+// Started reports whether the periodic callbacks are registered — callers
+// layering their own event streams (harvest, chaos) use it to start the
+// orchestrator exactly once before their own Start.
+func (o *Orchestrator) Started() bool { return o.started }
 
 // Start registers the periodic tick, heartbeat, scheduling, and sampling
 // callbacks. Call once, then drive the engine.
@@ -323,6 +391,9 @@ func (o *Orchestrator) tick(now sim.Time) {
 		}
 		delete(o.byContainer, c)
 		p.container = nil
+		// A capacity-violation crash invalidates any checkpoint: the OOMed
+		// instance's state is gone, so the relaunch restarts from zero.
+		p.resume = false
 		p.Crashes++
 		o.CrashEvents++
 		o.om.oomKills.Inc()
@@ -396,9 +467,21 @@ func (o *Orchestrator) runScheduler(now sim.Time) {
 	// Priority ordering: higher first, FIFO within a class. The sort is
 	// stable so equal-priority pods keep arrival order. The queue copy is a
 	// per-orchestrator scratch slice: the scheduler may reorder it, but it is
-	// dead once Schedule returns.
-	queue := append(o.schedQueue[:0], o.pending...)
+	// dead once Schedule returns. With a harvest controller attached,
+	// harvested pods are its admission domain and never reach the cluster
+	// scheduler.
+	queue := o.schedQueue[:0]
+	for _, p := range o.pending {
+		if o.harvest != nil && p.Harvested {
+			continue
+		}
+		queue = append(queue, p)
+	}
 	o.schedQueue = queue
+	if len(queue) == 0 {
+		o.om.queueDepth.Set(float64(len(o.pending)))
+		return
+	}
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Priority > queue[j].Priority })
 	// Wall-clock latency is harness telemetry (sweep.Result.Wall convention):
 	// it never enters sim state, so determinism is unaffected.
@@ -438,9 +521,16 @@ func (o *Orchestrator) runScheduler(now sim.Time) {
 				Node: d.GPU.ID(), Detail: "affinity"})
 			continue
 		}
-		// Fresh instance on first launch and on every relaunch — a crashed
-		// pod restarts from scratch.
-		d.Pod.inst = d.Pod.Profile.NewInstance(d.Pod.rng)
+		// Fresh instance on first launch and on every crash relaunch — a
+		// crashed pod restarts from scratch. A checkpointed pod (de-harvest
+		// migration) instead resumes its preserved instance, keeping the
+		// phase progress accumulated before preemption.
+		resumed := d.Pod.resume && d.Pod.inst != nil
+		if resumed {
+			d.Pod.resume = false
+		} else {
+			d.Pod.inst = d.Pod.Profile.NewInstance(d.Pod.rng)
+		}
 		c := &cluster.Container{
 			ID:     d.Pod.Name,
 			Class:  d.Pod.Class,
@@ -448,6 +538,9 @@ func (o *Orchestrator) runScheduler(now sim.Time) {
 			Labels: d.Pod.Labels,
 		}
 		if err := d.GPU.Place(now, c, d.ReserveMB); err != nil {
+			if resumed {
+				d.Pod.resume = true // keep the checkpoint for the next attempt
+			}
 			o.om.rejectBind.Inc()
 			o.Events.Record(Event{At: now, Type: EventRejected, Pod: d.Pod.Name,
 				Node: d.GPU.ID(), Detail: err.Error()})
@@ -456,7 +549,12 @@ func (o *Orchestrator) runScheduler(now sim.Time) {
 		d.Pod.container = c
 		d.Pod.Phase = PodRunning
 		o.om.placements.Inc()
-		o.Events.Record(Event{At: now, Type: EventScheduled, Pod: d.Pod.Name, Node: d.GPU.ID()})
+		detail := ""
+		if resumed {
+			detail = "resumed from checkpoint"
+		}
+		o.Events.Record(Event{At: now, Type: EventScheduled, Pod: d.Pod.Name, Node: d.GPU.ID(),
+			Detail: detail})
 		if d.Pod.ScheduleAt < 0 {
 			d.Pod.ScheduleAt = now
 		}

@@ -26,6 +26,8 @@ var (
 		"Pods terminally evicted by the crash-loop cap.", "scheduler")
 	mDrains = obs.Default().CounterVec("k8s_drains_total",
 		"Pods killed by node/device faults and requeued.", "scheduler")
+	mPreemptions = obs.Default().CounterVec("k8s_preemptions_total",
+		"Pods preempted by the de-harvest path and requeued.", "scheduler")
 )
 
 // orchMetrics holds one orchestrator's pre-resolved metric children.
@@ -34,13 +36,14 @@ type orchMetrics struct {
 	rejectAffinity      *obs.Counter
 	rejectBind          *obs.Counter
 	rejectUnschedulable *obs.Counter
-	queueDepth      *obs.Gauge
-	decisionSeconds *obs.Histogram
-	completions     *obs.Counter
-	oomKills        *obs.Counter
-	restarts        *obs.Counter
-	evictions       *obs.Counter
-	drains          *obs.Counter
+	queueDepth          *obs.Gauge
+	decisionSeconds     *obs.Histogram
+	completions         *obs.Counter
+	oomKills            *obs.Counter
+	restarts            *obs.Counter
+	evictions           *obs.Counter
+	drains              *obs.Counter
+	preemptions         *obs.Counter
 }
 
 func newOrchMetrics(scheduler string) *orchMetrics {
@@ -49,12 +52,13 @@ func newOrchMetrics(scheduler string) *orchMetrics {
 		rejectAffinity:      mRejections.With(scheduler, "affinity"),
 		rejectBind:          mRejections.With(scheduler, "bind"),
 		rejectUnschedulable: mRejections.With(scheduler, "unschedulable"),
-		queueDepth:      mQueueDepth.With(scheduler),
-		decisionSeconds: mDecisionSeconds.With(scheduler),
-		completions:     mCompletions.With(scheduler),
-		oomKills:        mOOMKills.With(scheduler),
-		restarts:        mRestarts.With(scheduler),
-		evictions:       mEvictions.With(scheduler),
-		drains:          mDrains.With(scheduler),
+		queueDepth:          mQueueDepth.With(scheduler),
+		decisionSeconds:     mDecisionSeconds.With(scheduler),
+		completions:         mCompletions.With(scheduler),
+		oomKills:            mOOMKills.With(scheduler),
+		restarts:            mRestarts.With(scheduler),
+		evictions:           mEvictions.With(scheduler),
+		drains:              mDrains.With(scheduler),
+		preemptions:         mPreemptions.With(scheduler),
 	}
 }

@@ -25,7 +25,11 @@ type Manifest struct {
 	Workload WorkloadRef       `json:"workload"`
 	Labels   map[string]string `json:"labels,omitempty"`
 	Priority int               `json:"priority,omitempty"`
-	Affinity *AffinitySpec     `json:"affinity,omitempty"`
+	// Harvested marks the pod best-effort: it bypasses the cluster
+	// scheduler and is only placed (and preempted) by the harvest
+	// controller. An unset priority defaults to PriorityHarvested.
+	Harvested bool          `json:"harvested,omitempty"`
+	Affinity  *AffinitySpec `json:"affinity,omitempty"`
 }
 
 // WorkloadRef names the containerized application.
@@ -63,6 +67,13 @@ func ParseManifest(data []byte) (Manifest, error) {
 func (m Manifest) Validate() error {
 	if m.Name == "" {
 		return fmt.Errorf("k8s: manifest needs a name")
+	}
+	if m.Harvested && m.Priority > PriorityHarvested {
+		// Priority 0 is "unset" and defaults to the harvested class.
+		if m.Priority != 0 {
+			return fmt.Errorf("k8s: harvested pod priority %d above %d would be unpreemptible",
+				m.Priority, PriorityHarvested)
+		}
 	}
 	switch m.Workload.Kind {
 	case "rodinia":
@@ -106,6 +117,10 @@ func (o *Orchestrator) PodFromManifest(m Manifest, rng *rand.Rand) (*Pod, error)
 	p.Name = m.Name
 	p.Labels = m.Labels
 	p.Priority = m.Priority
+	p.Harvested = m.Harvested
+	if m.Harvested && m.Priority == 0 {
+		p.Priority = PriorityHarvested
+	}
 	if m.Affinity != nil {
 		p.Affinity = &Affinity{
 			NodeIn:          m.Affinity.NodeIn,

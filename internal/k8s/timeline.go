@@ -62,7 +62,7 @@ func TimelineFromEvents(evs []Event) *obs.Timeline {
 		switch ev.Type {
 		case EventScheduled:
 			open[ev.Pod] = openSlice{start: ts, tid: tids[ev.Node], node: ev.Node}
-		case EventCompleted, EventCrashed, EventDrained:
+		case EventCompleted, EventCrashed, EventDrained, EventPreempted:
 			if !closeSlice(ev.Pod, string(ev.Type), ts) {
 				// The opening Scheduled event fell off the ring; keep at least
 				// an instant so the termination stays visible.

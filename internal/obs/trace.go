@@ -26,6 +26,19 @@ const (
 	RejectForecastShort   = "forecast-insufficient-free" // predicted free memory below the pod's peak
 )
 
+// Harvest controller verdicts. Admission verdicts use the "harvest-" family
+// (the controller's opportunistic bind of a best-effort pod); de-harvest
+// verdicts use the "preempt-" family, one record per preempted pod.
+const (
+	OutcomeHarvested      = "harvest-placed"          // harvested pod admitted on forecast headroom
+	OutcomeHarvestResumed = "harvest-resumed"         // admitted and restored from a checkpoint (migration)
+	RejectHarvestHeadroom = "harvest-over-headroom"   // forecast load + reservation over the admission ceiling
+	RejectHarvestStale    = "harvest-stale-telemetry" // no harvesting on a rotten window
+	RejectHarvestQoS      = "harvest-qos-guard"       // recent SLO violations paused admissions
+	PreemptWatermark      = "preempt-watermark"       // de-harvested before forecast saturation
+	PreemptDrain          = "preempt-drain"           // de-harvested by a node/device fault drain
+)
+
 // CandidateTrace is one node considered for one pod, with the exact gate
 // that accepted or rejected it.
 type CandidateTrace struct {

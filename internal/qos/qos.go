@@ -58,6 +58,27 @@ func (t *Tracker) PerHour(span sim.Time) float64 {
 	return float64(t.violations) / h
 }
 
+// RecentViolations counts SLO violations among the last n recorded queries
+// (all of them when fewer were recorded). The harvest controller uses it as
+// a QoS guard: a violation burst in the recent tail pauses opportunistic
+// admissions before the tail grows.
+func (t *Tracker) RecentViolations(n int) int {
+	slo := t.SLO
+	if slo <= 0 {
+		slo = DefaultSLO
+	}
+	if n > len(t.latencies) {
+		n = len(t.latencies)
+	}
+	count := 0
+	for _, l := range t.latencies[len(t.latencies)-n:] {
+		if l > slo {
+			count++
+		}
+	}
+	return count
+}
+
 // Percentile returns the p-th percentile latency.
 func (t *Tracker) Percentile(p float64) sim.Time {
 	if len(t.latencies) == 0 {

@@ -225,6 +225,12 @@ func (in *Instance) Advance(dt sim.Time, smShare float64) {
 	in.progress += sim.Time(float64(dt) * smShare)
 }
 
+// Progress returns the accumulated execution progress in scaled wall time —
+// the phase-progress a checkpoint preserves across a preempt-and-resume
+// migration (internal/k8s), so a resumed instance does not restart from
+// zero.
+func (in *Instance) Progress() sim.Time { return in.progress }
+
 // Done reports whether the instance has completed its scaled duration.
 func (in *Instance) Done() bool {
 	return in.progress >= sim.Time(float64(in.Profile.Duration())*in.durScale)
