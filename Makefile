@@ -34,12 +34,18 @@ determinism:
 	$(GO) test ./internal/experiments/ -run 'TestTracingDeterminism|TestTracedExportsStable|TestShardsDeterministic' -count=1
 	$(GO) test ./internal/scheduler/ -run 'Shard' -count=1
 	$(GO) test ./cmd/kubeknots/ -run 'TestE2EGolden|TestE2EShardParity' -count=1
-	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 fig9 > /tmp/kk-plain.txt
+	$(GO) test ./cmd/knotsctl/ -run 'TestTrace' -count=1
+	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 \
+		-spans-out /tmp/kk-spans-p1.jsonl fig9 > /tmp/kk-plain.txt
 	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 8 \
-		-trace-out /tmp/kk-decisions.jsonl -timeline-out /tmp/kk-timeline.json fig9 > /tmp/kk-traced.txt
+		-trace-out /tmp/kk-decisions.jsonl -timeline-out /tmp/kk-timeline.json \
+		-spans-out /tmp/kk-spans-p8.jsonl fig9 > /tmp/kk-traced.txt
 	diff /tmp/kk-plain.txt /tmp/kk-traced.txt
-	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 -shards 8 fig9 > /tmp/kk-sharded.txt
+	diff /tmp/kk-spans-p1.jsonl /tmp/kk-spans-p8.jsonl
+	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 -shards 8 \
+		-spans-out /tmp/kk-spans-s8.jsonl fig9 > /tmp/kk-sharded.txt
 	diff /tmp/kk-plain.txt /tmp/kk-sharded.txt
+	diff /tmp/kk-spans-p1.jsonl /tmp/kk-spans-s8.jsonl
 	$(GO) test ./internal/experiments/ -run TestHarvestDisabledByteIdentical -count=1
 	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 \
 		-harvest=false -watermark 0.5 -checkpoint-cost 1s fig9 > /tmp/kk-harvest-off.txt
@@ -47,7 +53,8 @@ determinism:
 	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 fig-harvest > /tmp/kk-fh1.txt
 	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 8 fig-harvest > /tmp/kk-fh8.txt
 	diff /tmp/kk-fh1.txt /tmp/kk-fh8.txt
-	@echo determinism: table output identical with tracing on/off, -parallel 1 vs 8, -shards 1 vs 8, harvest flags inert when disabled
+	@echo determinism: tables and span JSONL identical with tracing on/off, -parallel 1 vs 8, -shards 1 vs 8, harvest flags inert when disabled
 
 clean:
-	rm -f /tmp/kk-plain.txt /tmp/kk-traced.txt /tmp/kk-sharded.txt /tmp/kk-decisions.jsonl /tmp/kk-timeline.json
+	rm -f /tmp/kk-plain.txt /tmp/kk-traced.txt /tmp/kk-sharded.txt /tmp/kk-decisions.jsonl /tmp/kk-timeline.json \
+		/tmp/kk-spans-p1.jsonl /tmp/kk-spans-p8.jsonl /tmp/kk-spans-s8.jsonl

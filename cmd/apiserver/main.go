@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"kubeknots/internal/api"
+	"kubeknots/internal/buildinfo"
 	"kubeknots/internal/cluster"
 	"kubeknots/internal/experiments"
 	"kubeknots/internal/harvest"
@@ -83,6 +84,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.Handle("/metrics", obs.PromHandler(obs.Default()))
+	buildinfo.Publish()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

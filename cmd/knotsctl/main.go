@@ -9,6 +9,7 @@
 //	knotsctl events [pod]
 //	knotsctl harvest
 //	knotsctl advance 60s
+//	knotsctl trace [--pod P|--slowest N|--critical-path|--summary] spans.jsonl
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"kubeknots/internal/api"
+	"kubeknots/internal/buildinfo"
 	"kubeknots/internal/k8s"
 	"kubeknots/internal/sim"
 )
@@ -34,14 +36,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("knotsctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	server := fs.String("server", "http://localhost:8088", "apiserver base URL")
+	version := fs.Bool("version", false, "print build information and exit")
 	fs.Usage = func() { usage(stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, "knotsctl", buildinfo.Get().String())
+		return 0
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
 		usage(stderr)
 		return 2
+	}
+	// trace is offline: it reads a span file, not the apiserver.
+	if rest[0] == "trace" {
+		if err := traceCmd(rest[1:], stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, "knotsctl:", err)
+			return 1
+		}
+		return 0
 	}
 	c := api.NewClient(*server)
 	var err error
@@ -227,5 +242,8 @@ commands:
   get pods|pod <n>|nodes|qos
   events [pod]
   harvest                   harvest-controller watermark state and counters
-  advance <duration>        run the simulation forward (e.g. 60s)`)
+  advance <duration>        run the simulation forward (e.g. 60s)
+  trace [flags] <spans.jsonl>
+                            query a span file from kubeknots -spans-out
+                            (--pod, --slowest N, --critical-path, --summary)`)
 }

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"kubeknots/internal/buildinfo"
+	"kubeknots/internal/obs/span"
+)
+
+// traceCmd implements `knotsctl trace`: offline queries over a span JSONL
+// file written by `kubeknots -spans-out`. It needs no apiserver — the span
+// file is the complete causal record of a run.
+//
+//	knotsctl trace --summary spans.jsonl        counts, outcomes, latency breakdown
+//	knotsctl trace --critical-path spans.jsonl  dominant segment per pod + slowest chains
+//	knotsctl trace --slowest 10 spans.jsonl     highest-latency pods
+//	knotsctl trace --pod <name> spans.jsonl     one pod's full trace tree
+func traceCmd(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("knotsctl trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		pod      = fs.String("pod", "", "print one pod's full trace (name or run/name)")
+		slowest  = fs.Int("slowest", 0, "print the N highest-latency pods")
+		critical = fs.Bool("critical-path", false, "print per-pod critical-path extraction")
+		summary  = fs.Bool("summary", false, "print span counts, outcomes, and per-scheduler latency percentiles")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: knotsctl trace [--pod P] [--slowest N] [--critical-path] [--summary] <spans.jsonl>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("trace wants exactly one span file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	spans, err := span.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("%s: no spans", fs.Arg(0))
+	}
+	ix := span.NewIndex(spans)
+
+	// Default view when no selector is given.
+	if !*summary && !*critical && *slowest == 0 && *pod == "" {
+		*summary = true
+	}
+	if *summary {
+		printSummary(stdout, spans, ix)
+	}
+	if *critical {
+		printCriticalPath(stdout, ix)
+	}
+	if *slowest > 0 {
+		printSlowest(stdout, ix, *slowest)
+	}
+	if *pod != "" {
+		tr, err := ix.Lookup(*pod)
+		if err != nil {
+			return err
+		}
+		printPod(stdout, tr)
+	}
+	return nil
+}
+
+func ms(us int64) float64 { return float64(us) / 1000 }
+
+// attrString renders attributes deterministically as sorted k=v pairs.
+func attrString(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + attrs[k]
+	}
+	return " " + strings.Join(parts, " ")
+}
+
+func printSummary(w io.Writer, spans []span.Span, ix *span.Index) {
+	runs := map[string]bool{}
+	for i := range spans {
+		runs[spans[i].Run] = true
+	}
+	fmt.Fprintf(w, "# knotsctl trace — %s\n", buildinfo.Get().String())
+	fmt.Fprintf(w, "spans: %d across %d pods (%d runs)\n", len(spans), len(ix.Traces), len(runs))
+	fmt.Fprintln(w, "span counts:")
+	for _, c := range span.SpanCounts(spans) {
+		fmt.Fprintf(w, "  %-18s %6d\n", c.Name, c.Count)
+	}
+	fmt.Fprintln(w, "outcomes:")
+	for _, c := range ix.OutcomeCounts() {
+		fmt.Fprintf(w, "  %-18s %6d\n", c.Name, c.Count)
+	}
+	bds := ix.BreakdownByScheduler()
+	if len(bds) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "latency breakdown (completed pods, ms p50/p90/p99):")
+	fmt.Fprintf(w, "  %-10s %5s  %-24s %-24s %-24s\n", "SCHEDULER", "PODS", "QUEUE-WAIT", "EXEC", "SUBMIT-TO-COMPLETE")
+	p3 := func(p [3]float64) string {
+		return fmt.Sprintf("%.1f/%.1f/%.1f", p[0]/1000, p[1]/1000, p[2]/1000)
+	}
+	for _, b := range bds {
+		fmt.Fprintf(w, "  %-10s %5d  %-24s %-24s %-24s\n",
+			b.Scheduler, b.Pods, p3(b.QueueP), p3(b.ExecP), p3(b.TotalP))
+	}
+}
+
+func printCriticalPath(w io.Writer, ix *span.Index) {
+	fmt.Fprintln(w, "critical path (dominant segment per pod):")
+	for _, c := range ix.DominantSegments() {
+		fmt.Fprintf(w, "  %-18s %6d\n", c.Name, c.Count)
+	}
+	fmt.Fprintln(w, "slowest critical paths:")
+	fmt.Fprintf(w, "  %-40s %10s  %-16s %10s %6s\n", "POD", "TOTAL(ms)", "DOMINANT", "DOM(ms)", "SHARE")
+	for _, tr := range ix.Slowest(10) {
+		steps, dom := tr.CriticalPath()
+		if dom < 0 {
+			continue
+		}
+		total := tr.TotalUS()
+		share := 0.0
+		if total > 0 {
+			share = float64(steps[dom].DurUS) / float64(total) * 100
+		}
+		fmt.Fprintf(w, "  %-40s %10.1f  %-16s %10.1f %5.0f%%\n",
+			tr.Key(), ms(total), steps[dom].Name, ms(steps[dom].DurUS), share)
+	}
+}
+
+func printSlowest(w io.Writer, ix *span.Index, n int) {
+	fmt.Fprintf(w, "%-40s %10s %10s %10s  %-10s %s\n",
+		"POD", "TOTAL(ms)", "QUEUE(ms)", "EXEC(ms)", "OUTCOME", "SCHEDULER")
+	for _, tr := range ix.Slowest(n) {
+		fmt.Fprintf(w, "%-40s %10.1f %10.1f %10.1f  %-10s %s\n",
+			tr.Key(), ms(tr.TotalUS()),
+			ms(tr.SegmentTotalUS(span.QueueWaitName)),
+			ms(tr.SegmentTotalUS(span.ExecName)),
+			tr.Outcome(), tr.Scheduler())
+	}
+}
+
+func printPod(w io.Writer, tr *span.PodTrace) {
+	if tr.Root != nil {
+		r := tr.Root
+		fmt.Fprintf(w, "%s %s [%.1fms → %.1fms] %.1fms%s\n",
+			r.Name, tr.Key(), ms(r.StartUS), ms(r.EndUS), ms(r.DurUS()), attrString(r.Attrs))
+	} else {
+		fmt.Fprintf(w, "pod %s (no root span; trace truncated)\n", tr.Key())
+	}
+	// Interleave segments and evals in time order.
+	all := make([]*span.Span, 0, len(tr.Segments)+len(tr.Evals))
+	all = append(all, tr.Segments...)
+	all = append(all, tr.Evals...)
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].StartUS != all[j].StartUS {
+			return all[i].StartUS < all[j].StartUS
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	for _, s := range all {
+		if s.DurUS() > 0 {
+			fmt.Fprintf(w, "  %-18s [%.1fms → %.1fms] %.1fms%s\n",
+				s.Name, ms(s.StartUS), ms(s.EndUS), ms(s.DurUS()), attrString(s.Attrs))
+		} else {
+			fmt.Fprintf(w, "  %-18s @%.1fms%s\n", s.Name, ms(s.StartUS), attrString(s.Attrs))
+		}
+		for _, ev := range s.Events {
+			fmt.Fprintf(w, "    · %s @%.1fms%s\n", ev.Name, ms(ev.AtUS), attrString(ev.Attrs))
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kubeknots/internal/buildinfo"
+	"kubeknots/internal/obs/span"
+)
+
+var updateTrace = flag.Bool("update", false, "regenerate the trace golden files")
+
+// e2eSpansPath is the committed span file from the kubeknots E2E golden run;
+// `knotsctl trace` views over it are themselves pinned by goldens here.
+const e2eSpansPath = "../kubeknots/testdata/e2e_spans.golden.jsonl"
+
+// pinBuild pins the reported build identity so golden output does not embed
+// the live toolchain version.
+func pinBuild(t *testing.T) {
+	t.Helper()
+	restore := buildinfo.Set(buildinfo.Info{
+		Module: "kubeknots", Version: "(devel)", GoVersion: "go-test",
+	})
+	t.Cleanup(restore)
+}
+
+// runTrace invokes the full CLI path (`knotsctl trace ...`).
+func runTrace(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(append([]string{"trace"}, args...), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// checkGolden compares got against the committed golden, regenerating it
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateTrace {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s updated", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/knotsctl -run TestTrace -update` to create golden files)", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s diverged from golden:\n--- want ---\n%s\n--- got ---\n%s", path, want, got)
+	}
+}
+
+func TestTraceCriticalPathGolden(t *testing.T) {
+	pinBuild(t)
+	code, out, errOut := runTrace(t, "--critical-path", e2eSpansPath)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	checkGolden(t, "trace_critical.golden.txt", out)
+}
+
+func TestTraceSummaryGolden(t *testing.T) {
+	pinBuild(t)
+	code, out, errOut := runTrace(t, "--summary", e2eSpansPath)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "go-test") {
+		t.Fatalf("summary header should carry the build identity:\n%s", out)
+	}
+	checkGolden(t, "trace_summary.golden.txt", out)
+}
+
+func TestTraceDefaultsToSummary(t *testing.T) {
+	pinBuild(t)
+	_, plain, _ := runTrace(t, e2eSpansPath)
+	_, summary, _ := runTrace(t, "--summary", e2eSpansPath)
+	if plain != summary {
+		t.Error("bare `knotsctl trace <file>` should print the summary view")
+	}
+}
+
+func TestTraceSlowest(t *testing.T) {
+	pinBuild(t)
+	code, out, errOut := runTrace(t, "--slowest", "3", e2eSpansPath)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 pods
+		t.Fatalf("want header + 3 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "TOTAL(ms)") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+}
+
+func TestTracePodView(t *testing.T) {
+	pinBuild(t)
+	// Pod names repeat across the golden's runs, so the lookup must be
+	// qualified — and the unqualified form must fail loudly.
+	code, _, errOut := runTrace(t, "--pod", "leukocyte-15", e2eSpansPath)
+	if code == 0 || !strings.Contains(errOut, "ambiguous") {
+		t.Fatalf("unqualified ambiguous pod: code=%d stderr=%q", code, errOut)
+	}
+	key := "fig9/App-Mix-1/PP/seed=3/leukocyte-15"
+	code, out, errOut := runTrace(t, "--pod", key, e2eSpansPath)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	for _, want := range []string{span.RootName + " " + key, span.QueueWaitName, span.BindName, span.ExecName, "outcome=succeeded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pod view missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if code, _, errOut := runTrace(t); code == 0 || !strings.Contains(errOut, "usage") {
+		t.Errorf("no file: code=%d stderr=%q", code, errOut)
+	}
+	if code, _, _ := runTrace(t, filepath.Join(t.TempDir(), "missing.jsonl")); code != 1 {
+		t.Errorf("missing file: code=%d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := runTrace(t, bad); code != 1 || !strings.Contains(errOut, "line 1") {
+		t.Errorf("bad file: code=%d stderr=%q", code, errOut)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := runTrace(t, empty); code != 1 || !strings.Contains(errOut, "no spans") {
+		t.Errorf("empty file: code=%d stderr=%q", code, errOut)
+	}
+	if code, _, errOut := runTrace(t, "--pod", "nope", e2eSpansPath); code != 1 || !strings.Contains(errOut, "no trace") {
+		t.Errorf("unknown pod: code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	pinBuild(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if got := stdout.String(); !strings.Contains(got, "knotsctl kubeknots (devel) (go-test)") {
+		t.Fatalf("-version output: %q", got)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"kubeknots/internal/buildinfo"
 	"kubeknots/internal/cluster"
 	"kubeknots/internal/knots"
 	"kubeknots/internal/obs"
@@ -142,6 +143,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 // debugMux mounts expvar and pprof on mux under /debug/. Registering the
 // pprof handlers explicitly keeps the daemon off http.DefaultServeMux.
 func debugMux(mux *http.ServeMux) {
+	buildinfo.Publish()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -16,6 +16,7 @@ type e2eRun struct {
 	tables   []byte // stdout: fig9 + fig10a tables
 	trace    []byte // -trace-out decision-audit JSONL
 	timeline []byte // -timeline-out Chrome trace_event JSON
+	spans    []byte // -spans-out causal pod-lifecycle span JSONL
 }
 
 // runE2E executes the pinned end-to-end scenario — seed 3, three simulated
@@ -29,6 +30,7 @@ func runE2E(t *testing.T, shards int) e2eRun {
 	tmp := t.TempDir()
 	tracePath := filepath.Join(tmp, "trace.jsonl")
 	timelinePath := filepath.Join(tmp, "timeline.json")
+	spansPath := filepath.Join(tmp, "spans.jsonl")
 	var stdout, stderr bytes.Buffer
 	args := []string{
 		"-parallel", "1",
@@ -37,6 +39,7 @@ func runE2E(t *testing.T, shards int) e2eRun {
 		"-shards", fmt.Sprint(shards),
 		"-trace-out", tracePath,
 		"-timeline-out", timelinePath,
+		"-spans-out", spansPath,
 		"fig9", "fig10a",
 	}
 	if code := run(args, &stdout, &stderr); code != 0 {
@@ -49,7 +52,8 @@ func runE2E(t *testing.T, shards int) e2eRun {
 		}
 		return data
 	}
-	return e2eRun{tables: stdout.Bytes(), trace: readFile(tracePath), timeline: readFile(timelinePath)}
+	return e2eRun{tables: stdout.Bytes(), trace: readFile(tracePath),
+		timeline: readFile(timelinePath), spans: readFile(spansPath)}
 }
 
 // goldenFiles maps artifact names to their committed golden paths.
@@ -58,6 +62,7 @@ func goldenFiles(r e2eRun) map[string][]byte {
 		filepath.Join("testdata", "e2e_tables.golden.txt"):    r.tables,
 		filepath.Join("testdata", "e2e_trace.golden.jsonl"):   r.trace,
 		filepath.Join("testdata", "e2e_timeline.golden.json"): r.timeline,
+		filepath.Join("testdata", "e2e_spans.golden.jsonl"):   r.spans,
 	}
 }
 
@@ -133,5 +138,8 @@ func TestE2EShardParity(t *testing.T) {
 	}
 	if !bytes.Equal(serial.timeline, sharded.timeline) {
 		t.Errorf("timelines diverge between -shards 1 and -shards 8\n%s", firstDiff(serial.timeline, sharded.timeline))
+	}
+	if !bytes.Equal(serial.spans, sharded.spans) {
+		t.Errorf("spans diverge between -shards 1 and -shards 8\n%s", firstDiff(serial.spans, sharded.spans))
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"kubeknots/internal/buildinfo"
 	"kubeknots/internal/dlsim"
 	"kubeknots/internal/experiments"
 	"kubeknots/internal/obs"
@@ -68,10 +69,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		traceOut    = fs.String("trace-out", "", "write per-pod scheduling decision audit records (JSONL) to this file")
 		timelineOut = fs.String("timeline-out", "", "write a Chrome trace_event timeline (open in chrome://tracing or Perfetto) to this file")
+		spansOut    = fs.String("spans-out", "", "write causal pod-lifecycle spans (JSONL; query with knotsctl trace) to this file")
+		version     = fs.Bool("version", false, "print build information and exit")
 	)
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, "kubeknots", buildinfo.Get().String())
+		return 0
 	}
 	names := fs.Args()
 	if len(names) == 0 {
@@ -123,7 +130,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	base.Cluster.Harvest.Watermark = *watermark
 	base.Cluster.Harvest.CheckpointCost = sim.Time(checkpointCost.Milliseconds())
 	var collector *obs.Collector
-	if *traceOut != "" || *timelineOut != "" {
+	if *traceOut != "" || *timelineOut != "" || *spansOut != "" {
 		collector = obs.NewCollector()
 		base.Cluster.Obs = collector
 	}
@@ -218,6 +225,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *timelineOut != "" {
 			if err := writeFileWith(*timelineOut, collector.WriteTimeline); err != nil {
 				fmt.Fprintf(stderr, "kubeknots: -timeline-out: %v\n", err)
+				return 1
+			}
+		}
+		if *spansOut != "" {
+			if err := writeFileWith(*spansOut, collector.WriteSpans); err != nil {
+				fmt.Fprintf(stderr, "kubeknots: -spans-out: %v\n", err)
 				return 1
 			}
 		}

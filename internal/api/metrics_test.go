@@ -1,0 +1,124 @@
+package api
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"kubeknots/internal/buildinfo"
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/harvest"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/obs"
+	"kubeknots/internal/scheduler"
+	"kubeknots/internal/sim"
+)
+
+// namedPP wraps PP under a scheduler name unique to this test binary: the
+// harvest metric families live in the process-global registry, so the zero
+// assertions below must scrape a label no other test increments.
+type namedPP struct{ scheduler.PP }
+
+func (namedPP) Name() string { return "PP-api-metrics" }
+
+// newHarvestMetricsServer assembles the exact stack cmd/apiserver serves
+// under a -harvest spec — API handler plus /metrics and /debug/vars on an
+// outer mux — with the controller attached but the engine never advanced.
+func newHarvestMetricsServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = 2
+	cl := cluster.New(ccfg)
+	orch := k8s.NewOrchestrator(eng, cl, &namedPP{}, k8s.Config{})
+	srv := NewServer(orch)
+	hctl := harvest.New(orch, harvest.Config{Enabled: true})
+	orch.Start()
+	hctl.Start()
+	srv.SetHarvest(hctl)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/metrics", obs.PromHandler(obs.Default()))
+	buildinfo.Publish()
+	mux.Handle("/debug/vars", expvar.Handler())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsHarvestSeriesAtZero: attaching a harvest controller must
+// materialize every harvest_* series immediately — present and zero before
+// the first tick — so dashboards and alerts see the full schema from
+// scrape one rather than series popping into existence on first increment.
+func TestMetricsHarvestSeriesAtZero(t *testing.T) {
+	ts := newHarvestMetricsServer(t)
+	body := get(t, ts.URL+"/metrics")
+
+	wantZero := []string{
+		`harvest_admissions_total{scheduler="PP-api-metrics"}`,
+		`harvest_preemptions_total{scheduler="PP-api-metrics",reason="drain"}`,
+		`harvest_preemptions_total{scheduler="PP-api-metrics",reason="watermark"}`,
+		`harvest_migrations_total{scheduler="PP-api-metrics"}`,
+		`harvest_over_watermark_nodes{scheduler="PP-api-metrics"}`,
+		`harvest_resident_pods{scheduler="PP-api-metrics"}`,
+	}
+	for _, series := range wantZero {
+		re := regexp.MustCompile(regexp.QuoteMeta(series) + ` (\S+)\n`)
+		m := re.FindStringSubmatch(body)
+		if m == nil {
+			t.Errorf("series %s absent from /metrics before first tick", series)
+			continue
+		}
+		if m[1] != "0" {
+			t.Errorf("series %s = %s before first tick, want 0", series, m[1])
+		}
+	}
+	// The families must also carry their metadata.
+	for _, family := range []string{
+		"harvest_admissions_total", "harvest_preemptions_total",
+		"harvest_migrations_total", "harvest_over_watermark_nodes",
+		"harvest_resident_pods",
+	} {
+		if !strings.Contains(body, "# TYPE "+family+" ") {
+			t.Errorf("missing TYPE line for %s", family)
+		}
+	}
+}
+
+// TestDebugVarsBuildInfo: the apiserver-style mux reports the build identity
+// on /debug/vars.
+func TestDebugVarsBuildInfo(t *testing.T) {
+	restore := buildinfo.Set(buildinfo.Info{
+		Module: "kubeknots", Version: "v0.0.0-test", GoVersion: "go-test",
+	})
+	defer restore()
+	ts := newHarvestMetricsServer(t)
+	body := get(t, ts.URL+"/debug/vars")
+	if !strings.Contains(body, `"buildinfo"`) ||
+		!strings.Contains(body, `"version":"v0.0.0-test"`) ||
+		!strings.Contains(body, `"go_version":"go-test"`) {
+		t.Fatalf("/debug/vars missing buildinfo: %s", body)
+	}
+}

@@ -1,0 +1,51 @@
+package buildinfo
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"testing"
+)
+
+func TestGetReportsToolchain(t *testing.T) {
+	i := Get()
+	if i.Module == "" || i.Version == "" {
+		t.Fatalf("incomplete info: %+v", i)
+	}
+	if !strings.HasPrefix(i.GoVersion, "go") {
+		t.Fatalf("GoVersion = %q, want go1.x", i.GoVersion)
+	}
+	if s := i.String(); !strings.Contains(s, i.Module) || !strings.Contains(s, i.GoVersion) {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestSetOverridesAndRestores(t *testing.T) {
+	orig := Get()
+	restore := Set(Info{Module: "kubeknots", Version: "v1.2.3", GoVersion: "go0.test"})
+	if got := Get(); got.Version != "v1.2.3" || got.GoVersion != "go0.test" {
+		t.Fatalf("override not visible: %+v", got)
+	}
+	restore()
+	if got := Get(); got != orig {
+		t.Fatalf("restore: got %+v, want %+v", got, orig)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	Publish()
+	Publish() // must not panic on re-registration
+	v := expvar.Get("buildinfo")
+	if v == nil {
+		t.Fatal("buildinfo var not published")
+	}
+	restore := Set(Info{Module: "kubeknots", Version: "v9.9.9", GoVersion: "go9"})
+	defer restore()
+	var m map[string]string
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("buildinfo var is not JSON: %v", err)
+	}
+	if m["version"] != "v9.9.9" || m["go_version"] != "go9" || m["module"] != "kubeknots" {
+		t.Fatalf("buildinfo var = %v", m)
+	}
+}

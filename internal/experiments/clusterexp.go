@@ -8,6 +8,7 @@ import (
 	"kubeknots/internal/harvest"
 	"kubeknots/internal/k8s"
 	"kubeknots/internal/obs"
+	"kubeknots/internal/obs/span"
 	"kubeknots/internal/scheduler"
 	"kubeknots/internal/sim"
 	"kubeknots/internal/trace"
@@ -235,6 +236,11 @@ func RunCluster(sched k8s.Scheduler, mix workloads.AppMix, cfg ClusterConfig) *C
 		if tracer != nil {
 			art.Decisions = tracer.Records()
 		}
+		// Spans fold the event log and decision records after the run — both
+		// deterministic — so the span file is byte-identical at any pool
+		// width or shard count. The ID generator is seeded with the run key,
+		// making IDs stable across sweeps too.
+		art.Spans = k8s.BuildSpans(span.NewIDGen(art.Key), sched.Name(), o.Events.All(), art.Decisions)
 		cfg.Obs.Add(art)
 	}
 	return run

@@ -39,6 +39,9 @@ func TestTracingDeterminism(t *testing.T) {
 	if runs[0].Timeline == nil || len(runs[0].Timeline.Events) == 0 {
 		t.Fatal("run produced no timeline events")
 	}
+	if len(runs[0].Spans) == 0 {
+		t.Fatal("run produced no lifecycle spans")
+	}
 }
 
 // TestTracedExportsStableUnderParallelism: a grid-shaped experiment with a
@@ -49,29 +52,35 @@ func TestTracedExportsStableUnderParallelism(t *testing.T) {
 	old := Parallelism()
 	defer SetParallelism(old)
 
-	export := func(par int) (string, string) {
+	export := func(par int) (string, string, string) {
 		SetParallelism(par)
 		cfg := ClusterConfig{Horizon: 5 * sim.Second, Obs: obs.NewCollector()}
 		Fig9(cfg)
-		var dec, tl bytes.Buffer
+		var dec, tl, sp bytes.Buffer
 		if err := cfg.Obs.WriteDecisionLog(&dec); err != nil {
 			t.Fatal(err)
 		}
 		if err := cfg.Obs.WriteTimeline(&tl); err != nil {
 			t.Fatal(err)
 		}
-		return dec.String(), tl.String()
+		if err := cfg.Obs.WriteSpans(&sp); err != nil {
+			t.Fatal(err)
+		}
+		return dec.String(), tl.String(), sp.String()
 	}
 
-	dec1, tl1 := export(1)
-	dec8, tl8 := export(8)
+	dec1, tl1, sp1 := export(1)
+	dec8, tl8, sp8 := export(8)
 	if dec1 != dec8 {
 		t.Error("decision log differs between -parallel 1 and 8")
 	}
 	if tl1 != tl8 {
 		t.Error("timeline differs between -parallel 1 and 8")
 	}
-	if len(dec1) == 0 || len(tl1) == 0 {
+	if sp1 != sp8 {
+		t.Error("span file differs between -parallel 1 and 8")
+	}
+	if len(dec1) == 0 || len(tl1) == 0 || len(sp1) == 0 {
 		t.Fatal("exports are empty; test is vacuous")
 	}
 	// Every fig9 grid point must have contributed artifacts (9 points: 3 mixes

@@ -32,7 +32,7 @@ func nodeID(node int) string { return fmt.Sprintf("node%d", node) }
 func (o *Orchestrator) FailNode(now sim.Time, node int) {
 	o.Events.Record(Event{At: now, Type: EventNodeDown, Node: nodeID(node)})
 	o.Monitor.SetNodeDown(node, true)
-	o.drain(now, o.Cluster.FailNode(now, node), "node failure")
+	o.drain(now, o.Cluster.FailNode(now, node), "node failure", nodeID(node))
 }
 
 // RestoreNode reboots a crashed node: devices come back empty and its
@@ -47,7 +47,7 @@ func (o *Orchestrator) RestoreNode(now sim.Time, node int) {
 func (o *Orchestrator) FailGPU(now sim.Time, node, index int) {
 	g := o.Cluster.NodeGPUs(node)[index]
 	o.Events.Record(Event{At: now, Type: EventGPUDown, Node: g.ID()})
-	o.drain(now, g.Fail(now), "device failure")
+	o.drain(now, g.Fail(now), "device failure", g.ID())
 }
 
 // RestoreGPU brings a failed device back as an empty, schedulable GPU.
@@ -90,8 +90,11 @@ func (o *Orchestrator) SetNetwork(now sim.Time, latency sim.Time, errRate float6
 // healthy capacity remains. Harvested pods under a checkpointing harvest
 // controller instead take the de-harvest path: their instance (and its
 // phase progress) survives the drain and the relaunch resumes from the
-// checkpoint rather than from zero.
-func (o *Orchestrator) drain(now sim.Time, evicted []*cluster.Container, why string) {
+// checkpoint rather than from zero. where names the failed node or device —
+// the container's own GPU pointer is already nil by the time drain runs, so
+// the caller supplies the location and the Drained event keeps its fault
+// site (span building correlates it with the NodeDown/GPUDown injection).
+func (o *Orchestrator) drain(now sim.Time, evicted []*cluster.Container, why, where string) {
 	for _, c := range evicted {
 		o.Profiler.Complete(c)
 		p := o.byContainer[c]
@@ -108,9 +111,10 @@ func (o *Orchestrator) drain(now sim.Time, evicted []*cluster.Container, why str
 			o.om.preemptions.Inc()
 			o.harvest.NoteDrainPreemption(now, p.Name)
 			o.Events.Record(Event{At: now, Type: EventDrained, Pod: p.Name,
-				Detail: why + ", checkpoint preserved"})
+				Node: where, Detail: why + ", checkpoint preserved"})
 		} else {
-			o.Events.Record(Event{At: now, Type: EventDrained, Pod: p.Name, Detail: why})
+			o.Events.Record(Event{At: now, Type: EventDrained, Pod: p.Name,
+				Node: where, Detail: why})
 		}
 		pod := p
 		o.Eng.After(o.Cfg.RelaunchDelay, func(at sim.Time) {

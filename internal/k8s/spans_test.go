@@ -1,0 +1,267 @@
+package k8s
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"kubeknots/internal/obs"
+	"kubeknots/internal/obs/span"
+)
+
+func buildTestSpans(t *testing.T, events []Event, decisions []obs.DecisionRecord) []span.Span {
+	t.Helper()
+	return BuildSpans(span.NewIDGen("test/seed=1"), "PP", events, decisions)
+}
+
+func findSpan(t *testing.T, spans []span.Span, pod, name string) *span.Span {
+	t.Helper()
+	for i := range spans {
+		if spans[i].Pod == pod && spans[i].Name == name {
+			return &spans[i]
+		}
+	}
+	t.Fatalf("no %s span for pod %s in %d spans", name, pod, len(spans))
+	return nil
+}
+
+func TestBuildSpansCompletedPod(t *testing.T) {
+	events := []Event{
+		{At: 0, Type: EventSubmitted, Pod: "lc0"},
+		{At: 20, Type: EventScheduled, Pod: "lc0", Node: "node0/gpu0"},
+		{At: 120, Type: EventCompleted, Pod: "lc0"},
+	}
+	spans := buildTestSpans(t, events, nil)
+
+	root := findSpan(t, spans, "lc0", span.RootName)
+	if root.StartUS != 0 || root.EndUS != 120_000 {
+		t.Fatalf("root [%d, %d]", root.StartUS, root.EndUS)
+	}
+	if root.Attrs["outcome"] != "succeeded" || root.Attrs["scheduler"] != "PP" {
+		t.Fatalf("root attrs: %v", root.Attrs)
+	}
+	q := findSpan(t, spans, "lc0", span.QueueWaitName)
+	if q.Parent != root.ID || q.StartUS != 0 || q.EndUS != 20_000 {
+		t.Fatalf("queue-wait: parent=%s [%d, %d]", q.Parent, q.StartUS, q.EndUS)
+	}
+	b := findSpan(t, spans, "lc0", span.BindName)
+	if b.DurUS() != 0 || b.Attrs["gpu"] != "node0/gpu0" {
+		t.Fatalf("bind: %+v", b)
+	}
+	x := findSpan(t, spans, "lc0", span.ExecName)
+	if x.StartUS != 20_000 || x.EndUS != 120_000 || x.Attrs["end"] != "completed" {
+		t.Fatalf("exec: %+v", x)
+	}
+}
+
+func TestBuildSpansCrashRequeueEvict(t *testing.T) {
+	events := []Event{
+		{At: 0, Type: EventSubmitted, Pod: "b0"},
+		{At: 10, Type: EventScheduled, Pod: "b0", Node: "node1/gpu0"},
+		{At: 50, Type: EventCrashed, Pod: "b0", Detail: "memory capacity violation"},
+		{At: 60, Type: EventRelaunch, Pod: "b0"},
+		{At: 70, Type: EventScheduled, Pod: "b0", Node: "node1/gpu1"},
+		{At: 90, Type: EventCrashed, Pod: "b0", Detail: "memory capacity violation"},
+		{At: 90, Type: EventEvicted, Pod: "b0", Detail: "crash-loop: 2 restarts"},
+	}
+	spans := buildTestSpans(t, events, nil)
+
+	root := findSpan(t, spans, "b0", span.RootName)
+	if root.Attrs["outcome"] != "evicted" || root.Attrs["reason"] != "crash-loop: 2 restarts" {
+		t.Fatalf("root attrs: %v", root.Attrs)
+	}
+	var requeues, queues, execs int
+	for _, s := range spans {
+		switch s.Name {
+		case span.RequeueName:
+			requeues++
+		case span.QueueWaitName:
+			queues++
+		case span.ExecName:
+			execs++
+		}
+	}
+	if requeues != 2 || queues != 2 || execs != 2 {
+		t.Fatalf("segments: requeue=%d queue=%d exec=%d", requeues, queues, execs)
+	}
+	rq := findSpan(t, spans, "b0", span.RequeueName) // earliest after Sort
+	if rq.StartUS != 50_000 || rq.EndUS != 60_000 || rq.Attrs["cause"] != "crash" {
+		t.Fatalf("requeue: %+v", rq)
+	}
+}
+
+func TestBuildSpansDrainFaultAnnotation(t *testing.T) {
+	events := []Event{
+		{At: 0, Type: EventSubmitted, Pod: "p0"},
+		{At: 5, Type: EventScheduled, Pod: "p0", Node: "node2/gpu0"},
+		{At: 30, Type: EventNodeDown, Node: "node2"},
+		{At: 30, Type: EventDrained, Pod: "p0", Node: "node2", Detail: "node failure"},
+		{At: 40, Type: EventRelaunch, Pod: "p0"},
+		{At: 45, Type: EventScheduled, Pod: "p0", Node: "node0/gpu0"},
+		{At: 80, Type: EventCompleted, Pod: "p0"},
+	}
+	spans := buildTestSpans(t, events, nil)
+
+	x := findSpan(t, spans, "p0", span.ExecName) // first exec, ended by the drain
+	if x.Attrs["end"] != "drained" || x.Attrs["fault"] != "node failure" {
+		t.Fatalf("exec attrs: %v", x.Attrs)
+	}
+	if x.Attrs["fault_cause"] != "NodeDown" || x.Attrs["fault_node"] != "node2" {
+		t.Fatalf("fault annotation missing: %v", x.Attrs)
+	}
+	rq := findSpan(t, spans, "p0", span.RequeueName)
+	if rq.Attrs["cause"] != "drain" || rq.Attrs["fault_cause"] != "NodeDown" {
+		t.Fatalf("requeue attrs: %v", rq.Attrs)
+	}
+	if findSpan(t, spans, "p0", span.RootName).Attrs["outcome"] != "succeeded" {
+		t.Fatal("pod should still succeed after reschedule")
+	}
+}
+
+func TestBuildSpansPreemptionAndHarvestBind(t *testing.T) {
+	events := []Event{
+		{At: 0, Type: EventSubmitted, Pod: "h0"},
+		{At: 10, Type: EventScheduled, Pod: "h0", Node: "node0/gpu1", Detail: "harvested"},
+		{At: 50, Type: EventPreempted, Pod: "h0", Node: "node0/gpu1", Detail: "watermark, checkpointed"},
+		{At: 60, Type: EventRelaunch, Pod: "h0"},
+		{At: 70, Type: EventScheduled, Pod: "h0", Node: "node1/gpu0",
+			Detail: "harvested, resumed from checkpoint"},
+		{At: 100, Type: EventCompleted, Pod: "h0"},
+	}
+	spans := buildTestSpans(t, events, nil)
+
+	b := findSpan(t, spans, "h0", span.BindName)
+	if b.Attrs["harvested"] != "true" || b.Attrs["resumed"] != "" {
+		t.Fatalf("first bind attrs: %v", b.Attrs)
+	}
+	var resumedBind *span.Span
+	for i := range spans {
+		if spans[i].Name == span.BindName && spans[i].Attrs["resumed"] == "true" {
+			resumedBind = &spans[i]
+		}
+	}
+	if resumedBind == nil || resumedBind.Attrs["harvested"] != "true" {
+		t.Fatalf("resumed harvested bind not found")
+	}
+	x := findSpan(t, spans, "h0", span.ExecName)
+	if x.Attrs["end"] != "preempted" || x.Attrs["harvested"] != "true" {
+		t.Fatalf("exec attrs: %v", x.Attrs)
+	}
+	rq := findSpan(t, spans, "h0", span.RequeueName)
+	if rq.Attrs["cause"] != "preempt" || rq.Attrs["reason"] != "watermark, checkpointed" {
+		t.Fatalf("requeue attrs: %v", rq.Attrs)
+	}
+}
+
+func TestBuildSpansTerminalRejectAndOpenEnd(t *testing.T) {
+	events := []Event{
+		{At: 0, Type: EventSubmitted, Pod: "big"},
+		{At: 10, Type: EventRejected, Pod: "big", Detail: "requests 99999MB, max device 16280MB"},
+		{At: 0, Type: EventSubmitted, Pod: "slow"},
+		{At: 5, Type: EventScheduled, Pod: "slow", Node: "node0/gpu0"},
+		{At: 0, Type: EventSubmitted, Pod: "waiting"},
+		// bind refusal: pod stays queued
+		{At: 7, Type: EventRejected, Pod: "waiting", Node: "node0/gpu0", Detail: "affinity"},
+	}
+	spans := buildTestSpans(t, events, nil)
+
+	rej := findSpan(t, spans, "big", span.RootName)
+	if rej.Attrs["outcome"] != "rejected" || rej.EndUS != 10_000 {
+		t.Fatalf("rejected root: %+v", rej)
+	}
+	running := findSpan(t, spans, "slow", span.RootName)
+	if running.Attrs["outcome"] != "running" || running.EndUS != 10_000 { // maxTS = 10ms
+		t.Fatalf("running root: %+v", running)
+	}
+	waiting := findSpan(t, spans, "waiting", span.RootName)
+	if waiting.Attrs["outcome"] != "pending" {
+		t.Fatalf("waiting root: %v", waiting.Attrs)
+	}
+	wq := findSpan(t, spans, "waiting", span.QueueWaitName)
+	if len(wq.Events) != 1 || wq.Events[0].Name != "bind-rejected" ||
+		wq.Events[0].Attrs["reason"] != "affinity" {
+		t.Fatalf("bind refusal event: %+v", wq.Events)
+	}
+}
+
+func TestBuildSpansDecisions(t *testing.T) {
+	events := []Event{
+		{At: 0, Type: EventSubmitted, Pod: "lc0"},
+		{At: 20, Type: EventScheduled, Pod: "lc0", Node: "node0/gpu0"},
+		{At: 120, Type: EventCompleted, Pod: "lc0"},
+	}
+	rho := 0.42
+	decisions := []obs.DecisionRecord{
+		{At: 10, Scheduler: "PP", Pod: "lc0", Class: "latency-critical", Placed: false,
+			Candidates: []obs.CandidateTrace{
+				{GPU: "node0/gpu0", Outcome: obs.RejectCorrelation, Rho: &rho},
+			}},
+		{At: 20, Scheduler: "PP", Pod: "lc0", Class: "latency-critical", Placed: true,
+			GPU: "node0/gpu0",
+			Candidates: []obs.CandidateTrace{
+				{GPU: "node0/gpu0", Outcome: obs.OutcomePlaced},
+			}},
+		{At: 30, Scheduler: "PP", Pod: "h1", Class: "harvested", Placed: false,
+			Candidates: []obs.CandidateTrace{{Outcome: obs.RejectHarvestQoS}}},
+		{At: 40, Scheduler: "PP", Pod: "h2", Class: "harvested",
+			Candidates: []obs.CandidateTrace{{Outcome: obs.PreemptWatermark}}},
+	}
+	spans := buildTestSpans(t, events, decisions)
+
+	root := findSpan(t, spans, "lc0", span.RootName)
+	if root.Attrs["class"] != "latency-critical" {
+		t.Fatalf("class not lifted to root: %v", root.Attrs)
+	}
+	evals := 0
+	for _, s := range spans {
+		if s.Name == span.SchedEvalName && s.Pod == "lc0" {
+			evals++
+			if s.Parent != root.ID {
+				t.Fatalf("eval not parented to root: %+v", s)
+			}
+		}
+	}
+	if evals != 2 {
+		t.Fatalf("sched.eval count = %d", evals)
+	}
+	first := findSpan(t, spans, "lc0", span.SchedEvalName)
+	if first.Attrs["placed"] != "false" || len(first.Events) != 1 {
+		t.Fatalf("first eval: %+v", first)
+	}
+	if first.Events[0].Attrs["outcome"] != obs.RejectCorrelation ||
+		first.Events[0].Attrs["rho"] != "0.42" {
+		t.Fatalf("candidate event: %+v", first.Events[0])
+	}
+	he := findSpan(t, spans, "h1", span.HarvestEvalName)
+	if he.Parent != "" { // h1 never appeared in the event log
+		t.Fatalf("orphan eval should have no parent: %+v", he)
+	}
+	findSpan(t, spans, "h2", span.HarvestPreemptName)
+}
+
+func TestBuildSpansDeterministic(t *testing.T) {
+	events := []Event{
+		{At: 0, Type: EventSubmitted, Pod: "a"},
+		{At: 5, Type: EventScheduled, Pod: "a", Node: "node0/gpu0"},
+		{At: 9, Type: EventCompleted, Pod: "a"},
+		{At: 1, Type: EventSubmitted, Pod: "b"},
+	}
+	decisions := []obs.DecisionRecord{
+		{At: 5, Scheduler: "PP", Pod: "a", Placed: true, GPU: "node0/gpu0"},
+	}
+	s1 := BuildSpans(span.NewIDGen("k"), "PP", events, decisions)
+	s2 := BuildSpans(span.NewIDGen("k"), "PP", events, decisions)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("two builds over the same inputs diverged")
+	}
+	var b1, b2 bytes.Buffer
+	if err := span.WriteJSONL(&b1, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := span.WriteJSONL(&b2, s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("serialized spans not byte-identical")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+
+	"kubeknots/internal/obs/span"
 )
 
 // RunArtifacts bundles the observability output of one simulation run.
@@ -16,6 +18,8 @@ type RunArtifacts struct {
 	Decisions []DecisionRecord
 	// Timeline is the run's lifecycle timeline (may be nil).
 	Timeline *Timeline
+	// Spans is the run's causal pod-lifecycle trace (may be empty).
+	Spans []span.Span
 }
 
 // Collector gathers per-run artifacts from a (possibly parallel) sweep and
@@ -71,7 +75,7 @@ func (c *Collector) WriteDecisionLog(w io.Writer) error {
 func (c *Collector) WriteTimeline(w io.Writer) error {
 	var events []TimelineEvent
 	for i, run := range c.Runs() {
-		if run.Timeline == nil {
+		if run.Timeline == nil && len(run.Spans) == 0 {
 			continue
 		}
 		pid := i + 1
@@ -79,10 +83,13 @@ func (c *Collector) WriteTimeline(w io.Writer) error {
 			Name: "process_name", Ph: PhaseMetadata, PID: pid,
 			Args: map[string]any{"name": run.Key},
 		})
-		for _, ev := range run.Timeline.Events {
-			ev.PID = pid
-			events = append(events, ev)
+		if run.Timeline != nil {
+			for _, ev := range run.Timeline.Events {
+				ev.PID = pid
+				events = append(events, ev)
+			}
 		}
+		events = append(events, spanTimelineEvents(run.Spans, pid)...)
 	}
 	return writeTimelineFile(w, events)
 }

@@ -56,6 +56,44 @@ zz_last_total 3
 	}
 }
 
+// TestHostileLabelEscaping is the 0.0.4-format escaping regression test: a
+// label value mixing raw newlines, double quotes, backslashes, and literal
+// two-character "\n" sequences must escape to exactly one line whose quoted
+// value decodes back to the original. A raw newline leaking through splits
+// the sample across lines and breaks every scraper, so the order of the
+// replacements matters: backslash first, then newline, then quote.
+func TestHostileLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	hostile := "line1\nline2\"quoted\" back\\slash literal\\n end"
+	g := r.GaugeVec("hostile_check", "Escaping regression.", "val")
+	g.With(hostile).Set(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `hostile_check{val="line1\nline2\"quoted\" back\\slash literal\\n end"} 1` + "\n"
+	lines := strings.Split(out, "\n")
+	if lines[2]+"\n" != want {
+		t.Errorf("sample line:\n got %q\nwant %q", lines[2], want)
+	}
+	// The exposition must stay one-sample-per-line: 2 comment lines, 1
+	// sample, 1 trailing empty.
+	if len(lines) != 4 {
+		t.Errorf("raw newline leaked into the exposition (%d lines):\n%s", len(lines), out)
+	}
+	lintPrometheus(t, out)
+
+	// Round-trip: unescaping the quoted value per the 0.0.4 rules recovers
+	// the original string exactly.
+	quoted := out[strings.Index(out, `val="`)+len(`val="`) : strings.LastIndex(out, `"`)]
+	unescaped := strings.NewReplacer(`\\`, "\\", `\n`, "\n", `\"`, `"`).Replace(quoted)
+	if unescaped != hostile {
+		t.Errorf("round trip:\n got %q\nwant %q", unescaped, hostile)
+	}
+}
+
 // lintPrometheus is a minimal validity check of the text format: every
 // non-comment line is "name{labels} value" with balanced quotes, and every
 // sample is preceded by a TYPE line for its family.

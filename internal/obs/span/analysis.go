@@ -1,0 +1,294 @@
+package span
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kubeknots/internal/metrics"
+)
+
+// PodTrace is one pod's assembled causal trace inside one run.
+type PodTrace struct {
+	Run string
+	Pod string
+	// Root is the pod.lifecycle span (nil if the file held only children —
+	// e.g. a truncated export).
+	Root *Span
+	// Segments are the duration-bearing phases (queue-wait, exec, requeue)
+	// ordered by start time; they tile the root span.
+	Segments []*Span
+	// Evals are the instant evaluation spans (sched.eval, harvest.eval,
+	// harvest.preempt, pod.bind) ordered by start time.
+	Evals []*Span
+}
+
+// Key identifies the trace ("run/pod", or just the pod without a run label).
+func (t *PodTrace) Key() string {
+	if t.Run == "" {
+		return t.Pod
+	}
+	return t.Run + "/" + t.Pod
+}
+
+// TotalUS returns the root duration (submit → terminal), or the segment
+// envelope when no root was recorded.
+func (t *PodTrace) TotalUS() int64 {
+	if t.Root != nil {
+		return t.Root.DurUS()
+	}
+	if len(t.Segments) == 0 {
+		return 0
+	}
+	return t.Segments[len(t.Segments)-1].EndUS - t.Segments[0].StartUS
+}
+
+// SegmentTotalUS sums the durations of segments with the given name.
+func (t *PodTrace) SegmentTotalUS(name string) int64 {
+	var sum int64
+	for _, s := range t.Segments {
+		if s.Name == name {
+			sum += s.DurUS()
+		}
+	}
+	return sum
+}
+
+// Outcome returns the root span's outcome attribute ("succeeded",
+// "evicted", "rejected", "running", "pending", …).
+func (t *PodTrace) Outcome() string {
+	if t.Root == nil {
+		return ""
+	}
+	return t.Root.Attrs["outcome"]
+}
+
+// Scheduler returns the root span's scheduler attribute.
+func (t *PodTrace) Scheduler() string {
+	if t.Root == nil {
+		return ""
+	}
+	return t.Root.Attrs["scheduler"]
+}
+
+// PathStep is one segment on a pod's critical path.
+type PathStep struct {
+	Name  string
+	Start int64 // µs
+	DurUS int64
+	// Attrs carries the segment's annotations (gpu, end reason, fault,
+	// checkpoint).
+	Attrs map[string]string
+}
+
+// CriticalPath returns the pod's submit→terminal segment chain in time
+// order plus the index of the dominant (longest, earliest on ties) step.
+// The chain IS the critical path: a pod's lifecycle phases are strictly
+// sequential, so the end-to-end latency is exactly their sum and the
+// dominant step is the one to fix.
+func (t *PodTrace) CriticalPath() (steps []PathStep, dominant int) {
+	dominant = -1
+	for _, s := range t.Segments {
+		steps = append(steps, PathStep{Name: s.Name, Start: s.StartUS, DurUS: s.DurUS(), Attrs: s.Attrs})
+		if dominant < 0 || steps[len(steps)-1].DurUS > steps[dominant].DurUS {
+			dominant = len(steps) - 1
+		}
+	}
+	return steps, dominant
+}
+
+// Index groups a span file into per-pod traces.
+type Index struct {
+	// Traces sorted by key (run, then pod).
+	Traces []*PodTrace
+	byKey  map[string]*PodTrace
+}
+
+// NewIndex assembles traces from a flat span slice (any order).
+func NewIndex(spans []Span) *Index {
+	ix := &Index{byKey: make(map[string]*PodTrace)}
+	for i := range spans {
+		s := &spans[i]
+		key := s.Run + "\x00" + s.Pod
+		t := ix.byKey[key]
+		if t == nil {
+			t = &PodTrace{Run: s.Run, Pod: s.Pod}
+			ix.byKey[key] = t
+			ix.Traces = append(ix.Traces, t)
+		}
+		switch s.Name {
+		case RootName:
+			t.Root = s
+		case QueueWaitName, ExecName, RequeueName:
+			t.Segments = append(t.Segments, s)
+		default:
+			t.Evals = append(t.Evals, s)
+		}
+	}
+	for _, t := range ix.Traces {
+		sortSpans(t.Segments)
+		sortSpans(t.Evals)
+	}
+	sort.Slice(ix.Traces, func(i, j int) bool {
+		if ix.Traces[i].Run != ix.Traces[j].Run {
+			return ix.Traces[i].Run < ix.Traces[j].Run
+		}
+		return ix.Traces[i].Pod < ix.Traces[j].Pod
+	})
+	return ix
+}
+
+func sortSpans(s []*Span) {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].StartUS != s[j].StartUS {
+			return s[i].StartUS < s[j].StartUS
+		}
+		return s[i].Seq < s[j].Seq
+	})
+}
+
+// Lookup finds one pod's trace, matching "pod" or "run/pod". An unqualified
+// pod name matches only when it is unambiguous across runs; the error lists
+// the qualified candidates otherwise.
+func (ix *Index) Lookup(name string) (*PodTrace, error) {
+	var hits []*PodTrace
+	for _, t := range ix.Traces {
+		if t.Pod == name || t.Key() == name {
+			hits = append(hits, t)
+		}
+	}
+	switch len(hits) {
+	case 0:
+		return nil, fmt.Errorf("span: no trace for pod %q", name)
+	case 1:
+		return hits[0], nil
+	}
+	keys := make([]string, len(hits))
+	for i, t := range hits {
+		keys[i] = t.Key()
+	}
+	return nil, fmt.Errorf("span: pod %q is ambiguous across runs; qualify as one of: %s",
+		name, strings.Join(keys, ", "))
+}
+
+// Slowest returns up to n completed-or-terminal traces ordered by total
+// latency descending (ties: key ascending, so the order is deterministic).
+func (ix *Index) Slowest(n int) []*PodTrace {
+	out := append([]*PodTrace(nil), ix.Traces...)
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := out[i].TotalUS(), out[j].TotalUS()
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Breakdown is one scheduler's latency decomposition over its completed
+// pods, all values in microseconds.
+type Breakdown struct {
+	Scheduler string
+	Pods      int
+	// QueueP, ExecP, TotalP are p50/p90/p99 of per-pod queue-wait, exec,
+	// and end-to-end (submit→terminal) time.
+	QueueP [3]float64
+	ExecP  [3]float64
+	TotalP [3]float64
+}
+
+// BreakdownByScheduler computes per-scheduler latency percentiles over the
+// traces whose pods ran to completion (outcome "succeeded"), sorted by
+// scheduler name.
+func (ix *Index) BreakdownByScheduler() []Breakdown {
+	type acc struct{ queue, exec, total []float64 }
+	accs := make(map[string]*acc)
+	for _, t := range ix.Traces {
+		if t.Outcome() != "succeeded" {
+			continue
+		}
+		name := t.Scheduler()
+		a := accs[name]
+		if a == nil {
+			a = &acc{}
+			accs[name] = a
+		}
+		a.queue = append(a.queue, float64(t.SegmentTotalUS(QueueWaitName)))
+		a.exec = append(a.exec, float64(t.SegmentTotalUS(ExecName)))
+		a.total = append(a.total, float64(t.TotalUS()))
+	}
+	names := make([]string, 0, len(accs))
+	for name := range accs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Breakdown, 0, len(names))
+	for _, name := range names {
+		a := accs[name]
+		b := Breakdown{Scheduler: name, Pods: len(a.total)}
+		copy(b.QueueP[:], metrics.Percentiles(a.queue, 50, 90, 99))
+		copy(b.ExecP[:], metrics.Percentiles(a.exec, 50, 90, 99))
+		copy(b.TotalP[:], metrics.Percentiles(a.total, 50, 90, 99))
+		out = append(out, b)
+	}
+	return out
+}
+
+// NameCount is one (span name, count) aggregate.
+type NameCount struct {
+	Name  string
+	Count int
+}
+
+// DominantSegments tallies, over every trace with at least one segment,
+// which segment class dominated its critical path; sorted by count
+// descending then name.
+func (ix *Index) DominantSegments() []NameCount {
+	counts := make(map[string]int)
+	for _, t := range ix.Traces {
+		steps, dom := t.CriticalPath()
+		if dom < 0 {
+			continue
+		}
+		counts[steps[dom].Name]++
+	}
+	return sortedCounts(counts)
+}
+
+// SpanCounts tallies spans by name, sorted by count descending then name.
+func SpanCounts(spans []Span) []NameCount {
+	counts := make(map[string]int)
+	for i := range spans {
+		counts[spans[i].Name]++
+	}
+	return sortedCounts(counts)
+}
+
+// OutcomeCounts tallies traces by root outcome, sorted by count descending
+// then name.
+func (ix *Index) OutcomeCounts() []NameCount {
+	counts := make(map[string]int)
+	for _, t := range ix.Traces {
+		if o := t.Outcome(); o != "" {
+			counts[o]++
+		}
+	}
+	return sortedCounts(counts)
+}
+
+func sortedCounts(counts map[string]int) []NameCount {
+	out := make([]NameCount, 0, len(counts))
+	for name, n := range counts {
+		out = append(out, NameCount{Name: name, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,146 @@
+package span
+
+import (
+	"strings"
+	"testing"
+)
+
+// trace builds a minimal completed-pod trace for analysis tests:
+// queue-wait [0, q), exec [q, q+e), root [0, q+e).
+func trace(run, pod, sched string, queueUS, execUS int64, seq *uint64) []Span {
+	next := func() uint64 { *seq++; return *seq }
+	root := Span{ID: ID(pod + "-root"), Name: RootName, Seq: next(), Run: run, Pod: pod,
+		StartUS: 0, EndUS: queueUS + execUS,
+		Attrs: map[string]string{"outcome": "succeeded", "scheduler": sched}}
+	return []Span{
+		root,
+		{ID: ID(pod + "-q"), Parent: root.ID, Name: QueueWaitName, Seq: next(), Run: run, Pod: pod,
+			StartUS: 0, EndUS: queueUS},
+		{ID: ID(pod + "-b"), Parent: root.ID, Name: BindName, Seq: next(), Run: run, Pod: pod,
+			StartUS: queueUS, EndUS: queueUS},
+		{ID: ID(pod + "-x"), Parent: root.ID, Name: ExecName, Seq: next(), Run: run, Pod: pod,
+			StartUS: queueUS, EndUS: queueUS + execUS},
+	}
+}
+
+func testSpans() []Span {
+	var seq uint64
+	var spans []Span
+	spans = append(spans, trace("r1", "pod0", "PP", 100, 900, &seq)...)
+	spans = append(spans, trace("r1", "pod1", "PP", 700, 300, &seq)...)
+	spans = append(spans, trace("r1", "pod2", "CBP", 50, 450, &seq)...)
+	spans = append(spans, trace("r2", "pod0", "CBP", 10, 20, &seq)...)
+	return spans
+}
+
+func TestIndexGroupingAndLookup(t *testing.T) {
+	ix := NewIndex(testSpans())
+	if len(ix.Traces) != 4 {
+		t.Fatalf("got %d traces, want 4", len(ix.Traces))
+	}
+	// Sorted by run then pod.
+	if ix.Traces[0].Key() != "r1/pod0" || ix.Traces[3].Key() != "r2/pod0" {
+		t.Fatalf("trace order: %s .. %s", ix.Traces[0].Key(), ix.Traces[3].Key())
+	}
+
+	tr, err := ix.Lookup("pod1")
+	if err != nil || tr.Key() != "r1/pod1" {
+		t.Fatalf("Lookup(pod1) = %v, %v", tr, err)
+	}
+	if tr.Root == nil || len(tr.Segments) != 2 || len(tr.Evals) != 1 {
+		t.Fatalf("pod1 trace shape: root=%v segs=%d evals=%d", tr.Root, len(tr.Segments), len(tr.Evals))
+	}
+
+	// pod0 exists in both runs: unqualified lookup must fail with candidates.
+	if _, err := ix.Lookup("pod0"); err == nil || !strings.Contains(err.Error(), "r2/pod0") {
+		t.Fatalf("ambiguous lookup: %v", err)
+	}
+	if tr, err := ix.Lookup("r2/pod0"); err != nil || tr.TotalUS() != 30 {
+		t.Fatalf("qualified lookup: %v, %v", tr, err)
+	}
+	if _, err := ix.Lookup("nope"); err == nil {
+		t.Fatal("missing pod should error")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	ix := NewIndex(testSpans())
+	tr, _ := ix.Lookup("r1/pod1") // queue 700 dominates exec 300
+	steps, dom := tr.CriticalPath()
+	if len(steps) != 2 || dom != 0 || steps[0].Name != QueueWaitName || steps[0].DurUS != 700 {
+		t.Fatalf("steps=%+v dom=%d", steps, dom)
+	}
+	tr2, _ := ix.Lookup("r1/pod1")
+	if tr2.SegmentTotalUS(ExecName) != 300 {
+		t.Fatalf("exec total %d", tr2.SegmentTotalUS(ExecName))
+	}
+
+	counts := ix.DominantSegments()
+	// pod0(r1), pod2, pod0(r2): exec dominates; pod1: queue-wait. Sorted by count desc.
+	if len(counts) != 2 || counts[0].Name != ExecName || counts[0].Count != 3 ||
+		counts[1].Name != QueueWaitName || counts[1].Count != 1 {
+		t.Fatalf("dominant segments: %+v", counts)
+	}
+}
+
+func TestSlowest(t *testing.T) {
+	ix := NewIndex(testSpans())
+	top := ix.Slowest(2)
+	if len(top) != 2 || top[0].Key() != "r1/pod0" || top[1].Key() != "r1/pod1" {
+		got := make([]string, len(top))
+		for i, tr := range top {
+			got[i] = tr.Key()
+		}
+		t.Fatalf("slowest = %v", got)
+	}
+	if top[0].TotalUS() != 1000 {
+		t.Fatalf("slowest total %d", top[0].TotalUS())
+	}
+	if all := ix.Slowest(0); len(all) != 4 {
+		t.Fatalf("Slowest(0) should return all traces, got %d", len(all))
+	}
+}
+
+func TestBreakdownByScheduler(t *testing.T) {
+	ix := NewIndex(testSpans())
+	bds := ix.BreakdownByScheduler()
+	if len(bds) != 2 || bds[0].Scheduler != "CBP" || bds[1].Scheduler != "PP" {
+		t.Fatalf("breakdowns: %+v", bds)
+	}
+	pp := bds[1]
+	if pp.Pods != 2 {
+		t.Fatalf("PP pods = %d", pp.Pods)
+	}
+	// PP queue waits are 100 and 700; p50 of two samples is their midpoint.
+	if pp.QueueP[0] != 400 {
+		t.Fatalf("PP queue p50 = %v", pp.QueueP[0])
+	}
+	if pp.TotalP[0] != 1000 {
+		t.Fatalf("PP total p50 = %v", pp.TotalP[0])
+	}
+}
+
+func TestCounts(t *testing.T) {
+	spans := testSpans()
+	sc := SpanCounts(spans)
+	if sc[0].Count != 4 { // four traces → four of each span name
+		t.Fatalf("span counts: %+v", sc)
+	}
+	ix := NewIndex(spans)
+	oc := ix.OutcomeCounts()
+	if len(oc) != 1 || oc[0].Name != "succeeded" || oc[0].Count != 4 {
+		t.Fatalf("outcome counts: %+v", oc)
+	}
+}
+
+func TestTotalWithoutRoot(t *testing.T) {
+	spans := []Span{
+		{Name: QueueWaitName, Pod: "p", Seq: 1, StartUS: 5, EndUS: 10},
+		{Name: ExecName, Pod: "p", Seq: 2, StartUS: 10, EndUS: 40},
+	}
+	ix := NewIndex(spans)
+	tr := ix.Traces[0]
+	if tr.TotalUS() != 35 || tr.Outcome() != "" || tr.Scheduler() != "" {
+		t.Fatalf("rootless trace: total=%d outcome=%q", tr.TotalUS(), tr.Outcome())
+	}
+}

@@ -1,0 +1,119 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIDGenDeterministic(t *testing.T) {
+	a, b := NewIDGen("fig9/seed=3"), NewIDGen("fig9/seed=3")
+	for i := 0; i < 100; i++ {
+		ida, seqa := a.Next("pod7")
+		idb, seqb := b.Next("pod7")
+		if ida != idb || seqa != seqb {
+			t.Fatalf("step %d: generators diverged: (%s,%d) vs (%s,%d)", i, ida, seqa, idb, seqb)
+		}
+		if len(ida) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", ida)
+		}
+	}
+}
+
+func TestIDGenUnique(t *testing.T) {
+	g := NewIDGen("run")
+	seen := make(map[ID]bool)
+	for _, pod := range []string{"a", "b", "a", "a", "b"} {
+		id, _ := g.Next(pod)
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+	// Different run keys must not collide on the same (pod, seq).
+	id1, _ := NewIDGen("run1").Next("a")
+	id2, _ := NewIDGen("run2").Next("a")
+	if id1 == id2 {
+		t.Fatalf("run keys did not perturb the id: %s", id1)
+	}
+}
+
+func TestSortOrder(t *testing.T) {
+	spans := []Span{
+		{Pod: "b", StartUS: 5, Seq: 9},
+		{Pod: "a", StartUS: 5, Seq: 2},
+		{Pod: "a", StartUS: 0, Seq: 3},
+		{Pod: "a", StartUS: 5, Seq: 1},
+	}
+	Sort(spans)
+	got := make([]uint64, len(spans))
+	for i, s := range spans {
+		got[i] = s.Seq
+	}
+	want := []uint64{3, 1, 2, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Span{
+		{ID: "0011223344556677", Name: RootName, Seq: 1, Run: "fig9/seed=3", Pod: "pod0",
+			StartUS: 0, EndUS: 1_500_000,
+			Attrs: map[string]string{"outcome": "succeeded", "scheduler": "PP"}},
+		{ID: "8899aabbccddeeff", Parent: "0011223344556677", Name: SchedEvalName, Seq: 2,
+			Run: "fig9/seed=3", Pod: "pod0", StartUS: 100_000, EndUS: 100_000,
+			Events: []Event{{Name: "candidate", AtUS: 100_000,
+				Attrs: map[string]string{"gpu": "node0/gpu0", "outcome": "placed"}}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d spans, want %d", len(out), len(in))
+	}
+	if out[1].Parent != in[0].ID || out[1].Events[0].Attrs["gpu"] != "node0/gpu0" {
+		t.Fatalf("round trip mangled spans: %+v", out[1])
+	}
+
+	// Byte-stability: re-encoding the decoded spans reproduces the file.
+	var buf2 bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil { // buf drained by ReadJSONL; rewrite
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&buf2, out); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("re-encode not byte-identical:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"name\":\"ok\",\"pod\":\"a\",\"id\":\"x\",\"seq\":1,\"start_us\":0,\"end_us\":0}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-numbered error, got %v", err)
+	}
+	got, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("blank lines: got %v, %v", got, err)
+	}
+}
+
+func TestSetAttrAndDur(t *testing.T) {
+	s := &Span{StartUS: 10, EndUS: 35}
+	if s.DurUS() != 25 {
+		t.Fatalf("DurUS = %d, want 25", s.DurUS())
+	}
+	s.SetAttr("k", "v")
+	if s.Attrs["k"] != "v" {
+		t.Fatalf("SetAttr did not stick: %v", s.Attrs)
+	}
+}

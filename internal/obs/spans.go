@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"io"
+
+	"kubeknots/internal/obs/span"
+)
+
+// This file is the span export plumbing: the Collector carries each run's
+// span slice next to its decisions and timeline, writes the merged JSONL
+// span file (runs in key order, each span stamped with its run key — the
+// same determinism contract as WriteDecisionLog), and overlays spans onto
+// the Chrome trace_event timeline as async nestable events so a pod's
+// lifecycle phases stack visually in Perfetto.
+
+// WriteSpans writes every run's spans as one JSONL stream, runs in key
+// order, each span stamped with its run key.
+func (c *Collector) WriteSpans(w io.Writer) error {
+	var all []span.Span
+	for _, run := range c.Runs() {
+		for _, s := range run.Spans {
+			s.Run = run.Key
+			all = append(all, s)
+		}
+	}
+	return span.WriteJSONL(w, all)
+}
+
+// spanTimelineEvents renders one run's spans as async nestable trace
+// events. All spans of a pod share the root span's id (children parent
+// directly to the root), so viewers nest them on one per-pod async track;
+// zero-duration spans (bind, evals) become async instants on that track.
+func spanTimelineEvents(spans []span.Span, pid int) []TimelineEvent {
+	var out []TimelineEvent
+	for i := range spans {
+		s := &spans[i]
+		track := string(s.Parent)
+		if track == "" {
+			track = string(s.ID)
+		}
+		args := make(map[string]any, len(s.Attrs)+1)
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		args["span_id"] = string(s.ID)
+		if s.DurUS() > 0 || s.Name == span.RootName {
+			out = append(out,
+				TimelineEvent{Name: s.Name, Cat: "span", Ph: PhaseAsyncBegin,
+					TS: s.StartUS, PID: pid, ID: track, Args: args},
+				TimelineEvent{Name: s.Name, Cat: "span", Ph: PhaseAsyncEnd,
+					TS: s.EndUS, PID: pid, ID: track})
+			continue
+		}
+		out = append(out, TimelineEvent{Name: s.Name, Cat: "span", Ph: PhaseAsyncInstant,
+			TS: s.StartUS, PID: pid, ID: track, Args: args})
+	}
+	return out
+}

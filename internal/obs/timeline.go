@@ -18,6 +18,13 @@ const (
 	PhaseInstant  = "i" // instant event
 	PhaseMetadata = "M" // process_name / thread_name metadata
 	PhaseCounter  = "C" // counter track
+
+	// Async nestable phases, used for the span overlay: spans of one pod
+	// share an id, so Perfetto stacks overlapping lifecycle phases instead
+	// of forcing them onto slice tracks.
+	PhaseAsyncBegin   = "b"
+	PhaseAsyncEnd     = "e"
+	PhaseAsyncInstant = "n"
 )
 
 // TimelineEvent is one trace_event entry.
@@ -31,6 +38,8 @@ type TimelineEvent struct {
 	Dur int64 `json:"dur,omitempty"`
 	PID int   `json:"pid"`
 	TID int   `json:"tid"`
+	// ID groups async nestable events (phases b/e/n) into one track.
+	ID string `json:"id,omitempty"`
 	// S scopes instant events ("t" = thread).
 	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
