@@ -24,7 +24,7 @@ vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem | $(GO) run ./cmd/benchjson > BENCH_baseline.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . ./internal/api/ | $(GO) run ./cmd/benchjson > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
 
 # Byte-identical experiment output with observability enabled vs disabled,

@@ -95,7 +95,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	hsrv := &http.Server{Addr: *addr, Handler: mux}
+	// Slowloris hardening: a client trickling its header or body can no
+	// longer pin a connection open indefinitely. Handler time (a long
+	// /advance) is unbounded on purpose, so no WriteTimeout.
+	hsrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hsrv.ListenAndServe() }()
 	log.Printf("apiserver: %d nodes, %s scheduler, listening on %s", *nodes, s.Name(), *addr)

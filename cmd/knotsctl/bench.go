@@ -1,0 +1,171 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"kubeknots/internal/api"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/sim"
+)
+
+// benchCmd is the control-plane load harness: it fans out N concurrent
+// clients that mix GETs over every read endpoint with periodic /advance
+// posts, and reports per-operation latency percentiles. Under the server's
+// single-flight advance, concurrent advances are expected to surface as 409
+// conflicts; they are counted separately, not as failures.
+func benchCmd(c *api.Client, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	clients := fs.Int("clients", 8, "concurrent clients")
+	requests := fs.Int("requests", 50, "requests per client")
+	advanceEvery := fs.Int("advance-every", 10, "every Nth request per client is a POST /advance (0 = GETs only)")
+	advanceMS := fs.Int64("advance-ms", 100, "simulated ms per advance")
+	prime := fs.Int("prime", 0, "submit this many pods before measuring, so list endpoints carry real payloads")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("usage: knotsctl bench [-clients N] [-requests N] [-advance-every N] [-advance-ms MS] [-prime N]: %w", err)
+	}
+	if len(fs.Args()) != 0 {
+		return fmt.Errorf("bench takes no positional arguments")
+	}
+	if *clients <= 0 || *requests <= 0 || *advanceMS <= 0 || *advanceEvery < 0 || *prime < 0 {
+		return fmt.Errorf("bench: -clients, -requests and -advance-ms must be positive; -advance-every and -prime non-negative")
+	}
+
+	for i := 0; i < *prime; i++ {
+		m := k8s.Manifest{
+			Name:     fmt.Sprintf("bench-%d", i),
+			Workload: k8s.WorkloadRef{Kind: "rodinia", Name: "pathfinder"},
+		}
+		if _, err := c.SubmitManifest(m); err != nil && !api.IsConflict(err) {
+			return fmt.Errorf("bench: prime pod %s: %w", m.Name, err)
+		}
+	}
+
+	type sample struct {
+		op  string
+		d   time.Duration
+		err error
+	}
+	results := make([][]sample, *clients)
+	gets := []struct {
+		op   string
+		call func() error
+	}{
+		{"GET /pods", func() error { _, err := c.Pods(); return err }},
+		{"GET /nodes", func() error { _, err := c.Nodes(); return err }},
+		{"GET /qos", func() error { _, err := c.QoS(); return err }},
+		{"GET /events", func() error { _, err := c.Events(""); return err }},
+		{"GET /harvest", func() error { _, err := c.Harvest(); return err }},
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < *clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			out := make([]sample, 0, *requests)
+			for i := 0; i < *requests; i++ {
+				var s sample
+				t0 := time.Now()
+				if *advanceEvery > 0 && i%*advanceEvery == *advanceEvery-1 {
+					_, _, _, err := c.Advance(sim.Time(*advanceMS))
+					s = sample{op: "POST /advance", err: err}
+				} else {
+					g := gets[(ci+i)%len(gets)]
+					s = sample{op: g.op, err: g.call()}
+				}
+				s.d = time.Since(t0)
+				out = append(out, s)
+			}
+			results[ci] = out
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	byOp := map[string][]time.Duration{}
+	conflicts := map[string]int{}
+	hardErrs := map[string]int{}
+	var firstErr error
+	total, failed := 0, 0
+	for _, rs := range results {
+		for _, s := range rs {
+			total++
+			switch {
+			case s.err == nil:
+				byOp[s.op] = append(byOp[s.op], s.d)
+			case api.IsConflict(s.err):
+				conflicts[s.op]++
+			default:
+				hardErrs[s.op]++
+				failed++
+				if firstErr == nil {
+					firstErr = s.err
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "bench: %d clients x %d requests in %v (%.1f req/s)\n",
+		*clients, *requests, wall.Round(time.Millisecond), float64(total)/wall.Seconds())
+	ops := make([]string, 0, len(byOp))
+	seen := map[string]bool{}
+	for _, m := range []map[string]int{conflicts, hardErrs} {
+		for op := range m {
+			if !seen[op] {
+				seen[op] = true
+				ops = append(ops, op)
+			}
+		}
+	}
+	for op := range byOp {
+		if !seen[op] {
+			seen[op] = true
+			ops = append(ops, op)
+		}
+	}
+	sort.Strings(ops)
+	fmt.Fprintf(w, "%-14s %6s %5s %5s %10s %10s %10s %10s\n",
+		"OP", "OK", "409", "ERR", "P50", "P90", "P99", "MAX")
+	for _, op := range ops {
+		ds := byOp[op]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		fmt.Fprintf(w, "%-14s %6d %5d %5d %10v %10v %10v %10v\n",
+			op, len(ds), conflicts[op], hardErrs[op],
+			percentile(ds, 50), percentile(ds, 90), percentile(ds, 99), percentile(ds, 100))
+	}
+	if failed > 0 {
+		return fmt.Errorf("bench: %d/%d requests failed (first: %v)", failed, total, firstErr)
+	}
+	return nil
+}
+
+// percentile returns the q-th percentile of an ascending-sorted slice,
+// rounded for display; zero when there were no successful samples.
+func percentile(sorted []time.Duration, q int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (q*len(sorted) + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	d := sorted[i-1]
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(time.Microsecond)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBenchAgainstInProcessServer drives the full load harness against an
+// in-process apiserver: concurrent GETs mixed with advances, where advance
+// conflicts (409 under the server's single-flight rule) must count as
+// conflicts, not failures.
+func TestBenchAgainstInProcessServer(t *testing.T) {
+	ts := newTestServer(t)
+	code, out, errs := ctl(t, ts.URL, "bench",
+		"-clients", "4", "-requests", "25", "-advance-every", "5", "-advance-ms", "50", "-prime", "10")
+	if code != 0 {
+		t.Fatalf("bench exit %d, stderr: %s", code, errs)
+	}
+	for _, want := range []string{"bench: 4 clients x 25 requests", "P50", "P99", "POST /advance", "GET /pods"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bench output missing %q:\n%s", want, out)
+		}
+	}
+	// 4×25 requests with one advance per 5: no hard failures allowed.
+	if strings.Contains(out, "failed") {
+		t.Fatalf("bench reported failures:\n%s", out)
+	}
+}
+
+func TestBenchGetsOnly(t *testing.T) {
+	ts := newTestServer(t)
+	code, out, errs := ctl(t, ts.URL, "bench",
+		"-clients", "2", "-requests", "10", "-advance-every", "0")
+	if code != 0 {
+		t.Fatalf("bench exit %d, stderr: %s", code, errs)
+	}
+	if strings.Contains(out, "POST /advance") {
+		t.Fatalf("-advance-every 0 still advanced:\n%s", out)
+	}
+}
+
+func TestBenchFlagAndTargetErrors(t *testing.T) {
+	ts := newTestServer(t)
+	if code, _, _ := ctl(t, ts.URL, "bench", "-clients", "0"); code != 1 {
+		t.Fatalf("bad -clients: exit %d, want 1", code)
+	}
+	if code, _, _ := ctl(t, ts.URL, "bench", "extra-arg"); code != 1 {
+		t.Fatalf("positional arg: exit %d, want 1", code)
+	}
+	// Unreachable server: every request fails, the command must fail too.
+	code, _, errs := ctl(t, "http://127.0.0.1:1", "bench", "-clients", "1", "-requests", "2", "-advance-every", "0")
+	if code != 1 || !strings.Contains(errs, "requests failed") {
+		t.Fatalf("dead server: exit %d, stderr: %s", code, errs)
+	}
+}

@@ -9,6 +9,7 @@
 //	knotsctl events [pod]
 //	knotsctl harvest
 //	knotsctl advance 60s
+//	knotsctl bench -clients 16 -requests 200
 //	knotsctl trace [--pod P|--slowest N|--critical-path|--summary] spans.jsonl
 package main
 
@@ -71,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = harvestState(c, rest[1:], stdout)
 	case "advance":
 		err = advance(c, rest[1:], stdout)
+	case "bench":
+		err = benchCmd(c, rest[1:], stdout)
 	default:
 		usage(stderr)
 		return 2
@@ -243,6 +246,9 @@ commands:
   events [pod]
   harvest                   harvest-controller watermark state and counters
   advance <duration>        run the simulation forward (e.g. 60s)
+  bench [flags]             load-test the apiserver: concurrent clients mixing
+                            GETs with advances, latency percentiles per op
+                            (-clients, -requests, -advance-every, -advance-ms, -prime)
   trace [flags] <spans.jsonl>
                             query a span file from kubeknots -spans-out
                             (--pod, --slowest N, --critical-path, --summary)`)

@@ -181,7 +181,15 @@ func main() {
 	mux.HandleFunc("/window", d.window)
 	debugMux(mux)
 
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	// Slowloris hardening: bound header/body reads and idle keep-alives so a
+	// trickling client cannot pin connections open.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("knotsd: simulated P100 node on %s (x%.0f time)", *addr, *speed)

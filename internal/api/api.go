@@ -12,14 +12,25 @@
 //	GET  /events[?pod=x] pod lifecycle events
 //	GET  /harvest        harvest-controller watermark state and counters
 //	POST /advance        {"ms": 60000} — run the simulation forward
+//
+// Concurrency contract: the simulation is single-threaded, so mutations
+// (POST /pods, POST /advance) serialize on a write lock — but reads never
+// wait for it. Every GET serves from an immutable wire-form snapshot built
+// under the lock and encoded entirely outside it, and /advance publishes a
+// fresh snapshot *before* running the simulation, so a one-hour advance
+// leaves every read endpoint answering from the pre-advance view instead of
+// blocking. /advance itself is single-flight: a second concurrent advance
+// fails fast with HTTP 409 rather than queueing behind the first.
 package api
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"kubeknots/internal/harvest"
 	"kubeknots/internal/k8s"
@@ -60,40 +71,184 @@ type QoSStatus struct {
 	P99MS      int64   `json:"p99_ms"`
 }
 
-// Server wraps an orchestrator. All handlers share one lock: the underlying
-// simulation is single-threaded by design.
+// EventStatus is the wire form of one lifecycle event.
+type EventStatus struct {
+	AtMS   int64  `json:"at_ms"`
+	Type   string `json:"type"`
+	Pod    string `json:"pod"`
+	Node   string `json:"node,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// HarvestStatus is the wire form of the harvest controller's state: the
+// per-device watermark view from its last tick plus lifetime counters.
+type HarvestStatus struct {
+	Enabled bool `json:"enabled"`
+	// Checkpoint reports whether de-harvesting preserves progress.
+	Checkpoint bool                `json:"checkpoint,omitempty"`
+	Watermark  float64             `json:"watermark,omitempty"`
+	Nodes      []harvest.NodeState `json:"nodes,omitempty"`
+	Counters   harvest.Counters    `json:"counters"`
+}
+
+// snapshot is one immutable wire-form view of the whole control plane. GET
+// handlers only ever touch a *snapshot, never the orchestrator, so encoding
+// happens with no lock held and a snapshot taken before a long advance keeps
+// serving reads for its whole duration.
+type snapshot struct {
+	// version is the mutation counter the snapshot was built at; reads
+	// compare it against Server.version to decide whether a rebuild is due.
+	version  uint64
+	pods     []PodStatus // sorted by name
+	podIndex map[string]int
+	nodes    []NodeStatus
+	qos      QoSStatus
+	events   []EventStatus
+	harvest  HarvestStatus
+}
+
+// Server wraps an orchestrator. Mutations serialize on mu (the underlying
+// simulation is single-threaded by design); reads serve from snap and take
+// mu only shared — and only to refresh a stale snapshot.
 type Server struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex // guards orch, pods, harvest
 	orch    *k8s.Orchestrator
 	pods    map[string]*k8s.Pod
 	harvest *harvest.Controller
+
+	// advMu makes /advance single-flight: TryLock instead of Lock, so a
+	// second concurrent advance is refused (409) rather than queued behind
+	// up to an hour of simulation.
+	advMu sync.Mutex
+
+	// version counts mutations (bumped under mu); snap is the last published
+	// wire-form view. snap.version == version means snap is current.
+	version atomic.Uint64
+	snap    atomic.Pointer[snapshot]
 }
 
 // NewServer wraps orch. The orchestrator must not be driven concurrently
 // by anything else.
 func NewServer(orch *k8s.Orchestrator) *Server {
-	return &Server{orch: orch, pods: make(map[string]*k8s.Pod)}
+	s := &Server{orch: orch, pods: make(map[string]*k8s.Pod)}
+	// Publish an initial (empty) snapshot so reads never block on a writer
+	// that started before the first GET.
+	s.buildSnapshotLocked()
+	return s
 }
 
 // SetHarvest attaches the run's harvest controller so /harvest serves its
 // state; nil (the default) reports the subsystem disabled.
 func (s *Server) SetHarvest(h *harvest.Controller) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.harvest = h
+	s.version.Add(1)
+	s.mu.Unlock()
 }
 
-// Handler returns the route table.
+// Handler returns the route table. Every route is instrumented with the
+// api_* request metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/pods", s.handlePods)
-	mux.HandleFunc("/pods/", s.handlePod)
-	mux.HandleFunc("/nodes", s.handleNodes)
-	mux.HandleFunc("/qos", s.handleQoS)
-	mux.HandleFunc("/events", s.handleEvents)
-	mux.HandleFunc("/harvest", s.handleHarvest)
-	mux.HandleFunc("/advance", s.handleAdvance)
+	mux.Handle("/pods", instrument("/pods", s.handlePods))
+	mux.Handle("/pods/", instrument("/pods/{name}", s.handlePod))
+	mux.Handle("/nodes", instrument("/nodes", s.handleNodes))
+	mux.Handle("/qos", instrument("/qos", s.handleQoS))
+	mux.Handle("/events", instrument("/events", s.handleEvents))
+	mux.Handle("/harvest", instrument("/harvest", s.handleHarvest))
+	mux.Handle("/advance", instrument("/advance", s.handleAdvance))
 	return mux
+}
+
+// buildSnapshotLocked rebuilds the wire-form view from the orchestrator and
+// publishes it. The caller must hold mu (shared is enough: building only
+// reads orchestrator state, and writers are excluded either way). The lone
+// unguarded call from NewServer is safe — no other goroutine has the server
+// yet.
+func (s *Server) buildSnapshotLocked() *snapshot {
+	sn := &snapshot{version: s.version.Load()}
+
+	sn.pods = make([]PodStatus, 0, len(s.pods))
+	for _, p := range s.pods {
+		sn.pods = append(sn.pods, s.status(p))
+	}
+	sort.Slice(sn.pods, func(i, j int) bool { return sn.pods[i].Name < sn.pods[j].Name })
+	sn.podIndex = make(map[string]int, len(sn.pods))
+	for i := range sn.pods {
+		sn.podIndex[sn.pods[i].Name] = i
+	}
+
+	for _, g := range s.orch.Cluster.GPUs() {
+		o := g.Obs
+		sn.nodes = append(sn.nodes, NodeStatus{
+			GPU:        g.ID(),
+			Model:      g.ModelName,
+			SMPct:      o.SMPct,
+			MemUsedMB:  o.MemUsedMB,
+			FreeMB:     g.FreeReservableMB(),
+			PowerW:     o.PowerW,
+			Containers: o.Containers,
+			Asleep:     o.Asleep,
+		})
+	}
+
+	q := s.orch.QoS
+	sn.qos = QoSStatus{
+		Queries:    q.Queries(),
+		Violations: q.Violations(),
+		PerKilo:    q.PerKilo(),
+		MeanMS:     int64(q.Mean()),
+		P99MS:      int64(q.Percentile(99)),
+	}
+
+	// One Events.All() pass covers both the unfiltered and per-pod views;
+	// handleEvents filters the wire slice instead of re-walking the log.
+	evs := s.orch.Events.All()
+	sn.events = make([]EventStatus, 0, len(evs))
+	for _, e := range evs {
+		sn.events = append(sn.events, EventStatus{
+			AtMS: int64(e.At), Type: string(e.Type), Pod: e.Pod,
+			Node: e.Node, Detail: e.Detail,
+		})
+	}
+
+	if s.harvest != nil {
+		cfg := s.harvest.Config()
+		sn.harvest = HarvestStatus{
+			Enabled:    true,
+			Checkpoint: cfg.Checkpoint,
+			Watermark:  cfg.Watermark,
+			Nodes:      s.harvest.NodeStates(),
+			Counters:   s.harvest.Counters(),
+		}
+	}
+
+	s.snap.Store(sn)
+	return sn
+}
+
+// currentSnapshot returns a wire-form view that reflects every completed
+// mutation. If a writer is mid-flight (a long /advance), it returns the last
+// published snapshot instead of waiting — the copy-on-advance read path.
+func (s *Server) currentSnapshot() *snapshot {
+	sn := s.snap.Load()
+	if sn != nil && sn.version == s.version.Load() {
+		return sn
+	}
+	if s.mu.TryRLock() {
+		sn = s.buildSnapshotLocked()
+		s.mu.RUnlock()
+		return sn
+	}
+	if sn != nil {
+		return sn
+	}
+	// No snapshot published yet (cannot happen after NewServer, kept as a
+	// belt-and-braces path): wait for the writer.
+	s.mu.RLock()
+	sn = s.buildSnapshotLocked()
+	s.mu.RUnlock()
+	return sn
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -111,7 +266,7 @@ func (s *Server) handlePods(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		s.createPod(w, r)
 	case http.MethodGet:
-		s.listPods(w)
+		writeJSON(w, http.StatusOK, s.currentSnapshot().pods)
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, "use GET or POST")
 	}
@@ -124,35 +279,23 @@ func (s *Server) createPod(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, exists := s.pods[m.Name]; exists {
+		s.mu.Unlock()
 		writeErr(w, http.StatusConflict, "pod %q already exists", m.Name)
 		return
 	}
 	pod, err := s.orch.PodFromManifest(m, nil)
 	if err != nil {
+		s.mu.Unlock()
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	s.orch.Submit(s.orch.Eng.Now(), pod)
 	s.pods[pod.Name] = pod
-	writeJSON(w, http.StatusCreated, s.status(pod))
-}
-
-func (s *Server) listPods(w http.ResponseWriter) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]PodStatus, 0, len(s.pods))
-	for _, p := range s.pods {
-		out = append(out, s.status(p))
-	}
-	// Stable order for clients.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	writeJSON(w, http.StatusOK, out)
+	st := s.status(pod)
+	s.version.Add(1)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, st)
 }
 
 func (s *Server) handlePod(w http.ResponseWriter, r *http.Request) {
@@ -161,16 +304,16 @@ func (s *Server) handlePod(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := strings.TrimPrefix(r.URL.Path, "/pods/")
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.pods[name]
+	sn := s.currentSnapshot()
+	i, ok := sn.podIndex[name]
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no pod %q", name)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.status(p))
+	writeJSON(w, http.StatusOK, sn.pods[i])
 }
 
+// status builds one pod's wire form; the caller must hold mu.
 func (s *Server) status(p *k8s.Pod) PodStatus {
 	return PodStatus{
 		Name:       p.Name,
@@ -190,23 +333,7 @@ func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []NodeStatus
-	for _, g := range s.orch.Cluster.GPUs() {
-		o := g.Obs
-		out = append(out, NodeStatus{
-			GPU:        g.ID(),
-			Model:      g.ModelName,
-			SMPct:      o.SMPct,
-			MemUsedMB:  o.MemUsedMB,
-			FreeMB:     g.FreeReservableMB(),
-			PowerW:     o.PowerW,
-			Containers: o.Containers,
-			Asleep:     o.Asleep,
-		})
-	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, s.currentSnapshot().nodes)
 }
 
 func (s *Server) handleQoS(w http.ResponseWriter, r *http.Request) {
@@ -214,25 +341,7 @@ func (s *Server) handleQoS(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	q := s.orch.QoS
-	writeJSON(w, http.StatusOK, QoSStatus{
-		Queries:    q.Queries(),
-		Violations: q.Violations(),
-		PerKilo:    q.PerKilo(),
-		MeanMS:     int64(q.Mean()),
-		P99MS:      int64(q.Percentile(99)),
-	})
-}
-
-// EventStatus is the wire form of one lifecycle event.
-type EventStatus struct {
-	AtMS   int64  `json:"at_ms"`
-	Type   string `json:"type"`
-	Pod    string `json:"pod"`
-	Node   string `json:"node,omitempty"`
-	Detail string `json:"detail,omitempty"`
+	writeJSON(w, http.StatusOK, s.currentSnapshot().qos)
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -240,32 +349,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	pod := r.URL.Query().Get("pod")
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	evs := s.orch.Events.All()
-	if pod != "" {
-		evs = s.orch.Events.ForPod(pod)
+	evs := s.currentSnapshot().events
+	if pod := r.URL.Query().Get("pod"); pod != "" {
+		filtered := make([]EventStatus, 0, 8)
+		for _, e := range evs {
+			if e.Pod == pod {
+				filtered = append(filtered, e)
+			}
+		}
+		evs = filtered
 	}
-	out := make([]EventStatus, 0, len(evs))
-	for _, e := range evs {
-		out = append(out, EventStatus{
-			AtMS: int64(e.At), Type: string(e.Type), Pod: e.Pod,
-			Node: e.Node, Detail: e.Detail,
-		})
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// HarvestStatus is the wire form of the harvest controller's state: the
-// per-device watermark view from its last tick plus lifetime counters.
-type HarvestStatus struct {
-	Enabled bool `json:"enabled"`
-	// Checkpoint reports whether de-harvesting preserves progress.
-	Checkpoint bool                `json:"checkpoint,omitempty"`
-	Watermark  float64             `json:"watermark,omitempty"`
-	Nodes      []harvest.NodeState `json:"nodes,omitempty"`
-	Counters   harvest.Counters    `json:"counters"`
+	writeJSON(w, http.StatusOK, evs)
 }
 
 func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
@@ -273,20 +367,7 @@ func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.harvest == nil {
-		writeJSON(w, http.StatusOK, HarvestStatus{})
-		return
-	}
-	cfg := s.harvest.Config()
-	writeJSON(w, http.StatusOK, HarvestStatus{
-		Enabled:    true,
-		Checkpoint: cfg.Checkpoint,
-		Watermark:  cfg.Watermark,
-		Nodes:      s.harvest.NodeStates(),
-		Counters:   s.harvest.Counters(),
-	})
+	writeJSON(w, http.StatusOK, s.currentSnapshot().harvest)
 }
 
 // advanceRequest is the /advance body.
@@ -321,13 +402,27 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "ms exceeds the %d ms per-call cap", maxStep)
 		return
 	}
+	if !s.advMu.TryLock() {
+		writeErr(w, http.StatusConflict, "an advance is already in flight")
+		return
+	}
+	defer s.advMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Publish the pre-advance view first: every read issued while the
+	// simulation runs is answered from this copy.
+	s.buildSnapshotLocked()
 	s.orch.Run(s.orch.Eng.Now() + sim.Time(req.MS))
-	writeJSON(w, http.StatusOK, advanceResponse{
+	s.version.Add(1)
+	resp := advanceResponse{
 		NowMS:     int64(s.orch.Eng.Now()),
 		Pending:   s.orch.PendingLen(),
 		Completed: len(s.orch.Completed),
 		Crashes:   s.orch.CrashEvents,
-	})
+	}
+	// Publish the post-advance view under the same lock hold so the reader
+	// stampede after a long advance finds it ready instead of re-building.
+	s.buildSnapshotLocked()
+	s.mu.Unlock()
+	mAdvanceSimMS.Add(float64(req.MS))
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -269,3 +269,49 @@ func TestEventsEndpoint(t *testing.T) {
 		t.Fatalf("all events = %d", len(all))
 	}
 }
+
+// TestReadYourWrites pins the snapshot-invalidation contract of the lazy
+// read path: every completed mutation (submit, advance) must be visible to
+// the next GET, even though reads serve from a cached snapshot.
+func TestReadYourWrites(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Warm the snapshot with an empty view first.
+	r, err := http.Get(ts.URL + "/pods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decode[[]PodStatus](t, r); len(got) != 0 {
+		t.Fatalf("initial pods = %+v", got)
+	}
+
+	resp := post(t, ts.URL+"/pods", manifest("ryw"))
+	resp.Body.Close()
+	r, err = http.Get(ts.URL + "/pods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pods := decode[[]PodStatus](t, r)
+	if len(pods) != 1 || pods[0].Name != "ryw" || pods[0].Phase != "Pending" {
+		t.Fatalf("after submit: %+v", pods)
+	}
+
+	resp = post(t, ts.URL+"/advance", map[string]int64{"ms": 40000})
+	resp.Body.Close()
+	r, err = http.Get(ts.URL + "/pods/ryw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[PodStatus](t, r)
+	if st.Phase != "Succeeded" {
+		t.Fatalf("after advance: %+v", st)
+	}
+	// Events and QoS views refreshed too.
+	r, err = http.Get(ts.URL + "/events?pod=ryw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs := decode[[]EventStatus](t, r); len(evs) != 3 {
+		t.Fatalf("events after advance = %+v", evs)
+	}
+}

@@ -3,6 +3,7 @@ package api
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -38,6 +39,27 @@ func (c *Client) http() *http.Client {
 	return defaultClient
 }
 
+// StatusError is a non-2xx server response: the HTTP code plus the decoded
+// {"error": ...} message when the server sent one.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("api: HTTP %d: %s", e.Code, e.Message)
+	}
+	return fmt.Sprintf("api: HTTP %d", e.Code)
+}
+
+// IsConflict reports whether err is an HTTP 409 — a duplicate pod name, or
+// the single-flight /advance refusing a second concurrent advance.
+func IsConflict(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusConflict
+}
+
 // apiError decodes the server's {"error": ...} body.
 func apiError(resp *http.Response) error {
 	defer resp.Body.Close()
@@ -46,9 +68,9 @@ func apiError(resp *http.Response) error {
 	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("api: HTTP %d: %s", resp.StatusCode, e.Error)
+		return &StatusError{Code: resp.StatusCode, Message: e.Error}
 	}
-	return fmt.Errorf("api: HTTP %d", resp.StatusCode)
+	return &StatusError{Code: resp.StatusCode}
 }
 
 func (c *Client) get(path string, out any) error {

@@ -1,0 +1,49 @@
+package api
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"kubeknots/internal/obs"
+)
+
+// Per-endpoint serving telemetry on the process-wide registry, exposed by
+// cmd/apiserver's /metrics alongside the k8s_*/harvest_*/knots_* families.
+// These are harness observations (wall clock, HTTP codes): they never feed
+// the simulation, so determinism is unaffected.
+var (
+	mRequests = obs.Default().CounterVec("api_requests_total",
+		"Control-plane HTTP requests by route and status code.", "path", "code")
+	mLatency = obs.Default().HistogramVec("api_request_seconds",
+		"Wall-clock request latency by route.", obs.LatencyBuckets, "path")
+	mInflight = obs.Default().Gauge("api_inflight",
+		"Control-plane requests currently being served.")
+	mAdvanceSimMS = obs.Default().Counter("api_advance_sim_ms_total",
+		"Simulated milliseconds driven through POST /advance.")
+)
+
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the api_* request metrics. path is the
+// route pattern, not the raw URL, keeping label cardinality bounded.
+func instrument(path string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mInflight.Add(1)
+		defer mInflight.Add(-1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		mLatency.With(path).Observe(time.Since(start).Seconds())
+		mRequests.With(path, strconv.Itoa(rec.code)).Inc()
+	})
+}

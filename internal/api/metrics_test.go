@@ -122,3 +122,22 @@ func TestDebugVarsBuildInfo(t *testing.T) {
 		t.Fatalf("/debug/vars missing buildinfo: %s", body)
 	}
 }
+
+// TestMetricsAPISeriesPresent: the serving-layer instruments register at
+// package init, so the unlabelled families are visible at zero from the
+// first scrape and the labelled ones carry their metadata.
+func TestMetricsAPISeriesPresent(t *testing.T) {
+	ts := newHarvestMetricsServer(t)
+	body := get(t, ts.URL+"/metrics")
+	for _, family := range []string{
+		"api_requests_total", "api_request_seconds",
+		"api_inflight", "api_advance_sim_ms_total",
+	} {
+		if !strings.Contains(body, "# TYPE "+family+" ") {
+			t.Errorf("missing TYPE line for %s", family)
+		}
+	}
+	if !strings.Contains(body, "api_inflight 0") {
+		t.Error("api_inflight not exposed at zero")
+	}
+}

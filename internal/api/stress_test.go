@@ -1,12 +1,21 @@
 package api
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/k8s"
+	"kubeknots/internal/knots"
+	"kubeknots/internal/sim"
 )
 
 // TestConcurrentSubmitAndQuery floods the apiserver with parallel pod
@@ -113,5 +122,165 @@ func TestConcurrentDuplicateSubmit(t *testing.T) {
 	wg.Wait()
 	if created.Load() != 1 || conflicted.Load() != contenders-1 {
 		t.Fatalf("created=%d conflicted=%d, want 1/%d", created.Load(), conflicted.Load(), contenders-1)
+	}
+}
+
+// gateScheduler blocks inside Schedule until released, turning an /advance
+// into a deterministically long write-lock hold: the test controls exactly
+// when the simulation is "running".
+type gateScheduler struct {
+	entered chan struct{} // closed on first Schedule call
+	release chan struct{} // Schedule returns once this closes
+	once    sync.Once
+}
+
+func (g *gateScheduler) Name() string { return "gate" }
+
+func (g *gateScheduler) Schedule(now sim.Time, pending []*k8s.Pod, snap *knots.Snapshot) []k8s.Decision {
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+	return nil
+}
+
+func newGateServer(t *testing.T) (*httptest.Server, *gateScheduler) {
+	t.Helper()
+	gate := &gateScheduler{entered: make(chan struct{}), release: make(chan struct{})}
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 2
+	cl := cluster.New(cfg)
+	orch := k8s.NewOrchestrator(eng, cl, gate, k8s.Config{})
+	ts := httptest.NewServer(NewServer(orch).Handler())
+	t.Cleanup(ts.Close)
+	return ts, gate
+}
+
+// startAdvance fires POST /advance in the background and returns a channel
+// carrying its status code (0 on transport error).
+func startAdvance(ts *httptest.Server, ms int64) chan int {
+	done := make(chan int, 1)
+	go func() {
+		buf, _ := json.Marshal(map[string]int64{"ms": ms})
+		resp, err := http.Post(ts.URL+"/advance", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			done <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	return done
+}
+
+// TestReadsProceedDuringAdvance pins the snapshot-isolation contract: while
+// an /advance holds the write lock mid-simulation, every GET endpoint must
+// answer promptly from the pre-advance snapshot. Run under -race.
+func TestReadsProceedDuringAdvance(t *testing.T) {
+	ts, gate := newGateServer(t)
+	resp := post(t, ts.URL+"/pods", manifest("stuck"))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: HTTP %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	advDone := startAdvance(ts, 60000)
+	select {
+	case <-gate.entered: // the advance is now blocked inside the simulation
+	case <-time.After(10 * time.Second):
+		t.Fatal("advance never reached the scheduler")
+	}
+
+	// A slow reader must never wedge on the write lock: bound every GET.
+	client := &http.Client{Timeout: 5 * time.Second}
+	paths := []string{
+		"/pods", "/pods/stuck", "/nodes", "/qos",
+		"/events", "/events?pod=stuck", "/harvest",
+	}
+	for _, p := range paths {
+		r, err := client.Get(ts.URL + p)
+		if err != nil {
+			t.Fatalf("GET %s during advance: %v", p, err)
+		}
+		body, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s during advance: HTTP %d", p, r.StatusCode)
+		}
+		if p == "/pods" && !bytes.Contains(body, []byte(`"stuck"`)) {
+			t.Fatalf("pre-advance snapshot lost pod: %s", body)
+		}
+	}
+
+	// Hammer every endpoint concurrently while the advance is still blocked:
+	// the -race half of the contract.
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p := paths[(r+i)%len(paths)]
+				resp, err := client.Get(ts.URL + p)
+				if err != nil {
+					t.Errorf("GET %s: %v", p, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: HTTP %d", p, resp.StatusCode)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// The first advance still holds the single-flight slot.
+	if code := <-startAdvance(ts, 1000); code != http.StatusConflict {
+		t.Fatalf("concurrent advance: HTTP %d, want 409", code)
+	}
+
+	close(gate.release)
+	if code := <-advDone; code != http.StatusOK {
+		t.Fatalf("gated advance finished with HTTP %d", code)
+	}
+	// Post-advance reads see the new clock.
+	r, err := client.Get(ts.URL + "/pods/stuck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[PodStatus](t, r)
+	if st.Name != "stuck" {
+		t.Fatalf("post-advance status = %+v", st)
+	}
+}
+
+// TestAdvanceSingleFlight: exactly one advance may run; a concurrent second
+// gets 409 and the slot reopens once the first finishes.
+func TestAdvanceSingleFlight(t *testing.T) {
+	ts, gate := newGateServer(t)
+	resp := post(t, ts.URL+"/pods", manifest("sf"))
+	resp.Body.Close()
+
+	first := startAdvance(ts, 30000)
+	select {
+	case <-gate.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("advance never reached the scheduler")
+	}
+	for i := 0; i < 3; i++ {
+		if code := <-startAdvance(ts, 500); code != http.StatusConflict {
+			t.Fatalf("advance #%d during advance: HTTP %d, want 409", i, code)
+		}
+	}
+	close(gate.release)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("first advance: HTTP %d", code)
+	}
+	// Slot reopened: a fresh advance succeeds.
+	if code := <-startAdvance(ts, 500); code != http.StatusOK {
+		t.Fatalf("advance after release: HTTP %d, want 200", code)
 	}
 }

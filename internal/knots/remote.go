@@ -129,10 +129,21 @@ func (s *NodeServer) snapshot(now, window sim.Time) NodeStats {
 // Remote-fetch defaults: every attempt is deadline-bounded (no more untimed
 // http.DefaultClient), transient errors are retried with jittered
 // exponential backoff, and one dead worker degrades only its own entry.
+// The whole per-worker attempt loop — attempts and backoff waits together —
+// is additionally bounded by a budget, so a large Retries setting can never
+// stretch one heartbeat past what the caller planned for.
 const (
 	DefaultFetchTimeout = 5 * time.Second
 	DefaultFetchRetries = 2
 	DefaultFetchBackoff = 50 * time.Millisecond
+	DefaultFetchBudget  = 30 * time.Second
+
+	// maxFetchBackoff caps one backoff wait; maxBackoffShift keeps the
+	// doubling shift far from the 63-bit overflow that would otherwise turn
+	// a high attempt count into a negative duration (and a rand.Int63n
+	// panic computing the jitter).
+	maxFetchBackoff = 5 * time.Second
+	maxBackoffShift = 16
 )
 
 // RemoteAggregator is the head-node side: it fans a heartbeat query out to
@@ -151,9 +162,13 @@ type RemoteAggregator struct {
 	// (default DefaultFetchRetries; negative disables retrying).
 	Retries int
 	// Backoff is the base delay before the first retry, doubled per attempt
-	// with up to 50% added jitter to avoid retry stampedes across workers
-	// (default DefaultFetchBackoff).
+	// (capped at maxFetchBackoff) with up to 50% added jitter to avoid retry
+	// stampedes across workers (default DefaultFetchBackoff).
 	Backoff time.Duration
+	// Budget bounds one worker's whole attempt loop — all tries plus all
+	// backoff waits (default DefaultFetchBudget). It composes with any
+	// deadline already on the FetchContext context: the tighter one wins.
+	Budget time.Duration
 
 	mu       sync.Mutex
 	lastGood map[int]NodeStats
@@ -167,6 +182,13 @@ type RemoteAggregator struct {
 // returns an error only when every worker failed — the head node truly has
 // nothing to act on.
 func (ra *RemoteAggregator) Fetch(now sim.Time) ([]NodeStats, error) {
+	return ra.FetchContext(context.Background(), now)
+}
+
+// FetchContext is Fetch with caller-controlled cancellation: retry backoff
+// waits and in-flight attempts are both abandoned the moment ctx is done,
+// and each worker's attempt loop is additionally bounded by Budget.
+func (ra *RemoteAggregator) FetchContext(ctx context.Context, now sim.Time) ([]NodeStats, error) {
 	client := ra.Client
 	if client == nil {
 		client = &http.Client{}
@@ -189,6 +211,10 @@ func (ra *RemoteAggregator) Fetch(now sim.Time) ([]NodeStats, error) {
 	if backoff <= 0 {
 		backoff = DefaultFetchBackoff
 	}
+	budget := ra.Budget
+	if budget <= 0 {
+		budget = DefaultFetchBudget
+	}
 
 	out := make([]NodeStats, len(ra.Endpoints))
 	var wg sync.WaitGroup
@@ -196,8 +222,10 @@ func (ra *RemoteAggregator) Fetch(now sim.Time) ([]NodeStats, error) {
 		wg.Add(1)
 		go func(i int, ep string) {
 			defer wg.Done()
+			wctx, cancel := context.WithTimeout(ctx, budget)
+			defer cancel()
 			url := fmt.Sprintf("%s/stats?now=%d&window=%d", ep, int64(now), int64(window))
-			st, err := fetchNode(client, url, timeout, retries, backoff)
+			st, err := fetchNode(wctx, client, url, timeout, retries, backoff)
 			if err == nil {
 				out[i] = st
 				ra.mu.Lock()
@@ -234,17 +262,44 @@ func (ra *RemoteAggregator) Fetch(now sim.Time) ([]NodeStats, error) {
 	return out, nil
 }
 
-// fetchNode runs the per-worker attempt loop.
-func fetchNode(client *http.Client, url string, timeout time.Duration, retries int, backoff time.Duration) (NodeStats, error) {
+// retryDelay computes the pre-jitter backoff for the given retry attempt
+// (attempt ≥ 1): base doubled per attempt, shift-capped so it can never
+// overflow negative, then clamped to maxFetchBackoff.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	d := base << shift
+	if d <= 0 || d > maxFetchBackoff {
+		d = maxFetchBackoff
+	}
+	return d
+}
+
+// fetchNode runs the per-worker attempt loop. Backoff waits select on ctx,
+// so a cancelled caller (or an exhausted budget) stops the loop mid-wait
+// instead of sleeping through the remaining retries.
+func fetchNode(ctx context.Context, client *http.Client, url string, timeout time.Duration, retries int, backoff time.Duration) (NodeStats, error) {
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			mFetchRetries.Inc()
-			d := backoff << (attempt - 1)
+			d := retryDelay(backoff, attempt)
 			d += time.Duration(rand.Int63n(int64(d)/2 + 1))
-			time.Sleep(d)
+			timer := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				mFetches.With("error").Inc()
+				if lastErr == nil {
+					lastErr = ctx.Err()
+				}
+				return NodeStats{}, fmt.Errorf("knots: fetch %s aborted: %w", url, lastErr)
+			case <-timer.C:
+			}
 		}
-		st, err := fetchOnce(client, url, timeout)
+		st, err := fetchOnce(ctx, client, url, timeout)
 		if err == nil {
 			mFetches.With("ok").Inc()
 			return st, nil
@@ -253,14 +308,20 @@ func fetchNode(client *http.Client, url string, timeout time.Duration, retries i
 			mFetchTimeouts.Inc()
 		}
 		lastErr = err
+		if ctx.Err() != nil {
+			// The caller's context (not just the per-attempt deadline) is
+			// gone: further retries cannot succeed.
+			break
+		}
 	}
 	mFetches.With("error").Inc()
 	return NodeStats{}, lastErr
 }
 
-// fetchOnce performs one deadline-bounded stats query.
-func fetchOnce(client *http.Client, url string, timeout time.Duration) (NodeStats, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+// fetchOnce performs one deadline-bounded stats query. The per-attempt
+// timeout nests inside the caller's context, so the tighter deadline wins.
+func fetchOnce(ctx context.Context, client *http.Client, url string, timeout time.Duration) (NodeStats, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {

@@ -1,6 +1,7 @@
 package knots
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -275,5 +276,91 @@ func TestNodeServerAnswers503WhileTelemetryDown(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("restored monitor: HTTP %d, want 200", resp.StatusCode)
+	}
+}
+
+// failingServer always answers HTTP 500, driving the full retry loop.
+func failingServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRetryDelayNeverOverflows pins the backoff math: before the shift cap,
+// attempt 64 with a 1ns base shifted into a negative duration and the jitter
+// computation (rand.Int63n of a non-positive bound) panicked.
+func TestRetryDelayNeverOverflows(t *testing.T) {
+	bases := []time.Duration{time.Nanosecond, time.Microsecond,
+		DefaultFetchBackoff, time.Second, maxFetchBackoff, time.Hour}
+	for _, base := range bases {
+		for attempt := 1; attempt <= 200; attempt++ {
+			d := retryDelay(base, attempt)
+			if d <= 0 || d > maxFetchBackoff {
+				t.Fatalf("retryDelay(%v, %d) = %v, want in (0, %v]", base, attempt, d, maxFetchBackoff)
+			}
+		}
+	}
+}
+
+// TestFetchHighRetriesNoPanic is the end-to-end regression for the overflow:
+// a large retry count against an always-failing worker must neither panic
+// nor run past its budget.
+func TestFetchHighRetriesNoPanic(t *testing.T) {
+	srv := failingServer(t)
+	ra := &RemoteAggregator{
+		Endpoints: []string{srv.URL},
+		Retries:   128, // far past the old 63-bit shift overflow
+		Backoff:   time.Nanosecond,
+		Budget:    5 * time.Second,
+	}
+	start := time.Now()
+	if _, err := ra.Fetch(sim.Second); err == nil {
+		t.Fatal("all-failing worker should error")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("retry loop unbounded: %v", elapsed)
+	}
+}
+
+// TestFetchContextCancelsBackoffWait: a cancelled caller context must
+// interrupt the backoff sleep (here clamped to maxFetchBackoff) instead of
+// sleeping through it.
+func TestFetchContextCancelsBackoffWait(t *testing.T) {
+	srv := failingServer(t)
+	ra := &RemoteAggregator{
+		Endpoints: []string{srv.URL},
+		Retries:   1 << 20,
+		Backoff:   time.Hour, // clamps to maxFetchBackoff; ctx must win first
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := ra.FetchContext(ctx, sim.Second); err == nil {
+		t.Fatal("cancelled fetch should error")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("backoff wait not cancellable: %v", elapsed)
+	}
+}
+
+// TestFetchBudgetBoundsRetryLoop: even with no caller deadline, the
+// per-worker budget bounds Retries x backoff.
+func TestFetchBudgetBoundsRetryLoop(t *testing.T) {
+	srv := failingServer(t)
+	ra := &RemoteAggregator{
+		Endpoints: []string{srv.URL},
+		Retries:   1 << 20,
+		Backoff:   20 * time.Millisecond,
+		Budget:    150 * time.Millisecond,
+	}
+	start := time.Now()
+	if _, err := ra.Fetch(sim.Second); err == nil {
+		t.Fatal("budget-exhausted fetch should error")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("budget did not bound the retry loop: %v", elapsed)
 	}
 }
