@@ -53,8 +53,19 @@ determinism:
 	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 fig-harvest > /tmp/kk-fh1.txt
 	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 8 fig-harvest > /tmp/kk-fh8.txt
 	diff /tmp/kk-fh1.txt /tmp/kk-fh8.txt
-	@echo determinism: tables and span JSONL identical with tracing on/off, -parallel 1 vs 8, -shards 1 vs 8, harvest flags inert when disabled
+	$(GO) test ./internal/experiments/ -run 'TestCrashRecovery|TestCrashSnapshot' -count=1
+	$(GO) test ./cmd/kubeknots/ -run TestE2ECrashRecovery -count=1
+	rm -rf /tmp/kk-state
+	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 \
+		-state-dir /tmp/kk-state -crash-at 10s fig9 > /dev/null 2>/tmp/kk-crash-err.txt || true
+	grep -q 'injected crash' /tmp/kk-crash-err.txt
+	$(GO) run ./cmd/kubeknots -horizon 30s -parallel 1 \
+		-state-dir /tmp/kk-state fig9 > /tmp/kk-recovered.txt
+	diff /tmp/kk-plain.txt /tmp/kk-recovered.txt
+	@echo determinism: tables and span JSONL identical with tracing on/off, -parallel 1 vs 8, -shards 1 vs 8, harvest flags inert when disabled, crash-restart byte-identical
 
 clean:
 	rm -f /tmp/kk-plain.txt /tmp/kk-traced.txt /tmp/kk-sharded.txt /tmp/kk-decisions.jsonl /tmp/kk-timeline.json \
-		/tmp/kk-spans-p1.jsonl /tmp/kk-spans-p8.jsonl /tmp/kk-spans-s8.jsonl
+		/tmp/kk-spans-p1.jsonl /tmp/kk-spans-p8.jsonl /tmp/kk-spans-s8.jsonl \
+		/tmp/kk-fh1.txt /tmp/kk-fh8.txt /tmp/kk-harvest-off.txt /tmp/kk-crash-err.txt /tmp/kk-recovered.txt
+	rm -rf /tmp/kk-state

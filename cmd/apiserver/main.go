@@ -5,17 +5,26 @@
 //
 //	apiserver -nodes 10 -scheduler pp -addr :8088
 //
-//	curl -X POST :8088/pods -d '{"name":"j1","workload":{"kind":"rodinia","name":"kmeans"}}'
-//	curl -X POST :8088/advance -d '{"ms":60000}'
-//	curl :8088/pods/j1
-//	curl :8088/nodes
-//	curl :8088/qos
+//	curl -X POST :8088/v1/pods -d '{"name":"j1","workload":{"kind":"rodinia","name":"kmeans"}}'
+//	curl -X POST :8088/v1/advance -d '{"ms":60000}'
+//	curl :8088/v1/pods/j1
+//	curl :8088/v1/nodes
+//	curl :8088/v1/qos
+//	curl :8088/v1/state       # persistence status
 //	curl :8088/metrics        # Prometheus text exposition
 //	curl :8088/debug/vars     # expvar JSON
 //	curl :8088/debug/pprof/   # runtime profiles
 //
+// The pre-/v1 unversioned paths still answer (with a Deprecation header).
+//
+// With -state-dir the control plane is durable: every accepted mutation is
+// journaled to a write-ahead log before it executes, folded into a snapshot
+// every -snapshot-every commands, and replayed on restart — a crash or
+// SIGKILL loses nothing, and the replay is byte-verified against the
+// snapshot's recorded state. Without -state-dir behaviour is unchanged.
+//
 // SIGINT/SIGTERM shut the server down gracefully, draining in-flight
-// requests before exiting.
+// requests (and writing a final snapshot) before exiting.
 package main
 
 import (
@@ -32,12 +41,9 @@ import (
 
 	"kubeknots/internal/api"
 	"kubeknots/internal/buildinfo"
-	"kubeknots/internal/cluster"
 	"kubeknots/internal/experiments"
-	"kubeknots/internal/harvest"
-	"kubeknots/internal/k8s"
 	"kubeknots/internal/obs"
-	"kubeknots/internal/sim"
+	"kubeknots/internal/persist"
 )
 
 var (
@@ -48,6 +54,9 @@ var (
 	seed   = flag.Int64("seed", 1, "deterministic seed")
 	drain  = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	hspec  = flag.String("harvest", "", `harvest controller spec, e.g. "on,watermark=0.85,checkpoint=true" ("" = disabled; keys: watermark headroom interval checkpoint cost priority max-preempt max-admit sm-ceiling qos-window)`)
+
+	stateDir  = flag.String("state-dir", "", "directory for snapshot + WAL durability (\"\" = no persistence)")
+	snapEvery = flag.Int("snapshot-every", 64, "commands between automatic snapshots (with -state-dir)")
 )
 
 func main() {
@@ -56,26 +65,36 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := cluster.DefaultConfig()
-	cfg.Nodes = *nodes
-	var cl *cluster.Cluster
-	if *hetero {
-		cl = cluster.NewHeterogeneous(cfg, cluster.HeterogeneousPool())
-	} else {
-		cl = cluster.New(cfg)
+	// Construction goes through the same Bootstrap recipe recovery uses, so
+	// a journaled run replays through byte-identical initial state.
+	boot := persist.Bootstrap{
+		Kind:        "apiserver",
+		Seed:        *seed,
+		Nodes:       *nodes,
+		Hetero:      *hetero,
+		Scheduler:   *sched,
+		HarvestSpec: *hspec,
 	}
-	orch := k8s.NewOrchestrator(sim.NewEngine(*seed), cl, s, k8s.Config{})
+	orch, hctl, err := persist.Rebuild(boot, s)
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := api.NewServer(orch)
-	if *hspec != "" {
-		hcfg, err := harvest.ParseSpec(*hspec)
+	if hctl != nil {
+		srv.SetHarvest(hctl)
+	}
+	if *stateDir != "" {
+		mgr, err := persist.Open(*stateDir, boot, persist.WithSnapshotEvery(*snapEvery))
 		if err != nil {
 			log.Fatal(err)
 		}
-		if hcfg.Enabled {
-			hctl := harvest.New(orch, hcfg)
-			orch.Start()
-			hctl.Start()
-			srv.SetHarvest(hctl)
+		n, err := srv.Recover(mgr)
+		if err != nil {
+			log.Fatalf("apiserver: recover from %s: %v", *stateDir, err)
+		}
+		if n > 0 {
+			log.Printf("apiserver: recovered %d commands from %s (clock at %v)",
+				n, *stateDir, orch.Eng.Now())
 		}
 	}
 
@@ -119,6 +138,11 @@ func main() {
 		defer cancel()
 		if err := hsrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("apiserver: shutdown: %v", err)
+		}
+		// Fold the journal into a final snapshot so the next start replays
+		// nothing. No-op without -state-dir.
+		if err := srv.Close(); err != nil {
+			log.Fatalf("apiserver: close state: %v", err)
 		}
 	}
 }

@@ -11,6 +11,7 @@
 //	knotsctl advance 60s
 //	knotsctl bench -clients 16 -requests 200
 //	knotsctl trace [--pod P|--slowest N|--critical-path|--summary] spans.jsonl
+//	knotsctl state inspect|verify|compact <state-dir>
 package main
 
 import (
@@ -51,7 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		usage(stderr)
 		return 2
 	}
-	// trace is offline: it reads a span file, not the apiserver.
+	// trace and state are offline: they read a span file or a state dir,
+	// not the apiserver.
 	if rest[0] == "trace" {
 		if err := traceCmd(rest[1:], stdout, stderr); err != nil {
 			fmt.Fprintln(stderr, "knotsctl:", err)
@@ -59,7 +61,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	c := api.NewClient(*server)
+	if rest[0] == "state" {
+		if err := stateCmd(rest[1:], stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, "knotsctl:", err)
+			return 1
+		}
+		return 0
+	}
+	c := api.NewClient(*server,
+		api.WithTimeout(api.DefaultTimeout),
+		api.WithRetries(2),
+		api.WithUserAgent("knotsctl/"+buildinfo.Get().Version))
 	var err error
 	switch rest[0] {
 	case "apply":
@@ -251,5 +263,10 @@ commands:
                             (-clients, -requests, -advance-every, -advance-ms, -prime)
   trace [flags] <spans.jsonl>
                             query a span file from kubeknots -spans-out
-                            (--pod, --slowest N, --critical-path, --summary)`)
+                            (--pod, --slowest N, --critical-path, --summary)
+  state inspect|verify|compact <dir>
+                            offline tools for a -state-dir: list its
+                            snapshots and WAL, byte-verify a replay against
+                            the recorded state, or fold the WAL into a
+                            fresh snapshot`)
 }

@@ -12,6 +12,13 @@
 //
 // The simulation advances in real time scaled by -speed. SIGINT/SIGTERM
 // shut the server down gracefully, draining in-flight requests.
+//
+// With -state-dir the daemon checkpoints its telemetry state every
+// -snapshot-every of wall time and on shutdown: the simulated clock, the
+// placement sequence, and the full node-local time-series rings survive a
+// restart (the in-flight workload itself restarts — knotsd is wall-driven,
+// so its event stream is not replayable the way the apiserver's is, and
+// the rings are the durable observable).
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"kubeknots/internal/cluster"
 	"kubeknots/internal/knots"
 	"kubeknots/internal/obs"
+	"kubeknots/internal/persist"
 	"kubeknots/internal/sim"
 	"kubeknots/internal/workloads"
 )
@@ -43,6 +51,8 @@ var (
 	heartbeat = flag.Duration("heartbeat", 10*time.Millisecond, "sampling period (simulated)")
 	speed     = flag.Float64("speed", 10, "simulated seconds per wall second")
 	drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	stateDir  = flag.String("state-dir", "", "directory for telemetry snapshots (\"\" = no persistence)")
+	snapEvery = flag.Duration("snapshot-every", 30*time.Second, "wall time between snapshots (with -state-dir)")
 )
 
 // Live node gauges mirroring the NVML metrics the monitor samples; they sit
@@ -133,6 +143,52 @@ func (d *daemon) window(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// knotsdBoot is the daemon's construction recipe; a state dir written by a
+// different knotsd shape (or by the apiserver) is refused on load.
+func knotsdBoot() persist.Bootstrap {
+	return persist.Bootstrap{Kind: "knotsd", Nodes: 1}
+}
+
+// captureState freezes the daemon's durable view: clock, placement
+// sequence, and every node-local ring.
+func (d *daemon) captureState() *persist.State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := &persist.State{ClockMS: int64(d.now), DaemonSeq: uint64(d.seq)}
+	db := d.mon.NodeDB(0)
+	for _, name := range db.SeriesNames() {
+		st.Series = append(st.Series, persist.SeriesState{
+			Node:   0,
+			Name:   name,
+			Points: db.Window(name, 0, sim.Time(1<<62)),
+		})
+	}
+	return st
+}
+
+// restoreState replays a snapshot into the freshly-built daemon: the rings
+// are re-appended point by point (the tsdb is append-only, so this is the
+// exact durable content), and the clock and sequence resume where they
+// stopped.
+func (d *daemon) restoreState(st *persist.State) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.now = sim.Time(st.ClockMS)
+	d.seq = int(st.DaemonSeq)
+	db := d.mon.NodeDB(0)
+	for _, s := range st.Series {
+		for _, p := range s.Points {
+			db.Append(s.Name, p.At, p.Value)
+		}
+	}
+}
+
+// saveSnapshot writes the daemon's current state to the state dir.
+func (d *daemon) saveSnapshot(store *persist.Store) error {
+	_, err := store.WriteSnapshot(&persist.Snapshot{Boot: knotsdBoot(), State: d.captureState()})
+	return err
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
@@ -159,18 +215,45 @@ func main() {
 	cl := cluster.New(cfg)
 	d := &daemon{cl: cl, mon: knots.NewMonitor(cl, 1<<18)}
 
+	var store *persist.Store
+	if *stateDir != "" {
+		var err error
+		if store, err = persist.OpenStore(*stateDir); err != nil {
+			log.Fatal(err)
+		}
+		snap, err := store.LoadSnapshot()
+		if err != nil {
+			log.Fatalf("knotsd: load snapshot: %v", err)
+		}
+		if snap != nil {
+			if !snap.Boot.Equal(knotsdBoot()) {
+				log.Fatalf("knotsd: state dir %s was written by a different daemon shape", *stateDir)
+			}
+			d.restoreState(snap.State)
+			log.Printf("knotsd: restored %d series from %s (clock at %v)",
+				len(snap.State.Series), *stateDir, d.now)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	go func() {
 		ticker := time.NewTicker(100 * time.Millisecond)
 		defer ticker.Stop()
+		var lastSnap time.Time
 		for {
 			select {
 			case <-ctx.Done():
 				return
-			case <-ticker.C:
+			case now := <-ticker.C:
 				d.step(sim.Time(100 * *speed))
+				if store != nil && now.Sub(lastSnap) >= *snapEvery {
+					if err := d.saveSnapshot(store); err != nil {
+						log.Printf("knotsd: snapshot: %v", err)
+					}
+					lastSnap = now
+				}
 			}
 		}
 	}()
@@ -204,6 +287,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("knotsd: shutdown: %v", err)
+		}
+		if store != nil {
+			if err := d.saveSnapshot(store); err != nil {
+				log.Fatalf("knotsd: final snapshot: %v", err)
+			}
 		}
 	}
 }

@@ -67,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mttf      = fs.Duration("mttf", 90*time.Second, "per-node mean time to failure for the chaos experiment")
 		mttr      = fs.Duration("mttr", 10*time.Second, "per-node mean time to repair for the chaos experiment")
 
+		stateDir = fs.String("state-dir", "", "crash-recovery state directory: runs verify against (or, with -crash-at, write) per-run snapshots here")
+		crashAt  = fs.Duration("crash-at", 0, "inject a controller crash at this simulated instant: each run snapshots its state to -state-dir and aborts")
+
 		traceOut    = fs.String("trace-out", "", "write per-pod scheduling decision audit records (JSONL) to this file")
 		timelineOut = fs.String("timeline-out", "", "write a Chrome trace_event timeline (open in chrome://tracing or Perfetto) to this file")
 		spansOut    = fs.String("spans-out", "", "write causal pod-lifecycle spans (JSONL; query with knotsctl trace) to this file")
@@ -129,6 +132,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	base.Cluster.Harvest.Enabled = *harvestOn
 	base.Cluster.Harvest.Watermark = *watermark
 	base.Cluster.Harvest.CheckpointCost = sim.Time(checkpointCost.Milliseconds())
+	if *crashAt > 0 && *stateDir == "" {
+		fmt.Fprintf(stderr, "kubeknots: -crash-at requires -state-dir\n")
+		return 2
+	}
+	base.Cluster.Persist.Dir = *stateDir
+	base.Cluster.Persist.CrashAt = sim.Time(crashAt.Milliseconds())
 	var collector *obs.Collector
 	if *traceOut != "" || *timelineOut != "" || *spansOut != "" {
 		collector = obs.NewCollector()

@@ -2,16 +2,24 @@
 // its apiserver: pods are submitted as JSON manifests, pod and node state is
 // queryable, and the Knots cluster snapshot is served for dashboards. The
 // server drives the simulation clock itself ("advance" is explicit, not
-// wall-clock), so clients replay scenarios deterministically:
+// wall-clock), so clients replay scenarios deterministically.
 //
-//	POST /pods           submit a manifest (k8s.Manifest JSON)
-//	GET  /pods           list pods (phase, timestamps, crashes)
-//	GET  /pods/{name}    one pod
-//	GET  /nodes          per-device observations
-//	GET  /qos            SLO accounting
-//	GET  /events[?pod=x] pod lifecycle events
-//	GET  /harvest        harvest-controller watermark state and counters
-//	POST /advance        {"ms": 60000} — run the simulation forward
+// The surface is versioned under /v1 (see API.md for the full contract):
+//
+//	POST /v1/pods             submit a manifest (k8s.Manifest JSON)
+//	GET  /v1/pods             list pods (?limit= ?continue= ?phase=)
+//	GET  /v1/pods/{name}      one pod
+//	GET  /v1/nodes            per-device observations
+//	GET  /v1/qos              SLO accounting
+//	GET  /v1/events           lifecycle events (?pod= ?type= ?limit= ?continue=)
+//	GET  /v1/harvest          harvest-controller watermark state and counters
+//	GET  /v1/state            persistence (snapshot/WAL) status
+//	POST /v1/advance          {"ms": 60000} — run the simulation forward
+//
+// Every route is also reachable at its legacy unversioned path; those
+// aliases answer identically but add a "Deprecation: true" header and a
+// Link to the /v1 successor. Errors share one envelope,
+// {"error": "...", "code": N}, which api.StatusError round-trips.
 //
 // Concurrency contract: the simulation is single-threaded, so mutations
 // (POST /pods, POST /advance) serialize on a write lock — but reads never
@@ -21,19 +29,28 @@
 // leaves every read endpoint answering from the pre-advance view instead of
 // blocking. /advance itself is single-flight: a second concurrent advance
 // fails fast with HTTP 409 rather than queueing behind the first.
+//
+// Durability: with a persist.Manager attached (see SetupPersistence /
+// Recover), every accepted mutation is appended to a write-ahead log
+// before it executes, and the full command history is periodically folded
+// into a snapshot. Without one, the server is byte-identical to the
+// pre-persistence build.
 package api
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"kubeknots/internal/harvest"
 	"kubeknots/internal/k8s"
+	"kubeknots/internal/persist"
 	"kubeknots/internal/sim"
 )
 
@@ -91,6 +108,36 @@ type HarvestStatus struct {
 	Counters   harvest.Counters    `json:"counters"`
 }
 
+// StateStatus is the wire form of /v1/state: the persistence layer's view
+// of itself. With persistence disabled only Enabled and NowMS are set.
+type StateStatus struct {
+	Enabled bool  `json:"enabled"`
+	NowMS   int64 `json:"now_ms"`
+	// Persist carries the journal stats when persistence is enabled.
+	Persist *persist.Stats `json:"persist,omitempty"`
+}
+
+// PodPage is the paged form of GET /v1/pods when ?limit= or ?continue= is
+// present; Continue is non-empty while more items remain.
+type PodPage struct {
+	Items    []PodStatus `json:"items"`
+	Continue string      `json:"continue,omitempty"`
+}
+
+// EventPage is the paged form of GET /v1/events.
+type EventPage struct {
+	Items    []EventStatus `json:"items"`
+	Continue string        `json:"continue,omitempty"`
+}
+
+// errorEnvelope is the unified error body: the message plus the HTTP status
+// it rode in on, so clients can round-trip a StatusError from the body
+// alone.
+type errorEnvelope struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
 // snapshot is one immutable wire-form view of the whole control plane. GET
 // handlers only ever touch a *snapshot, never the orchestrator, so encoding
 // happens with no lock held and a snapshot taken before a long advance keeps
@@ -99,22 +146,30 @@ type snapshot struct {
 	// version is the mutation counter the snapshot was built at; reads
 	// compare it against Server.version to decide whether a rebuild is due.
 	version  uint64
+	nowMS    int64
 	pods     []PodStatus // sorted by name
 	podIndex map[string]int
 	nodes    []NodeStatus
 	qos      QoSStatus
-	events   []EventStatus
-	harvest  HarvestStatus
+	// events holds the retained tail of the event log; eventsBase is the
+	// absolute log index of events[0] (the ring evicts oldest-first), which
+	// keeps continue-tokens stable across snapshot rebuilds.
+	events     []EventStatus
+	eventsBase uint64
+	harvest    HarvestStatus
 }
 
 // Server wraps an orchestrator. Mutations serialize on mu (the underlying
 // simulation is single-threaded by design); reads serve from snap and take
 // mu only shared — and only to refresh a stale snapshot.
 type Server struct {
-	mu      sync.RWMutex // guards orch, pods, harvest
+	mu      sync.RWMutex // guards orch, pods, harvest, persist use
 	orch    *k8s.Orchestrator
 	pods    map[string]*k8s.Pod
 	harvest *harvest.Controller
+	// persist journals accepted mutations; nil leaves the server
+	// byte-identical to a build without the subsystem.
+	persist *persist.Manager
 
 	// advMu makes /advance single-flight: TryLock instead of Lock, so a
 	// second concurrent advance is refused (409) rather than queued behind
@@ -146,17 +201,47 @@ func (s *Server) SetHarvest(h *harvest.Controller) {
 	s.mu.Unlock()
 }
 
-// Handler returns the route table. Every route is instrumented with the
-// api_* request metrics.
+// routes is the full surface: every entry is served under /v1 and at its
+// legacy unversioned alias. The label is the metrics path template.
+func (s *Server) routes() []struct {
+	path, label string
+	h           http.HandlerFunc
+} {
+	return []struct {
+		path, label string
+		h           http.HandlerFunc
+	}{
+		{"/pods", "/pods", s.handlePods},
+		{"/pods/", "/pods/{name}", s.handlePod},
+		{"/nodes", "/nodes", s.handleNodes},
+		{"/qos", "/qos", s.handleQoS},
+		{"/events", "/events", s.handleEvents},
+		{"/harvest", "/harvest", s.handleHarvest},
+		{"/state", "/state", s.handleState},
+		{"/advance", "/advance", s.handleAdvance},
+	}
+}
+
+// deprecated wraps a legacy-alias handler with the RFC 8594-style headers
+// pointing clients at the /v1 successor.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", successor, "successor-version"))
+		h(w, r)
+	}
+}
+
+// Handler returns the route table: /v1 plus legacy aliases, every route
+// instrumented with the api_* request metrics (versioned and legacy paths
+// count separately).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/pods", instrument("/pods", s.handlePods))
-	mux.Handle("/pods/", instrument("/pods/{name}", s.handlePod))
-	mux.Handle("/nodes", instrument("/nodes", s.handleNodes))
-	mux.Handle("/qos", instrument("/qos", s.handleQoS))
-	mux.Handle("/events", instrument("/events", s.handleEvents))
-	mux.Handle("/harvest", instrument("/harvest", s.handleHarvest))
-	mux.Handle("/advance", instrument("/advance", s.handleAdvance))
+	for _, rt := range s.routes() {
+		mux.Handle("/v1"+rt.path, instrument("/v1"+rt.label, rt.h))
+		successor := "/v1" + strings.TrimSuffix(rt.path, "/")
+		mux.Handle(rt.path, instrument(rt.label, deprecated(successor, rt.h)))
+	}
 	return mux
 }
 
@@ -166,7 +251,7 @@ func (s *Server) Handler() http.Handler {
 // unguarded call from NewServer is safe — no other goroutine has the server
 // yet.
 func (s *Server) buildSnapshotLocked() *snapshot {
-	sn := &snapshot{version: s.version.Load()}
+	sn := &snapshot{version: s.version.Load(), nowMS: int64(s.orch.Eng.Now())}
 
 	sn.pods = make([]PodStatus, 0, len(s.pods))
 	for _, p := range s.pods {
@@ -204,6 +289,7 @@ func (s *Server) buildSnapshotLocked() *snapshot {
 	// One Events.All() pass covers both the unfiltered and per-pod views;
 	// handleEvents filters the wire slice instead of re-walking the log.
 	evs := s.orch.Events.All()
+	sn.eventsBase = uint64(s.orch.Events.Total() - len(evs))
 	sn.events = make([]EventStatus, 0, len(evs))
 	for _, e := range evs {
 		sn.events = append(sn.events, EventStatus{
@@ -258,7 +344,52 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorEnvelope{Error: fmt.Sprintf(format, args...), Code: status})
+}
+
+// Continue-token plumbing. Tokens are opaque to clients:
+// base64url("kk1:<resource>:<position>"). Pod tokens carry the last name
+// served (the pod list is name-sorted and insertion-stable, so "first name
+// greater than" positioning survives any interleaved submissions); event
+// tokens carry an absolute log index (the ring is append-only, so the index
+// outlives snapshot rebuilds — a token pointing below the retained window
+// means the events were evicted, reported as 410 Gone).
+const continueTokenPrefix = "kk1"
+
+func encodeContinue(resource, pos string) string {
+	return base64.URLEncoding.EncodeToString([]byte(continueTokenPrefix + ":" + resource + ":" + pos))
+}
+
+func decodeContinue(tok, resource string) (string, error) {
+	raw, err := base64.URLEncoding.DecodeString(tok)
+	if err != nil {
+		return "", fmt.Errorf("malformed continue token")
+	}
+	parts := strings.SplitN(string(raw), ":", 3)
+	if len(parts) != 3 || parts[0] != continueTokenPrefix {
+		return "", fmt.Errorf("malformed continue token")
+	}
+	if parts[1] != resource {
+		return "", fmt.Errorf("continue token is for %q, not %q", parts[1], resource)
+	}
+	return parts[2], nil
+}
+
+// defaultPageLimit caps a paged response when ?continue= is present without
+// an explicit ?limit=.
+const defaultPageLimit = 500
+
+// parseLimit reads ?limit=; ok=false means a malformed value (the caller
+// 400s). Zero means "not supplied".
+func parseLimit(q string) (int, bool) {
+	if q == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 func (s *Server) handlePods(w http.ResponseWriter, r *http.Request) {
@@ -266,10 +397,63 @@ func (s *Server) handlePods(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		s.createPod(w, r)
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, s.currentSnapshot().pods)
+		s.listPods(w, r)
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, "use GET or POST")
 	}
+}
+
+// listPods serves GET /v1/pods: the bare name-sorted array by default, or
+// — when ?limit= or ?continue= is present — a PodPage window into it.
+// ?phase= filters before pagination, so a token remains valid only with
+// the same filter (names still position correctly regardless).
+func (s *Server) listPods(w http.ResponseWriter, r *http.Request) {
+	sn := s.currentSnapshot()
+	q := r.URL.Query()
+	pods := sn.pods
+	if phase := q.Get("phase"); phase != "" {
+		filtered := make([]PodStatus, 0, len(pods))
+		for _, p := range pods {
+			if p.Phase == phase {
+				filtered = append(filtered, p)
+			}
+		}
+		pods = filtered
+	}
+	limit, ok := parseLimit(q.Get("limit"))
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "limit must be a positive integer")
+		return
+	}
+	tok := q.Get("continue")
+	if limit == 0 && tok == "" {
+		writeJSON(w, http.StatusOK, pods)
+		return
+	}
+	if limit == 0 {
+		limit = defaultPageLimit
+	}
+	start := 0
+	if tok != "" {
+		last, err := decodeContinue(tok, "pods")
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		start = sort.Search(len(pods), func(i int) bool { return pods[i].Name > last })
+	}
+	end := start + limit
+	if end > len(pods) {
+		end = len(pods)
+	}
+	page := PodPage{Items: pods[start:end]}
+	if page.Items == nil {
+		page.Items = []PodStatus{}
+	}
+	if end < len(pods) {
+		page.Continue = encodeContinue("pods", pods[end-1].Name)
+	}
+	writeJSON(w, http.StatusOK, page)
 }
 
 func (s *Server) createPod(w http.ResponseWriter, r *http.Request) {
@@ -284,18 +468,50 @@ func (s *Server) createPod(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "pod %q already exists", m.Name)
 		return
 	}
-	pod, err := s.orch.PodFromManifest(m, nil)
-	if err != nil {
+	// Validate is side-effect free; PodFromManifest is not (it consumes a
+	// pod sequence number), so it must run after the write-ahead append —
+	// otherwise a failed append would leave live state one draw ahead of
+	// the journal and fork the next replay.
+	if err := m.Validate(); err != nil {
 		s.mu.Unlock()
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	// Write-ahead: journal the accepted manifest before mutating, and
+	// refuse the submission if the journal write fails — a mutation the
+	// log never saw would be lost by the next recovery.
+	if s.persist != nil {
+		if err := s.persist.Append(persist.SubmitRecord(canonicalManifest(m))); err != nil {
+			s.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "journal submit: %v", err)
+			return
+		}
+	}
+	pod, err := s.orch.PodFromManifest(m, nil)
+	if err != nil {
+		// Unreachable after Validate; kept as a hard failure because a
+		// journaled record that cannot replay must not be served as success.
+		s.mu.Unlock()
+		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	s.orch.Submit(s.orch.Eng.Now(), pod)
 	s.pods[pod.Name] = pod
 	st := s.status(pod)
 	s.version.Add(1)
+	s.maybeSnapshotLocked()
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, st)
+}
+
+// canonicalManifest re-marshals a decoded manifest so the journal carries
+// one canonical byte form regardless of client formatting.
+func canonicalManifest(m k8s.Manifest) []byte {
+	data, err := json.Marshal(m)
+	if err != nil {
+		panic(err) // a decoded manifest always re-marshals
+	}
+	return data
 }
 
 func (s *Server) handlePod(w http.ResponseWriter, r *http.Request) {
@@ -303,7 +519,7 @@ func (s *Server) handlePod(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	name := strings.TrimPrefix(r.URL.Path, "/pods/")
+	name := strings.TrimPrefix(strings.TrimPrefix(r.URL.Path, "/v1"), "/pods/")
 	sn := s.currentSnapshot()
 	i, ok := sn.podIndex[name]
 	if !ok {
@@ -349,17 +565,64 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	evs := s.currentSnapshot().events
-	if pod := r.URL.Query().Get("pod"); pod != "" {
-		filtered := make([]EventStatus, 0, 8)
-		for _, e := range evs {
-			if e.Pod == pod {
+	sn := s.currentSnapshot()
+	q := r.URL.Query()
+	pod, typ := q.Get("pod"), q.Get("type")
+	match := func(e EventStatus) bool {
+		return (pod == "" || e.Pod == pod) && (typ == "" || e.Type == typ)
+	}
+	limit, ok := parseLimit(q.Get("limit"))
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "limit must be a positive integer")
+		return
+	}
+	tok := q.Get("continue")
+	if limit == 0 && tok == "" {
+		filtered := make([]EventStatus, 0, len(sn.events))
+		for _, e := range sn.events {
+			if match(e) {
 				filtered = append(filtered, e)
 			}
 		}
-		evs = filtered
+		writeJSON(w, http.StatusOK, filtered)
+		return
 	}
-	writeJSON(w, http.StatusOK, evs)
+	if limit == 0 {
+		limit = defaultPageLimit
+	}
+	start := 0
+	if tok != "" {
+		pos, err := decodeContinue(tok, "events")
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		abs, err := strconv.ParseUint(pos, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "malformed continue token")
+			return
+		}
+		if abs < sn.eventsBase {
+			writeErr(w, http.StatusGone,
+				"continue token expired: events before index %d were evicted from the ring", sn.eventsBase)
+			return
+		}
+		start = int(abs - sn.eventsBase)
+		if start > len(sn.events) {
+			start = len(sn.events)
+		}
+	}
+	page := EventPage{Items: []EventStatus{}}
+	i := start
+	for ; i < len(sn.events) && len(page.Items) < limit; i++ {
+		if match(sn.events[i]) {
+			page.Items = append(page.Items, sn.events[i])
+		}
+	}
+	if i < len(sn.events) {
+		page.Continue = encodeContinue("events", strconv.FormatUint(sn.eventsBase+uint64(i), 10))
+	}
+	writeJSON(w, http.StatusOK, page)
 }
 
 func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
@@ -368,6 +631,22 @@ func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.currentSnapshot().harvest)
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	st := StateStatus{NowMS: s.currentSnapshot().nowMS}
+	// persist is set once before serving (Recover) and never cleared, so
+	// the read needs no lock beyond the snapshot's.
+	if s.persist != nil {
+		st.Enabled = true
+		stats := s.persist.StatsSnapshot()
+		st.Persist = &stats
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // advanceRequest is the /advance body.
@@ -408,6 +687,13 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.advMu.Unlock()
 	s.mu.Lock()
+	if s.persist != nil {
+		if err := s.persist.Append(persist.AdvanceRecord(req.MS)); err != nil {
+			s.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "journal advance: %v", err)
+			return
+		}
+	}
 	// Publish the pre-advance view first: every read issued while the
 	// simulation runs is answered from this copy.
 	s.buildSnapshotLocked()
@@ -419,6 +705,7 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		Completed: len(s.orch.Completed),
 		Crashes:   s.orch.CrashEvents,
 	}
+	s.maybeSnapshotLocked()
 	// Publish the post-advance view under the same lock hold so the reader
 	// stampede after a long advance finds it ready instead of re-building.
 	s.buildSnapshotLocked()

@@ -32,7 +32,10 @@ const (
 	KindNode      FaultKind = "node"      // whole node crashes and reboots
 	KindGPU       FaultKind = "gpu"       // single device fails and recovers
 	KindTelemetry FaultKind = "telemetry" // node monitor stops answering
-	KindNetwork   FaultKind = "net"       // stats-path latency / heartbeat loss
+	// KindController kills and restarts the control plane: scheduling and
+	// harvest decisions pause while the data plane keeps running.
+	KindController FaultKind = "controller"
+	KindNetwork    FaultKind = "net" // stats-path latency / heartbeat loss
 )
 
 // FaultRate is one failure domain's exponential failure/repair process.
@@ -67,6 +70,9 @@ type Plan struct {
 	GPU FaultRate
 	// Telemetry is the monitor-dropout process (per node).
 	Telemetry FaultRate
+	// Controller is the control-plane crash/restart process (one control
+	// plane per cluster, so at most one outage at a time).
+	Controller FaultRate
 	// Network degrades the stats path for the whole run.
 	Network NetworkFault
 }
@@ -74,7 +80,7 @@ type Plan struct {
 // Zero reports whether the plan injects nothing — the identity plan.
 func (p Plan) Zero() bool {
 	return !p.Node.Enabled() && !p.GPU.Enabled() && !p.Telemetry.Enabled() &&
-		!p.Network.Enabled()
+		!p.Controller.Enabled() && !p.Network.Enabled()
 }
 
 // Validate rejects plans the injector cannot schedule deterministically.
@@ -82,7 +88,8 @@ func (p Plan) Validate() error {
 	for _, d := range []struct {
 		kind FaultKind
 		rate FaultRate
-	}{{KindNode, p.Node}, {KindGPU, p.GPU}, {KindTelemetry, p.Telemetry}} {
+	}{{KindNode, p.Node}, {KindGPU, p.GPU}, {KindTelemetry, p.Telemetry},
+		{KindController, p.Controller}} {
 		if d.rate.MTTF < 0 || d.rate.MTTR < 0 {
 			return fmt.Errorf("chaos: %s: negative MTTF/MTTR", d.kind)
 		}
@@ -116,6 +123,7 @@ func (p Plan) String() string {
 	rate(KindNode, p.Node)
 	rate(KindGPU, p.GPU)
 	rate(KindTelemetry, p.Telemetry)
+	rate(KindController, p.Controller)
 	if p.Network.Enabled() {
 		net := []string{}
 		if p.Network.Latency > 0 {
@@ -186,7 +194,7 @@ func ParsePlan(spec string) (Plan, error) {
 			return Plan{}, fmt.Errorf("chaos: clause %q: %w", k, err)
 		}
 		switch k {
-		case KindNode, KindGPU, KindTelemetry:
+		case KindNode, KindGPU, KindTelemetry, KindController:
 			r, err := rateFromArgs(kv)
 			if err != nil {
 				return Plan{}, fmt.Errorf("chaos: clause %q: %w", k, err)
@@ -196,8 +204,10 @@ func ParsePlan(spec string) (Plan, error) {
 				p.Node = r
 			case KindGPU:
 				p.GPU = r
-			default:
+			case KindTelemetry:
 				p.Telemetry = r
+			default:
+				p.Controller = r
 			}
 		case KindNetwork:
 			for key, val := range kv {

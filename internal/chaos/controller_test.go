@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kubeknots/internal/sim"
+)
+
+// ctlTarget is logTarget plus the optional control-plane fault surface.
+type ctlTarget struct{ logTarget }
+
+func (c *ctlTarget) CrashController(now sim.Time)   { c.log("crashcontroller", now) }
+func (c *ctlTarget) RestoreController(now sim.Time) { c.log("restorecontroller", now) }
+
+func TestParsePlanControllerClause(t *testing.T) {
+	spec := "controller:mttf=2m0s,mttr=15s"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Controller.MTTF != 2*sim.Minute || p.Controller.MTTR != 15*sim.Second {
+		t.Fatalf("controller rate = %+v", p.Controller)
+	}
+	if p.Zero() {
+		t.Fatal("controller-only plan reads as zero")
+	}
+	if !strings.Contains(p.String(), "controller:") {
+		t.Fatalf("String() dropped the controller clause: %q", p.String())
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil || back != p {
+		t.Fatalf("round trip %q → %q → %+v (%v)", spec, p.String(), back, err)
+	}
+	if _, err := ParsePlan("controller:mttf=1s,mttr=1s;controller:mttf=2s,mttr=2s"); err == nil {
+		t.Fatal("duplicate controller clause accepted")
+	}
+}
+
+func TestControllerFaultsPairAndAlternate(t *testing.T) {
+	plan := Plan{Seed: 9, Controller: FaultRate{MTTF: 2 * sim.Minute, MTTR: 15 * sim.Second}}
+	eng := sim.NewEngine(1)
+	tgt := &ctlTarget{logTarget{nodes: 4, gpusPer: 1}}
+	in, err := NewInjector(eng, plan, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Start()
+	eng.Run(sim.Hour)
+
+	if len(tgt.calls) < 2 {
+		t.Fatalf("hour at MTTF=2m injected only %d controller calls", len(tgt.calls))
+	}
+	// Calls must strictly alternate crash → restore with nothing else mixed in.
+	for i, call := range tgt.calls {
+		want := "crashcontroller"
+		if i%2 == 1 {
+			want = "restorecontroller"
+		}
+		if !strings.HasPrefix(call, want) {
+			t.Fatalf("call %d = %q, want %s*", i, call, want)
+		}
+	}
+	// Every fault event is a controller event with no node/GPU coordinates.
+	for _, e := range in.Events {
+		if e.Kind != KindController || e.Node != -1 || e.GPU != -1 {
+			t.Fatalf("event = %+v", e)
+		}
+	}
+
+	// Same seed, same schedule.
+	eng2 := sim.NewEngine(1)
+	tgt2 := &ctlTarget{logTarget{nodes: 4, gpusPer: 1}}
+	in2, err := NewInjector(eng2, plan, tgt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2.Start()
+	eng2.Run(sim.Hour)
+	if !reflect.DeepEqual(tgt.calls, tgt2.calls) {
+		t.Fatal("same seed produced different controller schedules")
+	}
+}
+
+// TestControllerFaultsSkipPlainTargets pins the gate: a target without the
+// ControllerTarget surface silently ignores the controller clause instead
+// of panicking or perturbing the other domains' draws.
+func TestControllerFaultsSkipPlainTargets(t *testing.T) {
+	plan := Plan{Seed: 9, Controller: FaultRate{MTTF: 2 * sim.Minute, MTTR: 15 * sim.Second}}
+	eng := sim.NewEngine(1)
+	tgt := &logTarget{nodes: 4, gpusPer: 1}
+	in, err := NewInjector(eng, plan, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Start()
+	eng.Run(sim.Hour)
+	if len(tgt.calls) != 0 || len(in.Events) != 0 {
+		t.Fatalf("plain target received controller faults: %v", tgt.calls)
+	}
+}

@@ -33,6 +33,17 @@ type Target interface {
 	SetNetwork(now sim.Time, latency sim.Time, errRate float64, seed int64)
 }
 
+// ControllerTarget is the optional control-plane fault surface. Targets
+// that also implement it accept KindController faults; for the rest a
+// controller clause in the plan is inert.
+type ControllerTarget interface {
+	// CrashController pauses scheduling and harvest decisions while the
+	// data plane keeps running.
+	CrashController(now sim.Time)
+	// RestoreController restarts the control plane.
+	RestoreController(now sim.Time)
+}
+
 // FaultEvent is one recorded injection, for availability accounting and
 // debugging replays.
 type FaultEvent struct {
@@ -58,6 +69,7 @@ type Injector struct {
 	nodeDown []bool // node-crash domain state
 	teleDown []bool // telemetry domain state
 	gpuDown  map[[2]int]bool
+	ctlDown  bool // controller domain state
 	started  bool
 }
 
@@ -117,6 +129,16 @@ func (in *Injector) Start() {
 	if in.Plan.Telemetry.Enabled() {
 		for node := 0; node < n; node++ {
 			in.scheduleTelemetryFault(node)
+		}
+	}
+	// Controller faults draw after the telemetry domain and before network,
+	// so plans without a controller clause keep their exact historical draw
+	// sequence. A target without the optional surface leaves the clause
+	// inert — and draws nothing, keeping the other domains' schedules
+	// identical either way.
+	if in.Plan.Controller.Enabled() {
+		if ct, ok := in.Target.(ControllerTarget); ok {
+			in.scheduleControllerFault(ct)
 		}
 	}
 	if in.Plan.Network.Enabled() {
@@ -203,6 +225,29 @@ func (in *Injector) scheduleTelemetryFault(node int) {
 			}
 			in.record(now, KindTelemetry, node, -1, true)
 			in.scheduleTelemetryFault(node)
+		})
+	})
+}
+
+// scheduleControllerFault arms the next control-plane crash. There is one
+// control plane, so the domain is a single alternating process; Node is -1
+// in its recorded events.
+func (in *Injector) scheduleControllerFault(ct ControllerTarget) {
+	wait := in.expDur(in.Plan.Controller.MTTF)
+	outage := in.expDur(in.Plan.Controller.MTTR)
+	in.Eng.After(wait, func(now sim.Time) {
+		if in.ctlDown {
+			in.scheduleControllerFault(ct)
+			return
+		}
+		in.ctlDown = true
+		ct.CrashController(now)
+		in.record(now, KindController, -1, -1, false)
+		in.Eng.After(outage, func(now sim.Time) {
+			in.ctlDown = false
+			ct.RestoreController(now)
+			in.record(now, KindController, -1, -1, true)
+			in.scheduleControllerFault(ct)
 		})
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"kubeknots/internal/k8s"
 	"kubeknots/internal/obs"
 	"kubeknots/internal/obs/span"
+	"kubeknots/internal/persist"
 	"kubeknots/internal/scheduler"
 	"kubeknots/internal/sim"
 	"kubeknots/internal/trace"
@@ -48,6 +49,15 @@ type ClusterConfig struct {
 	DeadAfter  sim.Time
 	// MaxRestarts caps crash relaunches (0 = unlimited, the baseline).
 	MaxRestarts int
+
+	// Persist enables crash-recovery checkpointing for this run. With Dir
+	// set and CrashAt zero, a snapshot found under Dir for this run's key is
+	// byte-verified against the live state when the clock reaches its
+	// capture point — the recovery-determinism check. With CrashAt set, the
+	// run snapshots its full state at that instant and aborts with
+	// persist.CrashError (the injected crash). The zero value adds no
+	// events, keeping runs byte-identical to a build without persistence.
+	Persist persist.RunSpec
 
 	// Obs, when set, collects this run's observability artifacts — the
 	// per-pod decision audit (CBP/PP) and the lifecycle timeline — under
@@ -183,6 +193,39 @@ func RunCluster(sched k8s.Scheduler, mix workloads.AppMix, cfg ClusterConfig) *C
 		hctl.Start()
 	}
 
+	// Crash-recovery hook. Both modes register exactly one engine event at
+	// this fixed code point, so the crash run and the recovery run consume
+	// the same event-sequence numbers and their captured states (including
+	// engine fingerprints) are comparable byte-for-byte. The verify event is
+	// read-only, which keeps a recovery run's outputs byte-identical to an
+	// uninterrupted run's.
+	if cfg.Persist.Enabled() {
+		pkey := persistRunKey(sched, mix, cfg)
+		snap, found, err := persist.LoadRunSnapshot(cfg.Persist.Dir, pkey)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: load run snapshot %s: %v", pkey, err))
+		}
+		switch {
+		case found:
+			want := snap.State
+			eng.At(sim.Time(want.ClockMS), func(sim.Time) {
+				got := persist.CaptureState(o, hctl)
+				if err := persist.VerifyState(got, want); err != nil {
+					panic(fmt.Sprintf("experiments: recovery divergence for %s: %v", pkey, err))
+				}
+			})
+		case cfg.Persist.CrashAt > 0:
+			dir, boot := cfg.Persist.Dir, persistBoot(sched, cfg, pkey)
+			eng.At(cfg.Persist.CrashAt, func(now sim.Time) {
+				st := persist.CaptureState(o, hctl)
+				if err := persist.WriteRunSnapshot(dir, pkey, &persist.Snapshot{Boot: boot, State: st}); err != nil {
+					panic(fmt.Sprintf("experiments: write run snapshot %s: %v", pkey, err))
+				}
+				panic(&persist.CrashError{Key: pkey, At: now})
+			})
+		}
+	}
+
 	scale := mix.ArrivalRateScale()
 	rng := eng.RNG()
 
@@ -244,6 +287,29 @@ func RunCluster(sched k8s.Scheduler, mix workloads.AppMix, cfg ClusterConfig) *C
 		cfg.Obs.Add(art)
 	}
 	return run
+}
+
+// persistRunKey names one run's snapshot inside a state dir: the artifact
+// key (grid key or scheduler/mix fallback) plus the seed — the same scheme
+// obs.RunArtifacts uses, so snapshots and artifacts correlate one-to-one.
+func persistRunKey(sched k8s.Scheduler, mix workloads.AppMix, cfg ClusterConfig) string {
+	key := cfg.RunKey
+	if key == "" {
+		key = fmt.Sprintf("%s/%s", sched.Name(), mix.Name())
+	}
+	return fmt.Sprintf("%s/seed=%d", key, cfg.Seed)
+}
+
+// persistBoot records the run's construction recipe in its snapshot so an
+// inspection tool (knotsctl state) can say what produced it.
+func persistBoot(sched k8s.Scheduler, cfg ClusterConfig, pkey string) persist.Bootstrap {
+	return persist.Bootstrap{
+		Kind:      "experiment",
+		Seed:      cfg.Seed,
+		Nodes:     cfg.Nodes,
+		Scheduler: sched.Name(),
+		RunKey:    pkey,
+	}
 }
 
 // perNodeTable renders a Fig. 6/8-style per-node percentile panel.

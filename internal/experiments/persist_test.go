@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"kubeknots/internal/persist"
+	"kubeknots/internal/scheduler"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// crashRun drives RunCluster with an injected crash and returns the
+// CrashError it panics with.
+func crashRun(t *testing.T, mix workloads.AppMix, cfg ClusterConfig) *persist.CrashError {
+	t.Helper()
+	var crash *persist.CrashError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("crash run completed without panicking")
+			}
+			err, ok := r.(error)
+			if !ok || !errors.As(err, &crash) {
+				t.Fatalf("panic payload = %v, want *persist.CrashError", r)
+			}
+		}()
+		RunCluster(&scheduler.PP{}, mix, cfg)
+	}()
+	return crash
+}
+
+// TestCrashRecoveryByteIdentical is the experiment-level durability proof:
+// a run killed mid-flight leaves a snapshot; the re-run replays the same
+// seed, byte-verifies its state at the capture instant, and finishes with
+// output identical to a run that never crashed.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	mix, err := workloads.MixByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ClusterConfig{Horizon: 30 * sim.Second, Seed: 3}
+	want := fingerprint(RunCluster(&scheduler.PP{}, mix, base))
+
+	dir := t.TempDir()
+	crashCfg := base
+	crashCfg.Persist = persist.RunSpec{Dir: dir, CrashAt: 10 * sim.Second}
+	crash := crashRun(t, mix, crashCfg)
+	if crash.At != 10*sim.Second {
+		t.Fatalf("crash at %v, want 10s", crash.At)
+	}
+	snap, ok, err := persist.LoadRunSnapshot(dir, crash.Key)
+	if err != nil || !ok {
+		t.Fatalf("snapshot after crash: ok=%v err=%v", ok, err)
+	}
+	if snap.State.ClockMS != int64(10*sim.Second) {
+		t.Fatalf("snapshot clock = %dms", snap.State.ClockMS)
+	}
+
+	// Recovery run: same config, same dir, no CrashAt. The verify hook
+	// fires at the capture instant (divergence panics) and the completed
+	// run must match the uninterrupted baseline bit-for-bit.
+	recoverCfg := base
+	recoverCfg.Persist = persist.RunSpec{Dir: dir}
+	got := fingerprint(RunCluster(&scheduler.PP{}, mix, recoverCfg))
+	if got != want {
+		t.Fatalf("recovery run diverged from uninterrupted run:\n got %+v\nwant %+v", got, want)
+	}
+
+	// And the persistence plumbing itself is invisible: a dir with no
+	// snapshot for this run's key changes nothing either.
+	emptyCfg := base
+	emptyCfg.Persist = persist.RunSpec{Dir: t.TempDir()}
+	if got := fingerprint(RunCluster(&scheduler.PP{}, mix, emptyCfg)); got != want {
+		t.Fatalf("empty persist dir perturbed the run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCrashSnapshotRejectsForeignRun pins the guard: a recovery run whose
+// replayed state does not match the stored snapshot must panic loudly, not
+// continue from silently-forked state.
+func TestCrashSnapshotRejectsForeignRun(t *testing.T) {
+	mix, err := workloads.MixByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfg := ClusterConfig{Horizon: 30 * sim.Second, Seed: 3}
+	cfg.Persist = persist.RunSpec{Dir: dir, CrashAt: 10 * sim.Second}
+	crash := crashRun(t, mix, cfg)
+
+	// Tamper: rewrite the snapshot with a different clock so verification
+	// at the capture instant must fail.
+	snap, ok, err := persist.LoadRunSnapshot(dir, crash.Key)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	snap.State.Fingerprint++
+	if err := persist.WriteRunSnapshot(dir, crash.Key, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("recovery over a tampered snapshot did not panic")
+		}
+	}()
+	recoverCfg := ClusterConfig{Horizon: 30 * sim.Second, Seed: 3}
+	recoverCfg.Persist = persist.RunSpec{Dir: dir}
+	RunCluster(&scheduler.PP{}, mix, recoverCfg)
+}

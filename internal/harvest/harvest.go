@@ -122,6 +122,12 @@ func (c *Controller) NodeStates() []NodeState {
 // Counters returns the lifetime totals.
 func (c *Controller) Counters() Counters { return c.counters }
 
+// GuardState exposes the QoS guard's internals — remaining back-off ticks
+// and the violation count it last armed on — for control-plane snapshots.
+func (c *Controller) GuardState() (guardLeft, prevViolations int) {
+	return c.guardLeft, c.prevViolations
+}
+
 // CheckpointDrained implements k8s.Harvester: fault-drained harvested pods
 // keep their checkpoint exactly when watermark de-harvests do.
 func (c *Controller) CheckpointDrained() bool { return c.cfg.Checkpoint }
@@ -146,6 +152,11 @@ func (c *Controller) NoteDrainPreemption(now sim.Time, pod string) {
 // watermark devices, then harvest pending best-effort pods into remaining
 // headroom.
 func (c *Controller) tick(now sim.Time) {
+	// A crashed control plane (chaos "controller" fault) pauses harvest
+	// decisions along with scheduling; resident pods keep running.
+	if c.o.ControllerDown() {
+		return
+	}
 	snap := c.o.Agg.Snapshot(now)
 	c.states = c.states[:0]
 

@@ -83,6 +83,34 @@ func (o *Orchestrator) SetNetwork(now sim.Time, latency sim.Time, errRate float6
 		Detail: fmt.Sprintf("latency=%v errors=%.2f", latency, errRate)})
 }
 
+// CrashController kills the control plane in place: scheduling rounds and
+// harvest ticks become no-ops until RestoreController. The data plane is
+// untouched — running containers finish, heartbeats and telemetry keep
+// flowing — which is exactly the blast radius of losing the head node
+// while kubelets stay up.
+func (o *Orchestrator) CrashController(now sim.Time) {
+	if o.ctlDown {
+		return
+	}
+	o.ctlDown = true
+	o.ControllerCrashes++
+	o.om.controllerCrashes.Inc()
+	o.Events.Record(Event{At: now, Type: EventController, Detail: "down"})
+}
+
+// RestoreController restarts the control plane; the backed-up pending
+// queue drains on the next scheduling round.
+func (o *Orchestrator) RestoreController(now sim.Time) {
+	if !o.ctlDown {
+		return
+	}
+	o.ctlDown = false
+	o.Events.Record(Event{At: now, Type: EventController, Detail: "up"})
+}
+
+// ControllerDown reports whether the control plane is currently crashed.
+func (o *Orchestrator) ControllerDown() bool { return o.ctlDown }
+
 // drain requeues pods whose containers were killed by a fault. Unlike a
 // capacity-violation crash this does not count toward the crash-loop cap:
 // the pod did nothing wrong. It restarts from scratch at the back of the

@@ -1,0 +1,110 @@
+package k8s
+
+import (
+	"testing"
+
+	"kubeknots/internal/chaos"
+	"kubeknots/internal/cluster"
+	"kubeknots/internal/sim"
+	"kubeknots/internal/workloads"
+)
+
+// TestControllerCrashPausesSchedulingOnly pins the blast radius of a head-
+// node outage: pods submitted while the controller is down back up in the
+// pending queue, but containers already placed keep running to completion.
+func TestControllerCrashPausesSchedulingOnly(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl := cluster.New(cluster.Config{Nodes: 1})
+	o := NewOrchestrator(eng, cl, greedy{}, Config{})
+
+	// a is placed and running before the crash.
+	a := o.NewPod(workloads.RodiniaProfile(workloads.Pathfinder), nil)
+	o.Submit(0, a)
+	o.Run(2 * sim.Second)
+	if a.Phase != PodRunning {
+		t.Fatalf("pre-crash pod phase = %v", a.Phase)
+	}
+
+	o.CrashController(eng.Now())
+	if !o.ControllerDown() || o.ControllerCrashes != 1 {
+		t.Fatalf("down=%v crashes=%d", o.ControllerDown(), o.ControllerCrashes)
+	}
+	// Idempotent: a second crash of an already-down controller is a no-op.
+	o.CrashController(eng.Now())
+	if o.ControllerCrashes != 1 {
+		t.Fatalf("double crash counted: %d", o.ControllerCrashes)
+	}
+
+	b := o.NewPod(workloads.RodiniaProfile(workloads.Pathfinder), nil)
+	o.Submit(eng.Now(), b)
+	o.Run(eng.Now() + 60*sim.Second)
+
+	// The data plane survived: a finished. The control plane didn't: b is
+	// still pending long past its solo runtime.
+	if a.Phase != PodSucceeded {
+		t.Fatalf("running pod did not survive the controller outage: %v", a.Phase)
+	}
+	if b.Phase != PodPending || o.PendingLen() != 1 {
+		t.Fatalf("pod scheduled while controller down: phase=%v pending=%d", b.Phase, o.PendingLen())
+	}
+
+	o.RestoreController(eng.Now())
+	if o.ControllerDown() {
+		t.Fatal("still down after restore")
+	}
+	o.RestoreController(eng.Now()) // restore of a healthy controller is a no-op
+	o.Run(eng.Now() + 60*sim.Second)
+	if b.Phase != PodSucceeded {
+		t.Fatalf("backed-up pod did not drain after restore: %v", b.Phase)
+	}
+
+	// The outage is visible in the event log as a down/up pair.
+	downs, ups := 0, 0
+	for _, e := range o.Events.All() {
+		if e.Type == EventController {
+			switch e.Detail {
+			case "down":
+				downs++
+			case "up":
+				ups++
+			}
+		}
+	}
+	if downs != 1 || ups != 1 {
+		t.Fatalf("controller events: %d down, %d up, want 1/1", downs, ups)
+	}
+}
+
+// TestInjectorControllerFaultsDriveOrchestrator wires a controller-only
+// chaos plan through the injector to the real orchestrator: the run stays
+// deterministic and every injected outage pairs with a restore.
+func TestInjectorControllerFaultsDriveOrchestrator(t *testing.T) {
+	run := func() (int, int) {
+		eng := sim.NewEngine(2)
+		cl := cluster.New(cluster.Config{Nodes: 2})
+		o := NewOrchestrator(eng, cl, greedy{}, Config{})
+		plan := chaos.Plan{Seed: 11, Controller: chaos.FaultRate{MTTF: sim.Minute, MTTR: 10 * sim.Second}}
+		in, err := chaos.NewInjector(eng, plan, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Start()
+		for i := 0; i < 6; i++ {
+			p := o.NewPod(workloads.RodiniaProfile(workloads.KMeans), nil)
+			o.Submit(sim.Time(i)*10*sim.Second, p)
+		}
+		o.Run(10 * sim.Minute)
+		return o.ControllerCrashes, len(o.Completed)
+	}
+	crashes, completed := run()
+	if crashes == 0 {
+		t.Fatal("ten minutes at MTTF=1m never crashed the controller")
+	}
+	if completed != 6 {
+		t.Fatalf("completed = %d, want all 6 despite outages", completed)
+	}
+	c2, d2 := run()
+	if c2 != crashes || d2 != completed {
+		t.Fatalf("replay diverged: %d/%d vs %d/%d", crashes, completed, c2, d2)
+	}
+}

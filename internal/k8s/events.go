@@ -27,6 +27,9 @@ const (
 	EventGPUUp     EventType = "GPUUp"     // device restored
 	EventTelemetry EventType = "Telemetry" // node monitor dropout/recovery
 	EventNetwork   EventType = "Network"   // stats-path degradation changed
+	// EventController marks a control-plane crash or restart: scheduling
+	// and harvest decisions pause while running pods keep executing.
+	EventController EventType = "Controller"
 )
 
 // Event is one recorded lifecycle transition.

@@ -256,7 +256,12 @@ type Orchestrator struct {
 
 	podSeq  int
 	started bool
-	om      *orchMetrics
+	// ctlDown models a crashed control plane (chaos "controller" faults):
+	// scheduling rounds and harvest ticks become no-ops while the data
+	// plane — running containers, heartbeats, telemetry — keeps going.
+	ctlDown           bool
+	ControllerCrashes int
+	om                *orchMetrics
 	// harvest is the runtime harvest controller hook (nil = no controller:
 	// the scheduler sees every pending pod and drains restart from zero,
 	// byte-identical to a build without the harvest subsystem).
@@ -460,6 +465,11 @@ func (o *Orchestrator) relaunchDelay(crashes int) sim.Time {
 }
 
 func (o *Orchestrator) runScheduler(now sim.Time) {
+	// A crashed control plane makes no placement decisions; the pending
+	// queue simply backs up until the controller restarts.
+	if o.ctlDown {
+		return
+	}
 	if len(o.pending) == 0 {
 		return
 	}

@@ -28,6 +28,8 @@ var (
 		"Pods killed by node/device faults and requeued.", "scheduler")
 	mPreemptions = obs.Default().CounterVec("k8s_preemptions_total",
 		"Pods preempted by the de-harvest path and requeued.", "scheduler")
+	mControllerCrashes = obs.Default().CounterVec("k8s_controller_crashes_total",
+		"Control-plane crashes injected by chaos testing.", "scheduler")
 )
 
 // orchMetrics holds one orchestrator's pre-resolved metric children.
@@ -44,6 +46,7 @@ type orchMetrics struct {
 	evictions           *obs.Counter
 	drains              *obs.Counter
 	preemptions         *obs.Counter
+	controllerCrashes   *obs.Counter
 }
 
 func newOrchMetrics(scheduler string) *orchMetrics {
@@ -60,5 +63,6 @@ func newOrchMetrics(scheduler string) *orchMetrics {
 		evictions:           mEvictions.With(scheduler),
 		drains:              mDrains.With(scheduler),
 		preemptions:         mPreemptions.With(scheduler),
+		controllerCrashes:   mControllerCrashes.With(scheduler),
 	}
 }

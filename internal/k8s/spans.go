@@ -127,7 +127,7 @@ func (b *spanBuilder) event(ev Event) {
 	case EventNodeUp, EventGPUUp:
 		delete(b.lastFault, ev.Node)
 		return
-	case EventTelemetry, EventNetwork:
+	case EventTelemetry, EventNetwork, EventController:
 		return // cluster-scope; not part of any pod's trace
 	}
 

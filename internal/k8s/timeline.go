@@ -77,7 +77,7 @@ func TimelineFromEvents(evs []Event) *obs.Timeline {
 		case EventRejected:
 			tl.Instant("Rejected "+ev.Pod, "reject", ts, tids[ev.Node],
 				map[string]any{"detail": ev.Detail})
-		case EventNodeDown, EventNodeUp, EventGPUDown, EventGPUUp, EventTelemetry, EventNetwork:
+		case EventNodeDown, EventNodeUp, EventGPUDown, EventGPUUp, EventTelemetry, EventNetwork, EventController:
 			args := map[string]any{}
 			if ev.Detail != "" {
 				args["detail"] = ev.Detail

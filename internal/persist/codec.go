@@ -1,0 +1,127 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// writer builds the length-prefixed little-endian binary encoding used by
+// snapshots and WAL records. Append-only; never fails.
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v byte)    { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// reader is the matching bounds-checked decoder. The first short read
+// latches err; every later accessor returns zero values.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("persist: truncated input reading %s at offset %d", what, r.off)
+	}
+}
+
+func (r *reader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail(what)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8(what string) byte {
+	b := r.take(1, what)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32(what string) uint32 {
+	b := r.take(4, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64(what string) uint64 {
+	b := r.take(8, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) i64(what string) int64   { return int64(r.u64(what)) }
+func (r *reader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+func (r *reader) bool(what string) bool   { return r.u8(what) != 0 }
+func (r *reader) bytes(what string) []byte {
+	n := int(r.u32(what))
+	b := r.take(n, what)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+func (r *reader) str(what string) string { return string(r.bytes(what)) }
+
+// count reads a u32 element count and sanity-bounds it against the bytes
+// remaining, so a corrupted length cannot drive a huge allocation.
+func (r *reader) count(what string, minElemBytes int) int {
+	n := int(r.u32(what))
+	if r.err != nil {
+		return 0
+	}
+	if minElemBytes < 1 {
+		minElemBytes = 1
+	}
+	if n < 0 || n > (len(r.b)-r.off)/minElemBytes+1 {
+		r.fail(what + " count")
+		return 0
+	}
+	return n
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("persist: %d trailing bytes after decode", len(r.b)-r.off)
+	}
+	return nil
+}

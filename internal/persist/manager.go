@@ -1,0 +1,188 @@
+package persist
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ManagerOption configures a Manager.
+type ManagerOption func(*Manager)
+
+// WithSnapshotEvery auto-snapshots after every n journaled commands
+// (0 = only on demand / shutdown).
+func WithSnapshotEvery(n int) ManagerOption {
+	return func(m *Manager) { m.snapshotEvery = n }
+}
+
+// WithSyncEvery batches WAL fsyncs to one flush per n appends.
+func WithSyncEvery(n int) ManagerOption {
+	return func(m *Manager) { m.syncEvery = n }
+}
+
+// Manager owns a daemon's state directory: it carries the recovery inputs
+// found at open (last snapshot + WAL tail), journals every accepted command,
+// and rotates the WAL into a fresh snapshot on the configured cadence.
+//
+// Lifecycle: Open → Recovery (replay by the caller) → StartJournal →
+// Append per command, WriteSnapshot when SnapshotDue → Close.
+type Manager struct {
+	mu            sync.Mutex
+	store         *Store
+	boot          Bootstrap
+	snapshotEvery int
+	syncEvery     int
+
+	// cmds is the full command history: the recovered prefix plus every
+	// Append since. It becomes the Cmds section of the next snapshot.
+	cmds []Record
+	// sinceSnapshot counts commands journaled since the last snapshot.
+	sinceSnapshot int
+
+	wal     *WAL
+	loaded  *Snapshot
+	walTail []Record
+	walTorn bool
+	journal bool
+	stats   Stats
+}
+
+// Stats is the /v1/state wire view of the persistence layer.
+type Stats struct {
+	Dir               string `json:"dir"`
+	Commands          int    `json:"commands"`
+	WALRecords        int    `json:"wal_records"`
+	SnapshotsWritten  int    `json:"snapshots_written"`
+	LastSnapshotBytes int    `json:"last_snapshot_bytes,omitempty"`
+	RecoveredCommands int    `json:"recovered_commands"`
+	RecoveredTorn     bool   `json:"recovered_torn_tail,omitempty"`
+}
+
+// Open loads the state directory and validates any existing snapshot
+// against boot: recovering into a differently-configured control plane
+// would replay commands onto the wrong trajectory, so it is refused.
+func Open(dir string, boot Bootstrap, opts ...ManagerOption) (*Manager, error) {
+	store, err := OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{store: store, boot: boot, syncEvery: 1}
+	for _, opt := range opts {
+		opt(m)
+	}
+	snap, err := store.LoadSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil && !snap.Boot.Equal(boot) {
+		return nil, fmt.Errorf("persist: state dir %s was written by a different control plane: stored %s, running %s",
+			dir, mustJSON(snap.Boot), mustJSON(boot))
+	}
+	tail, torn, err := store.LoadWAL()
+	if err != nil {
+		return nil, err
+	}
+	m.loaded, m.walTail, m.walTorn = snap, tail, torn
+	if snap != nil {
+		m.cmds = append(m.cmds, snap.Cmds...)
+	}
+	m.cmds = append(m.cmds, tail...)
+	m.sinceSnapshot = len(tail)
+	m.stats = Stats{
+		Dir:               dir,
+		RecoveredCommands: len(m.cmds),
+		RecoveredTorn:     torn,
+	}
+	return m, nil
+}
+
+// Recovery returns the snapshot and WAL tail found at Open, for the caller
+// to replay (snapshot commands first, then the tail). Nil snapshot and an
+// empty tail mean a fresh directory.
+func (m *Manager) Recovery() (*Snapshot, []Record) { return m.loaded, m.walTail }
+
+// StartJournal opens the WAL for appending. Call after recovery replay has
+// finished; Append before StartJournal is an error.
+func (m *Manager) StartJournal() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wal, err := m.store.AppendWAL(m.syncEvery)
+	if err != nil {
+		return err
+	}
+	m.wal = wal
+	m.journal = true
+	return nil
+}
+
+// Append journals one accepted command. Write-ahead discipline: the caller
+// must append before mutating, and refuse the mutation if this fails.
+func (m *Manager) Append(rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.journal {
+		return fmt.Errorf("persist: Append before StartJournal")
+	}
+	if err := m.wal.Append(rec); err != nil {
+		mErrors.Inc()
+		return err
+	}
+	mWALRecords.With(recordTypeName(rec.Type)).Inc()
+	m.cmds = append(m.cmds, rec)
+	m.sinceSnapshot++
+	return nil
+}
+
+// SnapshotDue reports whether the auto-snapshot cadence has elapsed.
+func (m *Manager) SnapshotDue() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snapshotEvery > 0 && m.sinceSnapshot >= m.snapshotEvery
+}
+
+// WriteSnapshot durably absorbs the full command history plus the given
+// state, then resets the WAL. On success the WAL is empty and the snapshot
+// alone reproduces the control plane.
+func (m *Manager) WriteSnapshot(st *State) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, err := m.store.WriteSnapshot(&Snapshot{
+		Boot:  m.boot,
+		Cmds:  append([]Record(nil), m.cmds...),
+		State: st,
+	})
+	if err != nil {
+		return err
+	}
+	m.stats.SnapshotsWritten++
+	m.stats.LastSnapshotBytes = n
+	m.sinceSnapshot = 0
+	if m.wal != nil {
+		return m.wal.Reset()
+	}
+	return nil
+}
+
+// StatsSnapshot returns the current persistence stats.
+func (m *Manager) StatsSnapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stats
+	st.Commands = len(m.cmds)
+	if m.wal != nil {
+		st.WALRecords = m.wal.Records()
+	}
+	return st
+}
+
+// Close flushes and closes the WAL.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.wal == nil {
+		return nil
+	}
+	err := m.wal.Close()
+	m.wal = nil
+	m.journal = false
+	return err
+}

@@ -33,6 +33,15 @@ func (t *Tracker) Record(latency sim.Time) {
 	}
 }
 
+// Latencies returns the recorded latency sequence, oldest first — the full
+// accounting a control-plane snapshot must carry. The returned slice is a
+// copy.
+func (t *Tracker) Latencies() []sim.Time {
+	out := make([]sim.Time, len(t.latencies))
+	copy(out, t.latencies)
+	return out
+}
+
 // Queries returns the number of recorded queries.
 func (t *Tracker) Queries() int { return len(t.latencies) }
 
