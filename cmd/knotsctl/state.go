@@ -131,17 +131,29 @@ func stateVerify(dir string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	for i, rec := range recs {
-		if _, err := persist.ApplyRecord(o, rec); err != nil {
-			return fmt.Errorf("wal record %d does not apply: %w", i+1, err)
+	applied, skipped := 0, 0
+	for _, rec := range recs {
+		// Records the snapshot already absorbed (crash between snapshot
+		// rename and WAL reset) are identified by sequence number and
+		// must not be re-applied.
+		if rec.Seq <= uint64(len(snap.Cmds)) {
+			skipped++
+			continue
 		}
+		if _, err := persist.ApplyRecord(o, rec); err != nil {
+			return fmt.Errorf("wal record seq %d does not apply: %w", rec.Seq, err)
+		}
+		applied++
 	}
 	tail := ""
 	if torn {
 		tail = " (torn tail dropped)"
 	}
+	if skipped > 0 {
+		tail += fmt.Sprintf(" (%d already absorbed by the snapshot)", skipped)
+	}
 	fmt.Fprintf(w, "verified: %d snapshot commands byte-identical, %d wal records apply%s\n",
-		len(snap.Cmds), len(recs), tail)
+		len(snap.Cmds), applied, tail)
 	return nil
 }
 
@@ -170,7 +182,19 @@ func stateCompact(dir string, w io.Writer) error {
 	if torn {
 		fmt.Fprintln(w, "warning: dropping torn wal tail")
 	}
-	full := &persist.Snapshot{Boot: snap.Boot, Cmds: append(append([]persist.Record(nil), snap.Cmds...), tail...)}
+	// Fold only records past the snapshot's absorbed count — a stale WAL
+	// left by a crash between snapshot rename and reset would otherwise
+	// double its commands into the compacted history.
+	cmds := append([]persist.Record(nil), snap.Cmds...)
+	folded := 0
+	for _, rec := range tail {
+		if rec.Seq <= uint64(len(snap.Cmds)) {
+			continue
+		}
+		cmds = append(cmds, rec)
+		folded++
+	}
+	full := &persist.Snapshot{Boot: snap.Boot, Cmds: cmds}
 	o, hctl, err := replaySnapshot(full)
 	if err != nil {
 		return err
@@ -179,7 +203,7 @@ func stateCompact(dir string, w io.Writer) error {
 	if _, err := store.WriteSnapshot(full); err != nil {
 		return err
 	}
-	wal, err := store.AppendWAL(1)
+	wal, err := store.AppendWAL(1, uint64(len(full.Cmds)))
 	if err != nil {
 		return err
 	}
@@ -188,7 +212,7 @@ func stateCompact(dir string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "compacted: snapshot now holds %d commands (folded %d wal records), wal reset\n",
-		len(full.Cmds), len(tail))
+		len(full.Cmds), folded)
 	return nil
 }
 

@@ -238,7 +238,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// tickDone lets shutdown join this goroutine before writing the final
+	// snapshot — otherwise a periodic saveSnapshot could still be racing
+	// writeSnapshotFile against the same temp path.
+	tickDone := make(chan struct{})
 	go func() {
+		defer close(tickDone)
 		ticker := time.NewTicker(100 * time.Millisecond)
 		defer ticker.Stop()
 		var lastSnap time.Time
@@ -288,6 +293,7 @@ func main() {
 		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("knotsd: shutdown: %v", err)
 		}
+		<-tickDone
 		if store != nil {
 			if err := d.saveSnapshot(store); err != nil {
 				log.Fatalf("knotsd: final snapshot: %v", err)

@@ -55,7 +55,9 @@ func (s *Server) Recover(m *persist.Manager) (int, error) {
 		return replayed, err
 	}
 	persist.ReplayedMetric(replayed)
-	m.StartJournal()
+	if err := m.StartJournal(); err != nil {
+		return replayed, fmt.Errorf("api: start journal: %w", err)
+	}
 	s.persist = m
 	if replayed > 0 {
 		s.version.Add(1)

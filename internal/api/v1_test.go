@@ -549,3 +549,27 @@ func TestServerRecovery(t *testing.T) {
 		t.Fatal("foreign bootstrap accepted")
 	}
 }
+
+// TestRecoverSurfacesJournalFailure: a server that cannot open its WAL for
+// appending must fail Recover (and thus startup) instead of coming up with
+// persistence nominally enabled but every mutation failing.
+func TestRecoverSurfacesJournalFailure(t *testing.T) {
+	dir := t.TempDir()
+	boot := persist.Bootstrap{Kind: "apiserver", Seed: 1, Nodes: 1, Scheduler: "pp"}
+	orch, _, err := persist.Rebuild(boot, &scheduler.PP{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := persist.Open(dir, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yank the state dir between Open and Recover so StartJournal's
+	// open-for-append fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(orch).Recover(mgr); err == nil {
+		t.Fatal("Recover swallowed the StartJournal failure")
+	}
+}

@@ -96,7 +96,7 @@ func FuzzWALReplay(f *testing.F) {
 func encodeWALBytes(f *testing.F, recs []Record) []byte {
 	f.Helper()
 	path := filepath.Join(f.TempDir(), "wal.kkw")
-	w, err := openWAL(path, 1)
+	w, err := openWAL(path, 1, 0)
 	if err != nil {
 		f.Fatal(err)
 	}

@@ -55,6 +55,10 @@ type Stats struct {
 	LastSnapshotBytes int    `json:"last_snapshot_bytes,omitempty"`
 	RecoveredCommands int    `json:"recovered_commands"`
 	RecoveredTorn     bool   `json:"recovered_torn_tail,omitempty"`
+	// RecoveredSkipped counts WAL records dropped at recovery because the
+	// snapshot had already absorbed them (crash between snapshot rename
+	// and WAL reset).
+	RecoveredSkipped int `json:"recovered_skipped,omitempty"`
 }
 
 // Open loads the state directory and validates any existing snapshot
@@ -81,16 +85,38 @@ func Open(dir string, boot Bootstrap, opts ...ManagerOption) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.loaded, m.walTail, m.walTorn = snap, tail, torn
+	// WAL sequence numbers are absolute command indices, so records the
+	// snapshot already absorbed (a crash landed between the snapshot rename
+	// and the WAL reset) are recognized and skipped instead of re-applied.
+	// A gap above the snapshot's count means fsync-acknowledged commands
+	// vanished — refuse to recover onto a forked history.
+	base := uint64(0)
+	if snap != nil {
+		base = uint64(len(snap.Cmds))
+	}
+	skipped := 0
+	var kept []Record
+	for _, rec := range tail {
+		if rec.Seq <= base {
+			skipped++
+			continue
+		}
+		if want := base + uint64(len(kept)) + 1; rec.Seq != want {
+			return nil, fmt.Errorf("persist: WAL gap in %s: record seq %d, want %d", dir, rec.Seq, want)
+		}
+		kept = append(kept, rec)
+	}
+	m.loaded, m.walTail, m.walTorn = snap, kept, torn
 	if snap != nil {
 		m.cmds = append(m.cmds, snap.Cmds...)
 	}
-	m.cmds = append(m.cmds, tail...)
-	m.sinceSnapshot = len(tail)
+	m.cmds = append(m.cmds, kept...)
+	m.sinceSnapshot = len(kept)
 	m.stats = Stats{
 		Dir:               dir,
 		RecoveredCommands: len(m.cmds),
 		RecoveredTorn:     torn,
+		RecoveredSkipped:  skipped,
 	}
 	return m, nil
 }
@@ -100,12 +126,13 @@ func Open(dir string, boot Bootstrap, opts ...ManagerOption) (*Manager, error) {
 // empty tail mean a fresh directory.
 func (m *Manager) Recovery() (*Snapshot, []Record) { return m.loaded, m.walTail }
 
-// StartJournal opens the WAL for appending. Call after recovery replay has
-// finished; Append before StartJournal is an error.
+// StartJournal opens the WAL for appending — any torn tail is truncated
+// away first, so new records extend the intact prefix. Call after recovery
+// replay has finished; Append before StartJournal is an error.
 func (m *Manager) StartJournal() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	wal, err := m.store.AppendWAL(m.syncEvery)
+	wal, err := m.store.AppendWAL(m.syncEvery, uint64(len(m.cmds)))
 	if err != nil {
 		return err
 	}
@@ -122,6 +149,7 @@ func (m *Manager) Append(rec Record) error {
 	if !m.journal {
 		return fmt.Errorf("persist: Append before StartJournal")
 	}
+	rec.Seq = uint64(len(m.cmds)) + 1 // matches the seq the WAL assigns
 	if err := m.wal.Append(rec); err != nil {
 		mErrors.Inc()
 		return err
@@ -141,7 +169,9 @@ func (m *Manager) SnapshotDue() bool {
 
 // WriteSnapshot durably absorbs the full command history plus the given
 // state, then resets the WAL. On success the WAL is empty and the snapshot
-// alone reproduces the control plane.
+// alone reproduces the control plane. A crash (or Reset failure) between
+// the snapshot publish and the WAL reset is benign: recovery skips WAL
+// records whose sequence number the snapshot already covers.
 func (m *Manager) WriteSnapshot(st *State) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()

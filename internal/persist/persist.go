@@ -75,6 +75,12 @@ type Record struct {
 	Manifest []byte
 	// MS is the advance step (RecordAdvance).
 	MS int64
+	// Seq is the absolute 1-based command index, assigned by the WAL when
+	// the record is journaled. Snapshot command lists carry 0 — there the
+	// position is the sequence. Recovery uses Seq to skip WAL records a
+	// snapshot already absorbed (a crash between the snapshot rename and
+	// the WAL reset leaves both holding the same commands).
+	Seq uint64
 }
 
 // SubmitRecord wraps a canonical manifest JSON.

@@ -146,7 +146,7 @@ func TestSnapshotCRCDetectsCorruption(t *testing.T) {
 func TestWALRoundTripAndTornTail(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal.kkw")
-	w, err := openWAL(path, 1)
+	w, err := openWAL(path, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestWALRoundTripAndTornTail(t *testing.T) {
 func TestWALReset(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal.kkw")
-	w, err := openWAL(path, 1)
+	w, err := openWAL(path, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,6 +226,237 @@ func TestWALReset(t *testing.T) {
 	}
 	if len(recs) != 1 || recs[0].MS != 200 {
 		t.Fatalf("after reset: %+v", recs)
+	}
+}
+
+func TestWALTornTailTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.kkw")
+	w, err := openWAL(path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := testCommands()
+	for _, rec := range cmds[:3] {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen for appending: the torn frame must be truncated away so the
+	// new record extends the intact prefix instead of landing after
+	// garbage (where replay would never reach it).
+	w2, err := openWAL(path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Records() != 2 {
+		t.Fatalf("records after torn reopen = %d, want 2", w2.Records())
+	}
+	if err := w2.Append(AdvanceRecord(500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, torn, err := DecodeWAL(data2)
+	if err != nil || torn {
+		t.Fatalf("after reopen+append: torn=%v err=%v", torn, err)
+	}
+	if len(recs) != 3 || recs[2].MS != 500 || recs[2].Seq != 3 {
+		t.Fatalf("after reopen+append: %+v", recs)
+	}
+}
+
+// TestManagerTornTailRecoveryKeepsLaterAppends is the end-to-end check for
+// the torn-tail fix: commands journaled *after* a torn-tail recovery must
+// survive the *next* recovery.
+func TestManagerTornTailRecoveryKeepsLaterAppends(t *testing.T) {
+	cmds := testCommands()
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.kkw")
+
+	m1, err := Open(dir, testBoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.StartJournal(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range cmds[:3] {
+		if err := m1.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(dir, testBoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, tail := m2.Recovery(); len(tail) != 2 {
+		t.Fatalf("recovered %d records from torn WAL, want 2", len(tail))
+	}
+	if !m2.StatsSnapshot().RecoveredTorn {
+		t.Fatal("torn tail not reported")
+	}
+	if err := m2.StartJournal(); err != nil {
+		t.Fatal(err)
+	}
+	// The torn command was never acknowledged, so the client re-submits
+	// it; more commands follow. All of them are fsync-acknowledged.
+	for _, rec := range cmds[2:4] {
+		if err := m2.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m3, err := Open(dir, testBoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tail := m3.Recovery()
+	if len(tail) != 4 {
+		t.Fatalf("recovered %d records, want 4 — acknowledged mutations lost after torn-tail recovery", len(tail))
+	}
+	for i, rec := range tail {
+		if rec.Seq != uint64(i)+1 {
+			t.Fatalf("record %d has seq %d, want %d", i, rec.Seq, i+1)
+		}
+	}
+}
+
+// TestManagerSkipsAbsorbedWALRecords simulates a crash between the snapshot
+// rename and the WAL reset: both then hold the same commands, and recovery
+// must not apply them twice.
+func TestManagerSkipsAbsorbedWALRecords(t *testing.T) {
+	cmds := testCommands()
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.kkw")
+
+	m1, err := Open(dir, testBoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, hctl, err := Rebuild(testBoot(), &scheduler.PP{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.StartJournal(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range cmds[:4] {
+		if err := m1.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ApplyRecord(o, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.WriteSnapshot(CaptureState(o, hctl)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash window: the snapshot published but the WAL reset never hit
+	// disk — restore the pre-snapshot WAL image.
+	if err := os.WriteFile(walPath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(dir, testBoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, tail := m2.Recovery()
+	if snap == nil || len(snap.Cmds) != 4 {
+		t.Fatalf("recovered snapshot: %+v", snap)
+	}
+	if len(tail) != 0 {
+		t.Fatalf("recovered tail has %d records, want 0 — snapshot-absorbed commands would replay twice", len(tail))
+	}
+	if got := m2.StatsSnapshot().RecoveredSkipped; got != 4 {
+		t.Fatalf("RecoveredSkipped = %d, want 4", got)
+	}
+	// Journaling continues with the absolute numbering intact.
+	if err := m2.StartJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Append(cmds[4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m3, err := Open(dir, testBoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap3, tail3 := m3.Recovery()
+	if len(snap3.Cmds) != 4 || len(tail3) != 1 || tail3[0].Seq != 5 {
+		t.Fatalf("third incarnation: snap=%d tail=%+v", len(snap3.Cmds), tail3)
+	}
+	// The recovered history must equal the uninterrupted one.
+	o3, hctl3, err := Replay(testBoot(), &scheduler.PP{}, append(append([]Record(nil), snap3.Cmds...), tail3...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range cmds[5:] {
+		if _, err := ApplyRecord(o3, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := VerifyState(CaptureState(o3, hctl3), replayState(t, cmds)); err != nil {
+		t.Fatalf("recovery through the crash window diverged: %v", err)
+	}
+}
+
+func TestManagerRefusesWALGap(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(filepath.Join(dir, "wal.kkw"), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(AdvanceRecord(100)); err != nil { // seq 5, but no snapshot absorbed 1..4
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testBoot()); err == nil || !strings.Contains(err.Error(), "WAL gap") {
+		t.Fatalf("gap in the command history accepted: %v", err)
 	}
 }
 

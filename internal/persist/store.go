@@ -73,9 +73,11 @@ func (s *Store) LoadWAL() ([]Record, bool, error) {
 	return DecodeWAL(data)
 }
 
-// AppendWAL opens the daemon WAL for appending.
-func (s *Store) AppendWAL(syncEvery int) (*WAL, error) {
-	return openWAL(s.WALPath(), syncEvery)
+// AppendWAL opens the daemon WAL for appending, truncating any torn tail
+// back to the intact prefix first. baseSeq seeds the sequence counter when
+// the log is empty or fully absorbed — pass the recovered command count.
+func (s *Store) AppendWAL(syncEvery int, baseSeq uint64) (*WAL, error) {
+	return openWAL(s.WALPath(), syncEvery, baseSeq)
 }
 
 // RunSnapshots lists the run-scoped snapshot files in the directory,
@@ -182,5 +184,23 @@ func writeSnapshotFile(path string, snap *Snapshot) (int, error) {
 		os.Remove(tmp)
 		return 0, fmt.Errorf("persist: publish snapshot: %w", err)
 	}
+	// The rename itself is only durable once the directory entry is synced;
+	// without this a power loss can resurface the old snapshot after the
+	// WAL was already reset.
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return 0, fmt.Errorf("persist: sync state dir: %w", err)
+	}
 	return len(data), nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

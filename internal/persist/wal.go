@@ -8,23 +8,34 @@ import (
 	"os"
 )
 
-// walMagic heads every WAL file.
-var walMagic = []byte("KKWAL001")
+// walMagic heads every WAL file. KKWAL002 added the per-record sequence
+// number; files with older magics are rejected loudly instead of misparsed.
+var walMagic = []byte("KKWAL002")
 
 // WAL is an append-only command log. Each record is framed as
-// [uint32 length][payload][uint32 crc32(payload)], so a crash mid-append
-// leaves a torn tail that replay detects and drops instead of misparsing.
+// [uint32 length][uint64 seq][payload][uint32 crc32(seq‖payload)], so a
+// crash mid-append leaves a torn tail that replay detects and drops instead
+// of misparsing. seq is the absolute 1-based command index of the control
+// plane, which makes replay idempotent: records a snapshot already absorbed
+// are recognizable by seq and skipped at recovery.
 type WAL struct {
 	f *os.File
 	// syncEvery batches fsyncs: flush once per N appends (1 = every record).
 	syncEvery int
 	unsynced  int
 	records   int
+	// lastSeq is the highest sequence number in the log (or the seed base
+	// for an empty one); Append assigns lastSeq+1.
+	lastSeq uint64
 }
 
-// openWAL opens (creating if absent) the log at path for appending and
-// writes the magic header into an empty file.
-func openWAL(path string, syncEvery int) (*WAL, error) {
+// openWAL opens (creating if absent) the log at path for appending. An
+// empty file gets the magic header; an existing file is scanned and a torn
+// tail — the signature of a crash mid-append — is truncated back to the
+// intact prefix so later appends extend valid records, never garbage.
+// baseSeq seeds the sequence counter for an empty (or fully absorbed) log:
+// the next Append gets max(baseSeq, last intact seq)+1.
+func openWAL(path string, syncEvery int, baseSeq uint64) (*WAL, error) {
 	if syncEvery < 1 {
 		syncEvery = 1
 	}
@@ -37,27 +48,61 @@ func openWAL(path string, syncEvery int) (*WAL, error) {
 		f.Close()
 		return nil, err
 	}
+	w := &WAL{f: f, syncEvery: syncEvery, lastSeq: baseSeq}
 	if info.Size() == 0 {
 		if _, err := f.Write(walMagic); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("persist: write wal header: %w", err)
 		}
+		return w, nil
 	}
-	return &WAL{f: f, syncEvery: syncEvery}, nil
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: scan wal: %w", err)
+	}
+	recs, validLen, torn, err := scanWAL(data)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if torn {
+		if err := f.Truncate(int64(validLen)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: drop torn wal tail: %w", err)
+		}
+		if _, err := f.Seek(int64(validLen), io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: drop torn wal tail: %w", err)
+		}
+	}
+	w.records = len(recs)
+	if n := len(recs); n > 0 && recs[n-1].Seq > w.lastSeq {
+		w.lastSeq = recs[n-1].Seq
+	}
+	return w, nil
 }
 
-// Append frames, writes and (per the fsync batch) flushes one record.
+// Append frames, writes and (per the fsync batch) flushes one record,
+// assigning it the next sequence number.
 func (w *WAL) Append(rec Record) error {
 	if err := rec.validate(); err != nil {
 		return err
 	}
+	rec.Seq = w.lastSeq + 1
 	payload := appendRecord(nil, rec)
 	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint64(frame, rec.Seq)
 	frame = append(frame, payload...)
-	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame[4:]))
 	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("persist: wal append: %w", err)
 	}
+	w.lastSeq = rec.Seq
 	w.records++
 	w.unsynced++
 	if w.unsynced >= w.syncEvery {
@@ -81,12 +126,13 @@ func (w *WAL) Sync() error {
 	return nil
 }
 
-// Records returns the number of records appended through this handle since
-// open or the last Reset.
+// Records returns the number of intact records in the log (found at open
+// plus appended since, zeroed by Reset).
 func (w *WAL) Records() int { return w.records }
 
 // Reset truncates the log back to its header — called after a snapshot has
-// durably absorbed every logged command.
+// durably absorbed every logged command. The sequence counter is kept: it
+// numbers commands across the control plane's lifetime, not one log file.
 func (w *WAL) Reset() error {
 	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
 		return fmt.Errorf("persist: wal reset: %w", err)
@@ -121,30 +167,45 @@ func (w *WAL) Close() error {
 // the same way; an error is returned only for a file too short to carry
 // the magic header or carrying the wrong one.
 func DecodeWAL(data []byte) (recs []Record, torn bool, err error) {
+	recs, _, torn, err = scanWAL(data)
+	return recs, torn, err
+}
+
+// scanWAL is DecodeWAL plus the byte length of the intact prefix, which
+// openWAL uses to truncate a torn tail before appending. Sequence numbers
+// must be strictly increasing; a regression reads as tearing at that frame.
+func scanWAL(data []byte) (recs []Record, validLen int, torn bool, err error) {
 	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != string(walMagic) {
-		return nil, false, fmt.Errorf("persist: not a WAL file (bad magic)")
+		return nil, 0, false, fmt.Errorf("persist: not a WAL file (bad magic)")
 	}
 	off := len(walMagic)
+	var lastSeq uint64
 	for off < len(data) {
 		if off+4 > len(data) {
-			return recs, true, nil
+			return recs, off, true, nil
 		}
 		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
-		if n < 1 || off+4+n+4 > len(data) {
-			return recs, true, nil
+		if n < 1 || off+4+8+n+4 > len(data) {
+			return recs, off, true, nil
 		}
-		payload := data[off+4 : off+4+n]
-		sum := binary.LittleEndian.Uint32(data[off+4+n : off+8+n])
-		if crc32.ChecksumIEEE(payload) != sum {
-			return recs, true, nil
+		seq := binary.LittleEndian.Uint64(data[off+4 : off+12])
+		payload := data[off+12 : off+12+n]
+		sum := binary.LittleEndian.Uint32(data[off+12+n : off+16+n])
+		if crc32.ChecksumIEEE(data[off+4:off+12+n]) != sum {
+			return recs, off, true, nil
+		}
+		if seq <= lastSeq {
+			return recs, off, true, nil
 		}
 		r := &reader{b: payload}
 		rec, derr := decodeRecordPayload(r)
 		if derr != nil || r.done() != nil {
-			return recs, true, nil
+			return recs, off, true, nil
 		}
+		rec.Seq = seq
+		lastSeq = seq
 		recs = append(recs, rec)
-		off += 8 + n
+		off += 16 + n
 	}
-	return recs, false, nil
+	return recs, off, false, nil
 }
